@@ -1,0 +1,31 @@
+# Convenience targets for the BotMeter reproduction.
+
+.PHONY: install test bench bench-paper bench-perf examples report clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+test-logged:
+	pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-logged:
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-perf:
+	pytest benchmarks/test_perf_micro.py --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+report:
+	python -m repro.cli report --out reproduction_report.md
+
+clean:
+	rm -rf src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,19 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and prints
+it in a paper-style text format.  Heavy experiments run exactly once via
+``benchmark.pedantic(rounds=1, iterations=1)`` — the interesting output
+is the reproduced numbers, not the wall-clock statistics.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def banner(title: str) -> str:
+    line = "=" * max(len(title), 20)
+    return f"\n{line}\n{title}\n{line}"

@@ -1,0 +1,55 @@
+"""Attacker-perspective study (paper §VII, future-work direction 3):
+how well does a coordinated-cut DGA evade population estimation, and
+which estimator resists best?
+
+Expected shape: MB collapses to ≈ n_cuts for any population; MR retains
+a usable signal (per-domain renewal counts keep growing with N until
+TTL saturation); MT sits in between.
+"""
+
+from repro.core.bernoulli import BernoulliEstimator
+from repro.core.botmeter import BotMeter
+from repro.core.renewal import RenewalEstimator
+from repro.core.timing import TimingEstimator
+from repro.sim import SimConfig, simulate
+from repro.timebase import SECONDS_PER_DAY
+
+from conftest import banner, run_once
+
+POPULATIONS = (16, 64, 192)
+SEEDS = (0, 1, 2)
+
+
+def test_coordinated_cut_evasion(benchmark):
+    def run():
+        rows = {}
+        for n in POPULATIONS:
+            cells = {"actual": 0.0, "bernoulli": 0.0, "renewal": 0.0, "timing": 0.0}
+            for seed in SEEDS:
+                sim = simulate(SimConfig(family="evasive_goz", n_bots=n, seed=seed))
+                cells["actual"] += sim.ground_truth.population(0) / len(SEEDS)
+                for name, estimator in (
+                    ("bernoulli", BernoulliEstimator()),
+                    ("renewal", RenewalEstimator()),
+                    ("timing", TimingEstimator()),
+                ):
+                    meter = BotMeter(sim.dga, estimator=estimator, timeline=sim.timeline)
+                    total = meter.chart(sim.observable, 0.0, SECONDS_PER_DAY).total
+                    cells[name] += total / len(SEEDS)
+            rows[n] = cells
+        return rows
+
+    rows = run_once(benchmark, run)
+    print(banner("Adversarial study — coordinated-cut evasion (mean estimates)"))
+    print(f"{'N':>6} {'actual':>8} {'MB':>8} {'MR':>8} {'MT':>8}")
+    for n, cells in rows.items():
+        print(
+            f"{n:>6} {cells['actual']:>8.1f} {cells['bernoulli']:>8.1f} "
+            f"{cells['renewal']:>8.1f} {cells['timing']:>8.1f}"
+        )
+
+    # MB saturates: the large-population estimate stays close to the
+    # small-population one even though the botnet grew 12×.
+    assert rows[192]["bernoulli"] < rows[192]["actual"] / 3
+    # MR keeps a growing signal.
+    assert rows[192]["renewal"] > 2.5 * rows[16]["renewal"]

@@ -1,0 +1,28 @@
+"""Figure 3: the DGA taxonomy grid (pool × barrel, known families)."""
+
+from repro.core.taxonomy import TAXONOMY_GRID, classify, render_taxonomy
+from repro.dga.base import BarrelClass, PoolClass
+from repro.dga.families import family_names, make_family
+
+from conftest import banner
+
+
+def test_fig3_taxonomy(benchmark):
+    text = benchmark(render_taxonomy)
+    print(banner("Figure 3 — DGA taxonomy"))
+    print(text)
+
+    # Paper placements of the four prototypes.
+    drain = PoolClass.DRAIN_REPLENISH
+    assert "murofet" in TAXONOMY_GRID[(drain, BarrelClass.UNIFORM)]
+    assert "conficker_c" in TAXONOMY_GRID[(drain, BarrelClass.SAMPLING)]
+    assert "new_goz" in TAXONOMY_GRID[(drain, BarrelClass.RANDOMCUT)]
+    assert "necurs" in TAXONOMY_GRID[(drain, BarrelClass.PERMUTATION)]
+    # Sliding-window families (Ranbyus, PushDo) and the multiple-mixture
+    # family (Pykspa) occupy the other columns.
+    assert "ranbyus" in TAXONOMY_GRID[(PoolClass.SLIDING_WINDOW, BarrelClass.UNIFORM)]
+    assert "pykspa" in TAXONOMY_GRID[(PoolClass.MULTIPLE_MIXTURE, BarrelClass.SAMPLING)]
+    # Unspotted cells ("?") exist, as in the figure.
+    assert any(not families for families in TAXONOMY_GRID.values())
+    # Every implemented family is classifiable.
+    assert all(classify(make_family(name)) is not None for name in family_names())

@@ -1,0 +1,41 @@
+"""Figure 6(a): estimation accuracy vs DGA-bot population N.
+
+Paper shapes this bench must reproduce:
+
+* error bars (25th–75th ARE percentiles) shrink with N for AS and AR;
+* MT loses accuracy on AU as N grows (caching collisions mask bots);
+* MP (on AU) and MB (on AR) beat MT at large N.
+"""
+
+from repro.eval.experiments import sweep_population
+
+from conftest import banner, run_once
+
+VALUES = (16, 32, 64, 128, 256)
+TRIALS = 5
+
+
+def test_fig6a_population(benchmark):
+    result = run_once(
+        benchmark, lambda: sweep_population(values=VALUES, trials=TRIALS)
+    )
+    print(banner("Figure 6(a) — ARE vs bot population N"))
+    print(result.render())
+
+    # MT degrades on AU as N grows.
+    mt_au_small = result.cell(16, "AU", "timing").summary.median
+    mt_au_large = result.cell(256, "AU", "timing").summary.median
+    assert mt_au_large > mt_au_small
+
+    # MP beats MT on AU at large N; MB beats MT on AU-style masking too.
+    assert (
+        result.cell(256, "AU", "poisson").summary.median
+        < result.cell(256, "AU", "timing").summary.median
+    )
+
+    # MT improves (or at least does not blow up) on AS and AR as N grows.
+    assert result.cell(256, "AS", "timing").summary.median < 0.3
+    assert result.cell(256, "AR", "timing").summary.median < 0.3
+
+    # MB is accurate in the unsaturated regime.
+    assert result.cell(64, "AR", "bernoulli").summary.median < 0.3

@@ -1,0 +1,28 @@
+"""Figure 6(b): estimation accuracy vs observation-window length.
+
+Paper shape: all estimators improve as the window grows from 1 to 16
+epochs (per-epoch estimate variances cancel out in the average).
+"""
+
+from repro.eval.experiments import sweep_window
+
+from conftest import banner, run_once
+
+VALUES = (1, 2, 4, 8, 16)
+TRIALS = 3
+
+
+def test_fig6b_window(benchmark):
+    result = run_once(benchmark, lambda: sweep_window(values=VALUES, trials=TRIALS))
+    print(banner("Figure 6(b) — ARE vs observation window (epochs)"))
+    print(result.render())
+
+    # Averaging over 16 epochs must beat a single epoch for the
+    # variance-dominated estimators (generous noise margin).
+    mp_1 = result.cell(1, "AU", "poisson").summary.median
+    mp_16 = result.cell(16, "AU", "poisson").summary.median
+    assert mp_16 < mp_1 + 0.05
+
+    mb_1 = result.cell(1, "AR", "bernoulli").summary.median
+    mb_16 = result.cell(16, "AR", "bernoulli").summary.median
+    assert mb_16 < mb_1 + 0.05

@@ -1,0 +1,37 @@
+"""Figure 6(c): estimation accuracy vs negative-cache TTL.
+
+Paper shapes: MT suffers as the TTL grows (more lookups masked); MP is
+less sensitive than MT on AU (it explicitly models the masking); MB is
+essentially immune (distinct NXDs are never masked).
+"""
+
+from repro.eval.experiments import sweep_negative_ttl
+
+from conftest import banner, run_once
+
+VALUES = (20, 40, 80, 160, 320)  # minutes
+TRIALS = 5
+
+
+def test_fig6c_negative_ttl(benchmark):
+    result = run_once(
+        benchmark, lambda: sweep_negative_ttl(values=VALUES, trials=TRIALS)
+    )
+    print(banner("Figure 6(c) — ARE vs negative cache TTL (minutes)"))
+    print(result.render())
+
+    # MT on AU degrades sharply with longer TTLs.
+    mt_short = result.cell(20, "AU", "timing").summary.median
+    mt_long = result.cell(320, "AU", "timing").summary.median
+    assert mt_long > mt_short
+
+    # MB is unaffected by caching (immune by construction).
+    mb_short = result.cell(20, "AR", "bernoulli").summary.median
+    mb_long = result.cell(320, "AR", "bernoulli").summary.median
+    assert abs(mb_long - mb_short) < 0.15
+
+    # At the longest TTL, MP still recovers masked bots far better than MT.
+    assert (
+        result.cell(320, "AU", "poisson").summary.median
+        < result.cell(320, "AU", "timing").summary.median
+    )

@@ -1,0 +1,35 @@
+"""Table I: DGA-specific parameter settings of the synthetic evaluation."""
+
+import pytest
+
+from repro.dga.families import make_family
+
+from conftest import banner
+
+#: model → (prototype, θ∅, θ∃, θq, δi seconds)
+TABLE_I = {
+    "AU": ("murofet", 798, 2, 798, 0.5),
+    "AS": ("conficker_c", 49995, 5, 500, 1.0),
+    "AR": ("new_goz", 9995, 5, 500, 1.0),
+    "AP": ("necurs", 2046, 2, 2046, 0.5),
+}
+
+
+def test_table1_parameters(benchmark):
+    def build_all():
+        return {model: make_family(proto) for model, (proto, *_rest) in TABLE_I.items()}
+
+    dgas = benchmark(build_all)
+
+    print(banner("Table I — DGA-specific parameter setting"))
+    print(f"{'Model':<6}{'Prototype':<14}{'θ∅':>8}{'θ∃':>5}{'θq':>7}{'δi':>8}")
+    for model, (proto, n_nxd, n_reg, barrel, interval) in TABLE_I.items():
+        dga = dgas[model]
+        print(
+            f"{model:<6}{proto:<14}{dga.params.n_nxd:>8}{dga.params.n_registered:>5}"
+            f"{dga.params.barrel_size:>7}{dga.params.query_interval:>7.1f}s"
+        )
+        assert dga.params.n_nxd == n_nxd
+        assert dga.params.n_registered == n_reg
+        assert dga.params.barrel_size == barrel
+        assert dga.params.query_interval == pytest.approx(interval)

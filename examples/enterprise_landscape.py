@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Enterprise study: daily DGA-bot populations over a month of synthetic
+enterprise DNS traffic (the §V-B real-data substitute), estimated by the
+paper's protocol.
+
+Run:  python examples/enterprise_landscape.py
+"""
+
+from repro.enterprise import EnterpriseConfig, InfectionWave
+from repro.eval import render_series_chart, run_enterprise_study
+
+
+def main() -> None:
+    config = EnterpriseConfig(
+        n_days=30,
+        waves=(
+            InfectionWave(
+                "new_goz", family_seed=11, start_day=3, end_day=28,
+                peak=25, ramp_days=6, seed=1,
+            ),
+            InfectionWave(
+                "ramnit", family_seed=13, start_day=1, end_day=25,
+                peak=18, ramp_days=5, seed=2,
+            ),
+            InfectionWave(
+                "qakbot", family_seed=17, start_day=6, end_day=29,
+                peak=10, ramp_days=4, seed=3,
+            ),
+        ),
+        n_benign_clients=40,
+        seed=7,
+    )
+    print("running a 30-day enterprise study (three concurrent botnets)...")
+    result = run_enterprise_study(config)
+
+    print("\nTable-II-style summary (mean±std ARE per family/estimator):")
+    print(result.render_table2())
+
+    estimator_for = {"new_goz": "bernoulli", "ramnit": "poisson", "qakbot": "poisson"}
+    for family in result.families():
+        print(f"\nFigure-7-style daily series — {family}:")
+        print(render_series_chart(result.series(family), estimator_for[family]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Tour of the DGA taxonomy (Figure 3): for every implemented family,
+show its grid cell, daily pool shape, a sample of generated domains, and
+one activation's query barrel.
+
+Run:  python examples/taxonomy_tour.py
+"""
+
+import datetime as dt
+
+from repro.core import classify, render_taxonomy
+from repro.dga import Lcg, family_names, make_family
+
+DAY = dt.date(2014, 9, 12)
+
+
+def main() -> None:
+    print(render_taxonomy())
+    print()
+
+    for name in family_names():
+        dga = make_family(name, seed=7)
+        pool = dga.pool(DAY)
+        registered = dga.registered(DAY)
+        barrel = dga.barrel(DAY, Lcg(1))
+        print(f"{name}  [{classify(dga).name}]")
+        print(
+            f"  pool: {len(pool)} domains "
+            f"(θ∃={len(registered)} registered, θq={dga.params.barrel_size}, "
+            f"δi={dga.params.query_interval}s"
+            f"{'' if dga.params.fixed_interval else ' jittered'})"
+        )
+        print(f"  sample domains: {', '.join(pool[:3])}")
+        print(f"  barrel head:    {', '.join(barrel[:3])}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""BotMeter reproduction: charting DGA-botnet landscapes in large
+networks (Wang et al., ICDCS 2016).
+
+Public API quick map:
+
+* :mod:`repro.core` — the BotMeter tool: matcher, Timing/Poisson/
+  Bernoulli estimators, taxonomy, landscape pipeline.
+* :mod:`repro.dga` — DGA substrate: pool/barrel models and families.
+* :mod:`repro.dns` — hierarchical caching-and-forwarding DNS substrate.
+* :mod:`repro.sim` — botnet + network traffic simulation.
+* :mod:`repro.detect` — D3 detection-window modelling and a lexical
+  classifier.
+* :mod:`repro.enterprise` — synthetic year-long enterprise trace
+  (real-data substitute).
+* :mod:`repro.eval` — metrics and the paper's experiment harnesses.
+"""
+
+from .core import (
+    BernoulliEstimator,
+    BotMeter,
+    Landscape,
+    PoissonEstimator,
+    TimingEstimator,
+    make_estimator,
+)
+from .dga import Dga, DgaParameters, make_family
+from .sim import SimConfig, simulate
+from .timebase import SECONDS_PER_DAY, Timeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BernoulliEstimator",
+    "BotMeter",
+    "Landscape",
+    "PoissonEstimator",
+    "TimingEstimator",
+    "make_estimator",
+    "Dga",
+    "DgaParameters",
+    "make_family",
+    "SimConfig",
+    "simulate",
+    "SECONDS_PER_DAY",
+    "Timeline",
+    "__version__",
+]

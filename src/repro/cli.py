@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+Gives operators the Figure-2 workflow without writing Python:
+
+* ``repro simulate``  — generate a synthetic botnet trace (observable
+  CSV + ground truth) for experimentation;
+* ``repro chart``     — run BotMeter over an observable CSV and print
+  the per-server landscape;
+* ``repro taxonomy``  — print the Figure-3 taxonomy grid;
+* ``repro families``  — list implemented DGA families and parameters;
+* ``repro sweep``     — run one Figure-6 sweep row;
+* ``repro enterprise``— run a (shortened) §V-B enterprise study.
+
+Run ``python -m repro.cli <command> --help`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core.botmeter import BotMeter, make_estimator
+from .core.taxonomy import classify, render_taxonomy
+from .dga.families import family_names, make_family
+from .enterprise.trace_gen import EnterpriseConfig
+from .eval.experiments import (
+    sweep_d3_miss,
+    sweep_dynamics,
+    sweep_negative_ttl,
+    sweep_population,
+    sweep_window,
+)
+from .eval.realdata import run_enterprise_study
+from .sim.network import SimConfig, simulate
+from .sim.trace import load_observable_csv, save_observable_csv
+from .timebase import SECONDS_PER_DAY, Timeline
+
+__all__ = ["main", "build_parser"]
+
+_SWEEPS = {
+    "population": sweep_population,
+    "window": sweep_window,
+    "negative-ttl": sweep_negative_ttl,
+    "dynamics": sweep_dynamics,
+    "d3-miss": sweep_d3_miss,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all sub-commands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BotMeter (ICDCS 2016) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="generate a synthetic botnet trace")
+    sim.add_argument("--family", default="new_goz", choices=family_names())
+    sim.add_argument("--bots", type=int, default=48)
+    sim.add_argument("--servers", type=int, default=1)
+    sim.add_argument("--days", type=int, default=1)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--sigma", type=float, default=0.0)
+    sim.add_argument("--out", required=True, help="observable CSV output path")
+
+    chart = sub.add_parser("chart", help="chart a landscape from an observable CSV")
+    chart.add_argument("--family", default="new_goz", choices=family_names())
+    chart.add_argument("--family-seed", type=int, default=7)
+    chart.add_argument(
+        "--estimator",
+        default="auto",
+        choices=("auto", "timing", "poisson", "bernoulli", "renewal"),
+    )
+    chart.add_argument("--negative-ttl", type=float, default=7_200.0)
+    chart.add_argument("--granularity", type=float, default=0.1)
+    chart.add_argument("trace", help="observable CSV (from `repro simulate`)")
+
+    sub.add_parser("taxonomy", help="print the Figure-3 taxonomy grid")
+    sub.add_parser("families", help="list implemented DGA families")
+
+    sweep = sub.add_parser("sweep", help="run one Figure-6 sweep row")
+    sweep.add_argument("row", choices=sorted(_SWEEPS))
+    sweep.add_argument("--trials", type=int, default=3)
+    sweep.add_argument(
+        "--models", nargs="+", default=["AU", "AS", "AR", "AP"],
+        choices=["AU", "AS", "AR", "AP"],
+    )
+
+    ent = sub.add_parser("enterprise", help="run the §V-B enterprise study")
+    ent.add_argument("--days", type=int, default=210)
+    ent.add_argument("--benign-clients", type=int, default=80)
+    ent.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser("report", help="full reproduction report (Markdown)")
+    report.add_argument("--trials", type=int, default=3)
+    report.add_argument("--skip-enterprise", action="store_true")
+    report.add_argument("--out", default=None, help="write Markdown here instead of stdout")
+
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = SimConfig(
+        family=args.family,
+        n_bots=args.bots,
+        n_local_servers=args.servers,
+        n_days=args.days,
+        seed=args.seed,
+        sigma=args.sigma,
+    )
+    result = simulate(config)
+    save_observable_csv(result.observable, args.out)
+    print(f"wrote {len(result.observable)} observable lookups to {args.out}")
+    for day in range(args.days):
+        print(f"day {day}: actual active bots = {result.ground_truth.population(day)}")
+    return 0
+
+
+def _cmd_chart(args: argparse.Namespace) -> int:
+    records = load_observable_csv(args.trace)
+    if not records:
+        print("trace is empty", file=sys.stderr)
+        return 1
+    dga = make_family(args.family, args.family_seed)
+    estimator = args.estimator if args.estimator == "auto" else make_estimator(args.estimator)
+    meter = BotMeter(
+        dga,
+        estimator=estimator,
+        negative_ttl=args.negative_ttl,
+        timestamp_granularity=args.granularity,
+        timeline=Timeline(),
+    )
+    landscape = meter.chart(records)
+    print(landscape.summary())
+    return 0
+
+
+def _cmd_taxonomy(_args: argparse.Namespace) -> int:
+    print(render_taxonomy())
+    return 0
+
+
+def _cmd_families(_args: argparse.Namespace) -> int:
+    print(f"{'family':<14}{'class':<6}{'θ∅':>8}{'θ∃':>5}{'θq':>7}{'δi':>8}")
+    for name in family_names():
+        dga = make_family(name)
+        params = dga.params
+        interval = f"{params.query_interval:.1f}s" + ("" if params.fixed_interval else "*")
+        print(
+            f"{name:<14}{classify(dga).name:<6}{params.n_nxd:>8}"
+            f"{params.n_registered:>5}{params.barrel_size:>7}{interval:>8}"
+        )
+    print("(* = jittered interval)")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    result = _SWEEPS[args.row](trials=args.trials, models=tuple(args.models))
+    print(result.render())
+    return 0
+
+
+def _cmd_enterprise(args: argparse.Namespace) -> int:
+    config = EnterpriseConfig(
+        n_days=args.days, n_benign_clients=args.benign_clients, seed=args.seed
+    )
+    result = run_enterprise_study(config)
+    print(result.render_table2())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .eval.report import generate_report
+
+    report = generate_report(
+        trials=args.trials, include_enterprise=not args.skip_enterprise
+    )
+    markdown = report.to_markdown()
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(markdown)
+        print(f"wrote report to {args.out}")
+    else:
+        print(markdown)
+    return 0
+
+
+_HANDLERS = {
+    "simulate": _cmd_simulate,
+    "chart": _cmd_chart,
+    "taxonomy": _cmd_taxonomy,
+    "families": _cmd_families,
+    "sweep": _cmd_sweep,
+    "enterprise": _cmd_enterprise,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""BotMeter core: matcher, analytic model library (MT, MP, MB), taxonomy,
+and the landscape-charting pipeline."""
+
+from .bernoulli import BernoulliEstimator, solve_coverage_population
+from .botmeter import BotMeter, Landscape, make_estimator
+from .combinatorics import (
+    barrel_consumption_pmf,
+    coverage_validity_curve,
+    expected_barrel_consumption,
+    expected_bots_to_cover,
+    gap_constrained_subset_count,
+    log_occupancy_table,
+)
+from .confidence import (
+    ConfidenceInterval,
+    coverage_profile_interval,
+    poisson_interval,
+)
+from .ensemble import EnsembleEstimator, default_members
+from .estimator import (
+    EstimationContext,
+    Estimator,
+    MatchedLookup,
+    PopulationEstimate,
+    average_per_epoch,
+)
+from .matcher import DgaDomainMatcher, PatternMatcher, group_by_server
+from .occupancy import OccupancyEstimator, invert_distinct_count
+from .poisson import PoissonEstimator, visible_activation_times
+from .renewal import (
+    RenewalEstimator,
+    coverage_probabilities,
+    expected_forwarded_lookups,
+)
+from .segments import DgaCircle, Segment, SegmentKind
+from .streaming import StreamingBotMeter
+from .taxonomy import (
+    TAXONOMY_GRID,
+    ModelClass,
+    applicable_estimators,
+    classify,
+    recommended_estimator,
+    render_taxonomy,
+    taxonomy_cell,
+)
+from .timing import TimingEstimator
+
+__all__ = [
+    "ConfidenceInterval",
+    "coverage_profile_interval",
+    "poisson_interval",
+    "BernoulliEstimator",
+    "solve_coverage_population",
+    "EnsembleEstimator",
+    "default_members",
+    "BotMeter",
+    "Landscape",
+    "make_estimator",
+    "barrel_consumption_pmf",
+    "coverage_validity_curve",
+    "expected_barrel_consumption",
+    "expected_bots_to_cover",
+    "gap_constrained_subset_count",
+    "log_occupancy_table",
+    "EstimationContext",
+    "Estimator",
+    "MatchedLookup",
+    "PopulationEstimate",
+    "average_per_epoch",
+    "DgaDomainMatcher",
+    "PatternMatcher",
+    "group_by_server",
+    "OccupancyEstimator",
+    "invert_distinct_count",
+    "PoissonEstimator",
+    "visible_activation_times",
+    "RenewalEstimator",
+    "coverage_probabilities",
+    "expected_forwarded_lookups",
+    "DgaCircle",
+    "Segment",
+    "SegmentKind",
+    "StreamingBotMeter",
+    "TAXONOMY_GRID",
+    "ModelClass",
+    "applicable_estimators",
+    "classify",
+    "recommended_estimator",
+    "render_taxonomy",
+    "taxonomy_cell",
+    "TimingEstimator",
+]

@@ -1,0 +1,114 @@
+"""Ensemble estimation.
+
+Different analytical models fail in different regimes — MT under heavy
+caching, MB at coverage saturation, MP under bursty activation rates —
+and an operator rarely knows the regime in advance.
+:class:`EnsembleEstimator` runs several members on the same matched
+stream and combines their per-epoch outputs, trading a little best-case
+accuracy for a much flatter worst case.
+
+Combination rules:
+
+* ``"median"`` (default) — robust to one wildly-off member;
+* ``"mean"`` — lowest variance when all members are roughly unbiased;
+* ``"min"`` — a conservative lower bound for remediation budgeting.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Sequence
+
+from ..dga.base import Dga
+from .bernoulli import BernoulliEstimator
+from .estimator import (
+    EstimationContext,
+    Estimator,
+    MatchedLookup,
+    PopulationEstimate,
+    average_per_epoch,
+)
+from .poisson import PoissonEstimator
+from .renewal import RenewalEstimator
+from .taxonomy import ModelClass, classify
+from .timing import TimingEstimator
+
+__all__ = ["EnsembleEstimator", "default_members"]
+
+_COMBINERS = {
+    "median": statistics.median,
+    "mean": lambda values: sum(values) / len(values),
+    "min": min,
+}
+
+
+def default_members(dga: Dga) -> list[Estimator]:
+    """The sensible member set for a DGA's taxonomy class.
+
+    MR applies everywhere; MT everywhere; MP joins for AU and MB for AR.
+    """
+    members: list[Estimator] = [RenewalEstimator(), TimingEstimator()]
+    model = classify(dga)
+    if model is ModelClass.AU:
+        members.append(PoissonEstimator())
+    elif model is ModelClass.AR:
+        members.append(BernoulliEstimator())
+    return members
+
+
+class EnsembleEstimator:
+    """Combines several estimators' per-epoch estimates.
+
+    Args:
+        members: estimator instances; ``None`` defers to
+            :func:`default_members` at estimation time (the context
+            carries the DGA).
+        combine: ``"median"``, ``"mean"`` or ``"min"``.
+    """
+
+    name = "ensemble"
+
+    def __init__(
+        self,
+        members: Sequence[Estimator] | None = None,
+        combine: str = "median",
+    ) -> None:
+        if combine not in _COMBINERS:
+            known = ", ".join(sorted(_COMBINERS))
+            raise ValueError(f"unknown combine rule {combine!r}; have: {known}")
+        if members is not None and not members:
+            raise ValueError("member list must be non-empty when given")
+        self._members = list(members) if members is not None else None
+        self._combine = combine
+
+    def estimate(
+        self, lookups: Sequence[MatchedLookup], context: EstimationContext
+    ) -> PopulationEstimate:
+        """Run every member and combine their per-epoch estimates."""
+        members = (
+            self._members
+            if self._members is not None
+            else default_members(context.dga)
+        )
+        combiner = _COMBINERS[self._combine]
+        member_results = {m.name: m.estimate(lookups, context) for m in members}
+
+        per_epoch: dict[int, float] = {}
+        for day, _start, _end in context.epoch_bounds():
+            votes = [
+                r.per_epoch[day]
+                for r in member_results.values()
+                if day in r.per_epoch
+            ]
+            per_epoch[day] = combiner(votes) if votes else 0.0
+        return PopulationEstimate(
+            value=average_per_epoch(per_epoch),
+            estimator=self.name,
+            per_epoch=per_epoch,
+            details={
+                "combine": self._combine,
+                "members": {
+                    name: result.value for name, result in member_results.items()
+                },
+            },
+        )

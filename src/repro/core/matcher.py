@@ -1,0 +1,108 @@
+"""DGA-domain matching (component ③ of Figure 2).
+
+The matcher is the front end of BotMeter: it filters the vantage-point
+stream down to the lookups that belong to the target DGA, using either
+plain per-day domain lists (the D3 detection window) or algorithmic
+patterns (regular expressions), and tags every match with its epoch and
+forwarding server.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+from ..dns.message import ForwardedLookup
+from ..timebase import SECONDS_PER_DAY
+from .estimator import MatchedLookup
+
+__all__ = ["DgaDomainMatcher", "PatternMatcher", "group_by_server"]
+
+
+class DgaDomainMatcher:
+    """Matches a vantage-point stream against per-day domain sets.
+
+    ``windows`` maps a day index to the set of domains known to belong to
+    the target DGA on that day (typically a D3 detection window over the
+    daily pool).  A lookup matches when its domain is in the window of
+    the epoch containing its timestamp; the previous day's window is also
+    consulted so activations that straddle midnight keep matching.
+    """
+
+    def __init__(self, windows: dict[int, frozenset[str] | set[str]]) -> None:
+        self._windows = {day: frozenset(domains) for day, domains in windows.items()}
+
+    @property
+    def days(self) -> list[int]:
+        return sorted(self._windows)
+
+    def window_for(self, day_index: int) -> frozenset[str]:
+        """The detection window of one day (empty if unknown)."""
+        return self._windows.get(day_index, frozenset())
+
+    def match(self, records: Iterable[ForwardedLookup]) -> list[MatchedLookup]:
+        """All records whose domain belongs to the target DGA."""
+        matches: list[MatchedLookup] = []
+        for record in records:
+            day = int(record.timestamp // SECONDS_PER_DAY)
+            if record.domain in self.window_for(day):
+                matched_day = day
+            elif record.domain in self.window_for(day - 1):
+                matched_day = day - 1
+            else:
+                continue
+            matches.append(
+                MatchedLookup(record.timestamp, record.server, record.domain, matched_day)
+            )
+        return matches
+
+    def match_rate(self, records: Sequence[ForwardedLookup]) -> float:
+        """Fraction of the stream that matches (diagnostics)."""
+        if not records:
+            return 0.0
+        return len(self.match(records)) / len(records)
+
+
+class PatternMatcher:
+    """Matches on algorithmic patterns (anchored regular expressions).
+
+    This is the "algorithmic patterns of DGA domains" input mode of
+    Figure 2: when the analyst has reverse-engineered the label shape
+    (e.g. 28 hex characters under ``.net`` for newGoZ) but not the exact
+    daily pool.  Matches carry the epoch of their timestamp.
+    """
+
+    def __init__(self, patterns: Iterable[str]) -> None:
+        compiled = []
+        for pattern in patterns:
+            compiled.append(re.compile(pattern if pattern.endswith("$") else pattern + "$"))
+        if not compiled:
+            raise ValueError("need at least one pattern")
+        self._patterns = compiled
+
+    def matches_domain(self, domain: str) -> bool:
+        """Whether any pattern matches ``domain`` exactly."""
+        return any(p.match(domain) for p in self._patterns)
+
+    def match(self, records: Iterable[ForwardedLookup]) -> list[MatchedLookup]:
+        """All records whose domain matches one of the patterns."""
+        return [
+            MatchedLookup(
+                r.timestamp, r.server, r.domain, int(r.timestamp // SECONDS_PER_DAY)
+            )
+            for r in records
+            if self.matches_domain(r.domain)
+        ]
+
+
+def group_by_server(matches: Iterable[MatchedLookup]) -> dict[str, list[MatchedLookup]]:
+    """Partition matched lookups by forwarding local server.
+
+    Landscape charting estimates one population per local server; this is
+    the partition step (matches arrive time-sorted and stay time-sorted
+    within each server).
+    """
+    by_server: dict[str, list[MatchedLookup]] = {}
+    for match in matches:
+        by_server.setdefault(match.server, []).append(match)
+    return by_server

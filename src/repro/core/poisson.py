@@ -1,0 +1,138 @@
+"""Poisson estimator MP (§IV-C, Eqn 1, Figure 4).
+
+Uniform-barrel DGAs (AU) give every bot the *same* daily barrel, so once
+one bot's activation populates the local negative cache, every other
+activation within the next TTL window is completely invisible at the
+vantage point.  MP recovers the masked activations by modelling bot
+activations as a Poisson process:
+
+* visible activations mark the starts of TTL windows;
+* the gaps ``Δi`` between the end of one TTL window and the next visible
+  activation are exponential with the activation rate ``λ``;
+* ``E(λ) = n / Σ Δi`` over ``n`` visible activations, and the expected
+  total (visible + masked) count in the window is
+
+  ``E(N) = E(λ) · Σ (Δi + δl) = n + n²·δl / Σ Δi``        (Eqn 1)
+
+``Δ1`` is the elapsed time from the window start to the first visible
+activation (footnote 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .estimator import (
+    EstimationContext,
+    MatchedLookup,
+    PopulationEstimate,
+    average_per_epoch,
+)
+
+__all__ = ["PoissonEstimator", "visible_activation_times"]
+
+
+def visible_activation_times(
+    timestamps: Sequence[float], burst_gap: float
+) -> list[float]:
+    """Cluster a sorted lookup-time sequence into visible activations.
+
+    A visible activation is a dense train of forwarded lookups; a new
+    activation starts whenever the gap from the previous lookup exceeds
+    ``burst_gap``.  Returns the start time of each burst.
+    """
+    if burst_gap <= 0:
+        raise ValueError(f"burst_gap must be positive, got {burst_gap}")
+    starts: list[float] = []
+    previous: float | None = None
+    for t in timestamps:
+        if previous is None or t - previous > burst_gap:
+            starts.append(t)
+        previous = t
+    return starts
+
+
+class PoissonEstimator:
+    """Eqn (1) applied per epoch, averaged over the observation window.
+
+    Args:
+        burst_gap: gap threshold (seconds) separating visible
+            activations; ``None`` derives it from the DGA's query
+            interval and the negative TTL (large enough to bridge the
+            jitter inside a burst, far below ``δl``).
+        tail_correction: also count the censored exposure after the last
+            TTL window (no activation observed there, which is itself
+            information about ``λ``).  With the correction off the
+            estimate is literally Eqn (1); with it on (default) the rate
+            uses the full uncovered exposure ``Σ Δi + tail`` and
+            ``E(N) = λ̂ · window``, which reduces the small-``n`` upward
+            bias of the reciprocal ``1/ΣΔi``.
+    """
+
+    name = "poisson"
+
+    def __init__(
+        self, burst_gap: float | None = None, tail_correction: bool = True
+    ) -> None:
+        if burst_gap is not None and burst_gap <= 0:
+            raise ValueError("burst_gap must be positive")
+        self._burst_gap = burst_gap
+        self._tail_correction = tail_correction
+
+    def _derive_burst_gap(self, context: EstimationContext) -> float:
+        interval = context.dga.params.query_interval
+        # Inside a burst consecutive forwarded lookups are ~δi apart
+        # (up to jitter); between bursts they are ~δl apart.  An order of
+        # magnitude above δi and well below δl separates the two regimes.
+        gap = max(10.0 * interval, 4.0 * context.timestamp_granularity, 1.0)
+        return min(gap, context.negative_ttl / 4.0)
+
+    def estimate(
+        self, lookups: Sequence[MatchedLookup], context: EstimationContext
+    ) -> PopulationEstimate:
+        """Apply Eqn (1) per epoch and average over the window."""
+        burst_gap = self._burst_gap or self._derive_burst_gap(context)
+        ttl = context.negative_ttl
+
+        per_epoch: dict[int, float] = {}
+        details: dict[str, object] = {"burst_gap": burst_gap, "epoch_stats": {}}
+        for day, start, end in context.epoch_bounds():
+            times = sorted(
+                l.timestamp for l in lookups if start <= l.timestamp < end
+            )
+            if not times:
+                per_epoch[day] = 0.0
+                continue
+            bursts = visible_activation_times(times, burst_gap)
+            n = len(bursts)
+            # Δ1 = first activation − window start; Δi = gap between the
+            # end of the previous TTL window and the next activation.
+            gaps = [bursts[0] - start]
+            for prev, cur in zip(bursts, bursts[1:]):
+                gaps.append(max(0.0, cur - (prev + ttl)))
+            gap_sum = sum(gaps)
+            if self._tail_correction:
+                gap_sum += max(0.0, end - (bursts[-1] + ttl))
+            if gap_sum <= 0:
+                # All activations arrived back-to-back at TTL expiry: the
+                # rate is unresolvable from this epoch; bound it using
+                # the collection granularity as the minimal measurable gap.
+                gap_sum = max(context.timestamp_granularity, 1e-6)
+            rate = n / gap_sum
+            if self._tail_correction:
+                per_epoch[day] = rate * (end - start)
+            else:
+                per_epoch[day] = n + (n * n * ttl) / gap_sum
+            # Expose the sufficient statistics so callers can build
+            # uncertainty intervals (see repro.core.confidence).
+            details["epoch_stats"][day] = {  # type: ignore[index]
+                "visible_activations": n,
+                "exposure": gap_sum,
+                "window": end - start,
+            }
+        return PopulationEstimate(
+            value=average_per_epoch(per_epoch),
+            estimator=self.name,
+            per_epoch=per_epoch,
+            details=details,
+        )

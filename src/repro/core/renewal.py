@@ -1,0 +1,184 @@
+"""Renewal estimator MR — an extension beyond the paper.
+
+The paper's conclusion names "combining temporal and semantic traits of
+DNS lookups to develop more effective bot population estimators" as
+future work (§VII, direction 1).  This module implements one such
+combination for randomcut DGAs (AR).
+
+Idea.  MB consumes only the *set* of distinct NXDs, which saturates once
+the circle is densely covered (large ``N·θq/C``): nearly every position
+is observed and the coverage pattern carries almost no information about
+``N``.  But the vantage point also sees *how often* each NXD is
+re-forwarded: a domain's lookups are masked for ``δl`` after each
+forwarded one, so the forwarded-lookup count of domain ``d`` over a
+window ``W`` follows an alternating-renewal process with visible rate
+
+    ``rate_d = λ_d / (1 + λ_d·δl)``,   ``λ_d = N·w_d/(C·δe)``,
+
+where ``w_d`` is the position's coverage weight (how many bot starting
+positions query it).  Matching the *total* matched-lookup count against
+``Σ_d W·rate_d`` yields a population estimate whose information content
+grows with ``N`` — exactly where MB fades.
+
+Like MB it needs no per-client data; unlike MB it uses the negative-cache
+TTL ``δl`` and is (mildly) sensitive to duplicate queries and record
+loss.
+
+Generalisation.  The same renewal identity holds for *every* barrel
+class once ``w_d/C`` is replaced by the class's per-bot coverage
+probability ``c_d`` — the chance one activation queries domain ``d``:
+
+* **AR (randomcut)** — ``c_d = w_d/C`` with the circle weights;
+* **AS (sampling) / AP (permutation)** — ``c_d = E[q]/θ∅`` uniformly
+  (exchangeable positions, Eqn-2 expected consumption);
+* **AU (uniform)** — ``c_d = 1`` for the NXDs preceding the first
+  registered domain in generation order (every bot walks the same
+  prefix) and 0 beyond it.
+
+so one estimator covers the whole Figure-3 taxonomy, including the AP
+column where neither MP nor MB applies.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Sequence
+
+import numpy as np
+
+from ..dga.base import BarrelClass, Dga
+from .bernoulli import _coverage_weights
+from .combinatorics import expected_barrel_consumption
+from .estimator import (
+    EstimationContext,
+    MatchedLookup,
+    PopulationEstimate,
+    average_per_epoch,
+)
+from .segments import DgaCircle
+
+__all__ = [
+    "RenewalEstimator",
+    "expected_forwarded_lookups",
+    "coverage_probabilities",
+]
+
+_N_CAP = 1e8
+
+
+def coverage_probabilities(dga: Dga, date: _dt.date) -> dict[str, float]:
+    """Per-NXD probability that one activation queries the domain.
+
+    Dispatches on the DGA's barrel class (see module docstring).  Domains
+    with zero probability (an AU pool's post-C2 tail) are omitted.
+    """
+    params = dga.params
+    barrel_class = dga.barrel_model.barrel_class
+    pool = dga.pool(date)
+    registered = dga.registered(date)
+
+    if barrel_class is BarrelClass.RANDOMCUT:
+        circle = DgaCircle(pool, registered)
+        weights = _coverage_weights(circle, params.barrel_size)
+        return {d: w / circle.size for d, w in weights.items()}
+
+    if barrel_class in (BarrelClass.SAMPLING, BarrelClass.PERMUTATION):
+        expected_q = expected_barrel_consumption(
+            params.n_registered, params.n_nxd, params.barrel_size
+        )
+        coverage = expected_q / params.n_nxd
+        return {d: coverage for d in pool if d not in registered}
+
+    if barrel_class is BarrelClass.UNIFORM:
+        covered: dict[str, float] = {}
+        for domain in pool[: params.barrel_size]:
+            if domain in registered:
+                break
+            covered[domain] = 1.0
+        return covered
+
+    raise ValueError(f"unsupported barrel class: {barrel_class}")
+
+
+def expected_forwarded_lookups(
+    coverages: Sequence[float],
+    population: float,
+    negative_ttl: float,
+    window: float,
+    epoch: float = 86_400.0,
+) -> float:
+    """``E[total forwarded matched lookups]`` for ``population`` bots.
+
+    Sums the per-position visible renewal rate over the per-bot coverage
+    probabilities ``c_d`` (see :func:`coverage_probabilities`).
+    """
+    if window <= 0 or epoch <= 0:
+        raise ValueError("window and epoch must be positive")
+    if negative_ttl < 0:
+        raise ValueError("negative_ttl must be >= 0")
+    c = np.asarray(coverages, dtype=float)
+    if np.any(c < 0) or np.any(c > 1):
+        raise ValueError("coverage probabilities must be in [0, 1]")
+    rates = population * c / epoch
+    return float(np.sum(window * rates / (1.0 + rates * negative_ttl)))
+
+
+class RenewalEstimator:
+    """Per-epoch renewal inversion of the matched-lookup volume.
+
+    Applicable to every barrel class in the taxonomy (dispatch via
+    :func:`coverage_probabilities`).
+    """
+
+    name = "renewal"
+
+    def estimate(
+        self, lookups: Sequence[MatchedLookup], context: EstimationContext
+    ) -> PopulationEstimate:
+        """Invert each epoch's matched-lookup volume to a population."""
+        per_epoch: dict[int, float] = {}
+        for day, start, end in context.epoch_bounds():
+            date = context.timeline.date_for_day(day)
+            coverage_by_domain = coverage_probabilities(context.dga, date)
+            observed = sum(
+                1
+                for l in lookups
+                if start <= l.timestamp < end and l.domain in coverage_by_domain
+            )
+            if observed == 0:
+                per_epoch[day] = 0.0
+                continue
+            coverages = list(coverage_by_domain.values())
+            window = end - start
+
+            def excess(population: float) -> float:
+                return observed - expected_forwarded_lookups(
+                    coverages,
+                    population,
+                    context.negative_ttl,
+                    window,
+                )
+
+            per_epoch[day] = _bisect_decreasing(excess)
+        return PopulationEstimate(
+            value=average_per_epoch(per_epoch),
+            estimator=self.name,
+            per_epoch=per_epoch,
+        )
+
+
+def _bisect_decreasing(excess) -> float:
+    """Root of a decreasing function of the population on (0, ∞)."""
+    lo, hi = 0.0, 1.0
+    while excess(hi) > 0:
+        lo = hi
+        hi *= 2.0
+        if hi > _N_CAP:
+            return _N_CAP
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        if excess(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

@@ -1,0 +1,198 @@
+"""Circle geometry of randomcut DGAs (§IV-D, Figure 5).
+
+For AR families the daily pool forms a circle in generation order; the
+``θ∃`` registered domains partition it into arcs and act as arc
+boundaries.  Each bot picks a random start and queries clockwise until it
+hits a boundary (a valid domain) or exhausts ``θq`` lookups.  The distinct
+NXDs observed during an epoch therefore form contiguous *segments* inside
+arcs:
+
+* an **m-segment** ends in the middle of an arc — every bot covering its
+  tail ran its full ``θq``-lookup barrel without reaching a boundary;
+* a **b-segment** ends at an arc boundary — the bots at its tail stopped
+  because they hit the valid domain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["SegmentKind", "Segment", "DgaCircle"]
+
+
+class SegmentKind(enum.Enum):
+    MIDDLE = "m-segment"
+    BOUNDARY = "b-segment"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal run of observed NXDs inside one arc.
+
+    Attributes:
+        arc_index: which arc the segment lies in.
+        start_offset: 1-based within-arc index of the segment's first NXD.
+        length: number of consecutive observed NXDs.
+        kind: whether the run ends at the arc boundary.
+    """
+
+    arc_index: int
+    start_offset: int
+    length: int
+    kind: SegmentKind
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("segments have at least one NXD")
+        if self.start_offset < 1:
+            raise ValueError("within-arc offsets are 1-based")
+
+
+class DgaCircle:
+    """The daily pool laid out as a circle with valid-domain boundaries.
+
+    Args:
+        pool_order: the full pool in generation order (``θ∃+θ∅`` domains).
+        registered: the valid (registered) domains among them.
+
+    With no registered domain the circle is a single boundary-less arc;
+    runs then wrap around the origin and every segment is an m-segment.
+    """
+
+    def __init__(self, pool_order: Sequence[str], registered: Iterable[str]) -> None:
+        if not pool_order:
+            raise ValueError("pool must be non-empty")
+        self._pool = list(pool_order)
+        self._registered = frozenset(registered)
+        unknown = self._registered - set(self._pool)
+        if unknown:
+            raise ValueError(
+                f"{len(unknown)} registered domains are not in the pool"
+            )
+        self._arcs: list[list[str]] = []
+        self._arc_of: dict[str, tuple[int, int]] = {}  # domain -> (arc, offset)
+        self._build_arcs()
+
+    @property
+    def size(self) -> int:
+        """``θ∃ + θ∅``: the number of positions on the circle."""
+        return len(self._pool)
+
+    @property
+    def n_boundaries(self) -> int:
+        return len(self._registered & set(self._pool))
+
+    @property
+    def arc_lengths(self) -> list[int]:
+        return [len(arc) for arc in self._arcs]
+
+    def _build_arcs(self) -> None:
+        n = len(self._pool)
+        valid_positions = [
+            i for i, domain in enumerate(self._pool) if domain in self._registered
+        ]
+        if not valid_positions:
+            # Boundary-less circle: one arc starting (arbitrarily) at 0.
+            arc = list(self._pool)
+            self._arcs.append(arc)
+            for offset, domain in enumerate(arc, start=1):
+                self._arc_of[domain] = (0, offset)
+            return
+        for arc_index, start in enumerate(valid_positions):
+            end = valid_positions[(arc_index + 1) % len(valid_positions)]
+            arc: list[str] = []
+            pos = (start + 1) % n
+            while pos != end:
+                arc.append(self._pool[pos])
+                pos = (pos + 1) % n
+            self._arcs.append(arc)
+            for offset, domain in enumerate(arc, start=1):
+                self._arc_of[domain] = (arc_index, offset)
+
+    def iter_nxds(self):
+        """Yield ``(domain, arc_index, 1-based offset)`` for every NXD."""
+        for arc_index, arc in enumerate(self._arcs):
+            for offset, domain in enumerate(arc, start=1):
+                yield domain, arc_index, offset
+
+    def arc_domains(self, arc_index: int) -> list[str]:
+        """The NXDs of one arc, in clockwise order."""
+        return list(self._arcs[arc_index])
+
+    def locate(self, domain: str) -> tuple[int, int]:
+        """``(arc_index, 1-based offset)`` of an NXD on the circle."""
+        try:
+            return self._arc_of[domain]
+        except KeyError:
+            raise KeyError(f"domain {domain!r} is not an NXD of this circle") from None
+
+    def coverage_weight(self, arc_index: int, offset: int, barrel_size: int) -> int:
+        """Number of start positions whose stretch covers this NXD.
+
+        A bot covers the NXD at within-arc offset ``a`` iff it starts in
+        the same arc at offset ``b ∈ [max(1, a−θq+1), a]`` — hence
+        ``min(θq, a)`` possible starts.
+        """
+        if not 1 <= offset <= len(self._arcs[arc_index]):
+            raise ValueError("offset outside arc")
+        return min(barrel_size, offset)
+
+    def segments(self, observed: Iterable[str]) -> list[Segment]:
+        """Decompose the observed NXD set into maximal segments.
+
+        Domains not on the circle (e.g. collision noise) are ignored.
+        """
+        per_arc: dict[int, set[int]] = {}
+        for domain in observed:
+            location = self._arc_of.get(domain)
+            if location is None:
+                continue
+            arc_index, offset = location
+            per_arc.setdefault(arc_index, set()).add(offset)
+
+        segments: list[Segment] = []
+        boundary_less = self.n_boundaries == 0
+        for arc_index, offsets in sorted(per_arc.items()):
+            arc_len = len(self._arcs[arc_index])
+            runs = _runs(sorted(offsets))
+            if boundary_less and len(runs) >= 2:
+                first_start, first_len = runs[0]
+                last_start, last_len = runs[-1]
+                # Wrap-around: a run ending at the arc's last position
+                # continues into a run starting at position 1.
+                if first_start == 1 and last_start + last_len - 1 == arc_len:
+                    runs = runs[1:-1] + [(last_start, last_len + first_len)]
+            for start, length in runs:
+                ends_at_boundary = (
+                    not boundary_less and start + length - 1 == arc_len
+                )
+                segments.append(
+                    Segment(
+                        arc_index,
+                        start,
+                        length,
+                        SegmentKind.BOUNDARY if ends_at_boundary else SegmentKind.MIDDLE,
+                    )
+                )
+        return segments
+
+
+def _runs(sorted_offsets: list[int]) -> list[tuple[int, int]]:
+    """Maximal runs of consecutive integers as ``(start, length)``."""
+    runs: list[tuple[int, int]] = []
+    run_start: int | None = None
+    previous: int | None = None
+    for offset in sorted_offsets:
+        if run_start is None:
+            run_start = previous = offset
+            continue
+        if offset == previous + 1:
+            previous = offset
+            continue
+        runs.append((run_start, previous - run_start + 1))
+        run_start = previous = offset
+    if run_start is not None:
+        runs.append((run_start, previous - run_start + 1))
+    return runs

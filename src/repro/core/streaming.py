@@ -1,0 +1,182 @@
+"""Online landscape charting.
+
+The batch :class:`~repro.core.botmeter.BotMeter` wants the whole
+observation window up front; a deployed tap sees an endless stream.
+:class:`StreamingBotMeter` consumes forwarded lookups one at a time (in
+roughly chronological order), matches them incrementally against the
+daily detection windows, and emits one :class:`Landscape` per completed
+epoch — either returned from :meth:`ingest` or delivered to an
+``on_epoch`` callback.
+
+Epoch closure is watermark-based: an epoch is finalised once a record
+arrives ``grace`` seconds past its end, which tolerates the bounded
+reordering and midnight-straddling activations a real collector
+produces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..dga.base import Dga
+from ..dns.message import ForwardedLookup
+from ..timebase import SECONDS_PER_DAY, Timeline
+from .botmeter import Landscape, make_estimator
+from .estimator import EstimationContext, Estimator, MatchedLookup
+from .matcher import group_by_server
+from .taxonomy import recommended_estimator
+
+__all__ = ["StreamingBotMeter"]
+
+
+class StreamingBotMeter:
+    """Incremental, epoch-at-a-time BotMeter.
+
+    Args:
+        dga: the target DGA.
+        estimator: instance, library name, or ``"auto"``.
+        detection_windows: optional per-day detected NXD sets.
+        negative_ttl / timestamp_granularity / timeline: as in
+            :class:`~repro.core.botmeter.BotMeter`.
+        grace: seconds past an epoch's end before it is finalised.
+        on_epoch: optional callback ``(day_index, Landscape) -> None``.
+    """
+
+    def __init__(
+        self,
+        dga: Dga,
+        estimator: Estimator | str = "auto",
+        detection_windows: dict[int, frozenset[str]] | None = None,
+        negative_ttl: float = 7_200.0,
+        timestamp_granularity: float = 0.1,
+        timeline: Timeline | None = None,
+        grace: float = 900.0,
+        on_epoch: Callable[[int, Landscape], None] | None = None,
+    ) -> None:
+        if grace < 0:
+            raise ValueError("grace must be >= 0")
+        self._dga = dga
+        self._timeline = timeline or Timeline()
+        self._negative_ttl = negative_ttl
+        self._granularity = timestamp_granularity
+        self._detection_windows = detection_windows
+        self._grace = grace
+        self._on_epoch = on_epoch
+        if isinstance(estimator, str):
+            self._estimator = (
+                recommended_estimator(dga)
+                if estimator == "auto"
+                else make_estimator(estimator)
+            )
+        else:
+            self._estimator = estimator
+
+        self._pending: dict[int, list[MatchedLookup]] = {}
+        self._window_cache: dict[int, frozenset[str]] = {}
+        self._watermark = float("-inf")
+        self._next_epoch_to_close = 0
+        self._ingested = 0
+        self._matched = 0
+        self.landscapes: list[tuple[int, Landscape]] = []
+
+    # -- matching ----------------------------------------------------------
+
+    def _window_for(self, day: int) -> frozenset[str]:
+        if day < 0:
+            return frozenset()
+        cached = self._window_cache.get(day)
+        if cached is not None:
+            return cached
+        if self._detection_windows is not None and day in self._detection_windows:
+            window = self._detection_windows[day]
+        else:
+            window = frozenset(
+                self._dga.nxdomains(self._timeline.date_for_day(day))
+            )
+        if len(self._window_cache) > 8:
+            for stale in [d for d in self._window_cache if d < day - 2]:
+                del self._window_cache[stale]
+        self._window_cache[day] = window
+        return window
+
+    def _match(self, record: ForwardedLookup) -> MatchedLookup | None:
+        day = int(record.timestamp // SECONDS_PER_DAY)
+        if record.domain in self._window_for(day):
+            matched_day = day
+        elif record.domain in self._window_for(day - 1):
+            matched_day = day - 1
+        else:
+            return None
+        return MatchedLookup(record.timestamp, record.server, record.domain, matched_day)
+
+    # -- epoch lifecycle ----------------------------------------------------
+
+    def _close_epoch(self, day: int) -> Landscape:
+        matches = self._pending.pop(day, [])
+        context = EstimationContext(
+            dga=self._dga,
+            timeline=self._timeline,
+            window_start=day * SECONDS_PER_DAY,
+            window_end=(day + 1) * SECONDS_PER_DAY,
+            negative_ttl=self._negative_ttl,
+            timestamp_granularity=self._granularity,
+            detected_nxds_by_day=self._detection_windows,
+        )
+        landscape = Landscape(
+            dga_name=self._dga.name, estimator_name=self._estimator.name
+        )
+        for server, server_matches in sorted(group_by_server(matches).items()):
+            ordered = sorted(server_matches, key=lambda m: m.timestamp)
+            landscape.per_server[server] = self._estimator.estimate(ordered, context)
+            landscape.matched_counts[server] = len(ordered)
+        self.landscapes.append((day, landscape))
+        if self._on_epoch is not None:
+            self._on_epoch(day, landscape)
+        return landscape
+
+    def _closable_epochs(self) -> list[int]:
+        ready = []
+        day = self._next_epoch_to_close
+        while (day + 1) * SECONDS_PER_DAY + self._grace <= self._watermark:
+            ready.append(day)
+            day += 1
+        return ready
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Counters: records ingested and records matched so far."""
+        return {"ingested": self._ingested, "matched": self._matched}
+
+    def ingest(self, record: ForwardedLookup) -> list[Landscape]:
+        """Consume one record; return the landscapes of any epochs this
+        record's watermark just closed (usually empty)."""
+        self._ingested += 1
+        self._watermark = max(self._watermark, record.timestamp)
+        match = self._match(record)
+        if match is not None:
+            self._matched += 1
+            if match.day_index >= self._next_epoch_to_close:
+                self._pending.setdefault(match.day_index, []).append(match)
+        closed = []
+        for day in self._closable_epochs():
+            closed.append(self._close_epoch(day))
+            self._next_epoch_to_close = day + 1
+        return closed
+
+    def ingest_many(self, records: Iterable[ForwardedLookup]) -> list[Landscape]:
+        """Consume a batch; returns every landscape closed along the way."""
+        closed: list[Landscape] = []
+        for record in records:
+            closed.extend(self.ingest(record))
+        return closed
+
+    def finalize(self) -> list[Landscape]:
+        """Close every epoch that still has pending matches (stream end)."""
+        closed = []
+        for day in sorted(self._pending):
+            if day >= self._next_epoch_to_close:
+                closed.append(self._close_epoch(day))
+                self._next_epoch_to_close = day + 1
+        return closed

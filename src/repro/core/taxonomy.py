@@ -1,0 +1,132 @@
+"""The DGA taxonomy of §III / Figure 3 and estimator selection.
+
+The taxonomy is the cross product of query-pool models (horizontal axis)
+and query-barrel models (vertical axis).  The paper names and analyses
+the four drain-and-replenish classes — AU (uniform), AS (sampling), AR
+(randomcut), AP (permutation) — and maps known malware families onto the
+grid; cells with no spotted family are marked "?".
+
+Estimator applicability follows §V-A: MT applies to every class; MP is
+designed for AU (identical barrels ⇒ cache-masked activations); MB is
+designed for AR (global sequential order ⇒ circle segments).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..dga.base import BarrelClass, Dga, PoolClass
+from .bernoulli import BernoulliEstimator
+from .estimator import Estimator
+from .poisson import PoissonEstimator
+from .timing import TimingEstimator
+
+__all__ = [
+    "ModelClass",
+    "classify",
+    "TAXONOMY_GRID",
+    "taxonomy_cell",
+    "recommended_estimator",
+    "applicable_estimators",
+    "render_taxonomy",
+]
+
+
+class ModelClass(enum.Enum):
+    """The four analysed drain-and-replenish DGA classes."""
+
+    AU = "uniform-barrel"
+    AS = "sampling-barrel"
+    AR = "randomcut-barrel"
+    AP = "permutation-barrel"
+
+
+_BARREL_TO_CLASS = {
+    BarrelClass.UNIFORM: ModelClass.AU,
+    BarrelClass.SAMPLING: ModelClass.AS,
+    BarrelClass.RANDOMCUT: ModelClass.AR,
+    BarrelClass.PERMUTATION: ModelClass.AP,
+}
+
+#: Figure 3: known families per (pool, barrel) cell; empty tuples are the
+#: "?" cells (models not yet spotted in the wild as of the paper).
+TAXONOMY_GRID: dict[tuple[PoolClass, BarrelClass], tuple[str, ...]] = {
+    (PoolClass.DRAIN_REPLENISH, BarrelClass.UNIFORM): ("murofet", "srizbi", "torpig", "ramnit", "qakbot"),
+    (PoolClass.DRAIN_REPLENISH, BarrelClass.RANDOMCUT): ("new_goz", "evasive_goz"),
+    (PoolClass.DRAIN_REPLENISH, BarrelClass.PERMUTATION): ("necurs",),
+    (PoolClass.DRAIN_REPLENISH, BarrelClass.SAMPLING): ("conficker_c",),
+    (PoolClass.SLIDING_WINDOW, BarrelClass.UNIFORM): ("ranbyus", "pushdo"),
+    (PoolClass.SLIDING_WINDOW, BarrelClass.RANDOMCUT): (),
+    (PoolClass.SLIDING_WINDOW, BarrelClass.PERMUTATION): (),
+    (PoolClass.SLIDING_WINDOW, BarrelClass.SAMPLING): (),
+    (PoolClass.MULTIPLE_MIXTURE, BarrelClass.UNIFORM): (),
+    (PoolClass.MULTIPLE_MIXTURE, BarrelClass.RANDOMCUT): (),
+    (PoolClass.MULTIPLE_MIXTURE, BarrelClass.PERMUTATION): (),
+    (PoolClass.MULTIPLE_MIXTURE, BarrelClass.SAMPLING): ("pykspa",),
+}
+
+
+def taxonomy_cell(dga: Dga) -> tuple[PoolClass, BarrelClass]:
+    """The (pool, barrel) coordinates of a DGA in the Figure-3 grid."""
+    return dga.pool_model.pool_class, dga.barrel_model.barrel_class
+
+
+def classify(dga: Dga) -> ModelClass:
+    """The analysed model class of a DGA, keyed by its barrel model.
+
+    The paper's analytical models depend on the *barrel* behaviour; pool
+    variations shift which domains exist but not how a bot walks them, so
+    sliding-window and multiple-mixture DGAs inherit the class of their
+    barrel model.
+    """
+    return _BARREL_TO_CLASS[dga.barrel_model.barrel_class]
+
+
+def applicable_estimators(dga: Dga) -> list[str]:
+    """Names of the estimators applicable to this DGA (§V-A protocol)."""
+    model = classify(dga)
+    names = ["timing"]
+    if model is ModelClass.AU:
+        names.append("poisson")
+    if model is ModelClass.AR:
+        names.append("bernoulli")
+    return names
+
+
+def recommended_estimator(dga: Dga) -> Estimator:
+    """The estimator the paper finds most accurate for this DGA class.
+
+    MP for AU, MB for AR, MT otherwise (AS/AP, where MT performs well
+    thanks to their strong per-bot randomness).
+    """
+    model = classify(dga)
+    if model is ModelClass.AU:
+        return PoissonEstimator()
+    if model is ModelClass.AR:
+        return BernoulliEstimator()
+    return TimingEstimator()
+
+
+def render_taxonomy() -> str:
+    """ASCII rendering of Figure 3 (families per pool × barrel cell)."""
+    pools = list(PoolClass)
+    barrels = [
+        BarrelClass.SAMPLING,
+        BarrelClass.PERMUTATION,
+        BarrelClass.RANDOMCUT,
+        BarrelClass.UNIFORM,
+    ]
+    cell_texts = {
+        cell: (", ".join(families) if families else "?")
+        for cell, families in TAXONOMY_GRID.items()
+    }
+    col_width = max(
+        max(len(text) for text in cell_texts.values()),
+        max(len(p.value) for p in pools),
+    ) + 2
+    header = " " * 14 + "".join(p.value.ljust(col_width) for p in pools)
+    lines = [header, "-" * len(header)]
+    for barrel in barrels:
+        cells = [cell_texts[(pool, barrel)].ljust(col_width) for pool in pools]
+        lines.append(barrel.value.ljust(14) + "".join(cells))
+    return "\n".join(lines)

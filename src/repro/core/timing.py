@@ -1,0 +1,128 @@
+"""Timing estimator MT (§IV-B, Algorithm 1).
+
+MT attributes DNS lookups to distinct bots purely from temporal traits:
+
+1. within one epoch, two lookups of the *same* NXD come from different
+   bots (a bot never re-queries a domain during an activation);
+2. two lookups separated by more than the maximum activation duration
+   ``θq·δi`` belong to different bots;
+3. a bot's lookups form a train with fixed period ``δi``, so two lookups
+   whose gap is not a multiple of ``δi`` (within the timestamp
+   granularity) belong to different bots.
+
+The estimator greedily absorbs each lookup into the first compatible
+bot entry and reports the number of entries as the population.  It is
+applicable to every DGA model, but degrades when caching masks whole
+activations (AU) or when ``δi`` is finer than the collection timestamp
+granularity (§V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .estimator import (
+    EstimationContext,
+    MatchedLookup,
+    PopulationEstimate,
+    average_per_epoch,
+)
+
+__all__ = ["TimingEstimator"]
+
+
+@dataclass
+class _BotEntry:
+    """One hypothesised bot: its first-lookup time and queried domains."""
+
+    first_seen: float
+    domains: set[str] = field(default_factory=set)
+
+
+class TimingEstimator:
+    """Algorithm 1 of the paper.
+
+    Args:
+        interval_tolerance: absolute slack (seconds) allowed on the
+            heuristic-#3 congruence test; defaults to the context's
+            timestamp granularity when ``None``.
+    """
+
+    name = "timing"
+
+    def __init__(self, interval_tolerance: float | None = None) -> None:
+        if interval_tolerance is not None and interval_tolerance < 0:
+            raise ValueError("interval tolerance must be >= 0")
+        self._tolerance = interval_tolerance
+
+    def _count_bots(
+        self,
+        lookups: Sequence[MatchedLookup],
+        barrel_size: int,
+        query_interval: float | None,
+        tolerance: float,
+    ) -> int:
+        """Run the Algorithm-1 classification over one epoch's lookups."""
+        entries: list[_BotEntry] = []
+        max_duration = (
+            barrel_size * query_interval if query_interval is not None else None
+        )
+        for lookup in lookups:
+            absorbed = False
+            for entry in entries:
+                # Heuristic #1: a bot never repeats a domain in an epoch.
+                if lookup.domain in entry.domains:
+                    continue
+                # Heuristic #2: an activation lasts at most θq·δi.
+                if (
+                    max_duration is not None
+                    and entry.first_seen + max_duration <= lookup.timestamp
+                ):
+                    continue
+                # Heuristic #3: lookups of one bot are δi-periodic.  Only
+                # meaningful when δi is fixed and coarser than the
+                # timestamp granularity.
+                if query_interval is not None and query_interval > tolerance:
+                    remainder = (lookup.timestamp - entry.first_seen) % query_interval
+                    distance = min(remainder, query_interval - remainder)
+                    if distance > tolerance + 1e-9:
+                        continue
+                entry.domains.add(lookup.domain)
+                absorbed = True
+                break
+            if not absorbed:
+                entries.append(_BotEntry(lookup.timestamp, {lookup.domain}))
+        return len(entries)
+
+    def estimate(
+        self, lookups: Sequence[MatchedLookup], context: EstimationContext
+    ) -> PopulationEstimate:
+        """Run Algorithm 1 per epoch and average over the window."""
+        params = context.dga.params
+        query_interval = params.query_interval if params.fixed_interval else None
+        tolerance = (
+            self._tolerance
+            if self._tolerance is not None
+            else context.timestamp_granularity
+        )
+
+        per_epoch: dict[int, float] = {}
+        for day, start, end in context.epoch_bounds():
+            epoch_lookups = [
+                l for l in lookups if start <= l.timestamp < end
+            ]
+            per_epoch[day] = float(
+                self._count_bots(
+                    sorted(epoch_lookups, key=lambda l: l.timestamp),
+                    params.barrel_size,
+                    query_interval,
+                    tolerance,
+                )
+            )
+        return PopulationEstimate(
+            value=average_per_epoch(per_epoch),
+            estimator=self.name,
+            per_epoch=per_epoch,
+            details={"tolerance": tolerance, "query_interval": query_interval},
+        )

@@ -1,0 +1,12 @@
+"""D3 (DGA-domain detection) substrate: detection-window oracle used by
+the evaluation (§II-B, Figure 6e) and a working lexical classifier."""
+
+from .d3 import OracleDetector, build_detection_windows
+from .lexical import LexicalDetector, label_entropy
+
+__all__ = [
+    "OracleDetector",
+    "build_detection_windows",
+    "LexicalDetector",
+    "label_entropy",
+]

@@ -1,0 +1,72 @@
+"""D3 (DGA-domain detection) abstraction (§II-B).
+
+BotMeter consumes *confirmed* DGA domains produced by some upstream D3
+algorithm.  A perfect D3 knows the full daily pool; a realistic one has a
+limited **detection window** (it misses a fraction of the pool) and may
+suffer **collision cases** (pool domains that coincide with valid
+benign domains).  :class:`OracleDetector` models both effects on top of a
+ground-truth DGA, which is how the paper evaluates Figure 6(e).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterable
+
+import numpy as np
+
+from ..dga.base import Dga
+from ..timebase import Timeline
+
+__all__ = ["OracleDetector", "build_detection_windows"]
+
+
+class OracleDetector:
+    """A D3 algorithm with a configurable miss rate.
+
+    Every day it reports each DGA NXD independently with probability
+    ``1 − miss_rate`` (the paper's "D3 randomly misses x percent of
+    DGA-NXDs").  Deterministic per ``(seed, day)`` so repeated queries
+    agree.
+
+    ``collisions`` optionally lists benign domains wrongly attributed to
+    the DGA — these are included in every day's window and make the
+    matcher pick up benign traffic, modelling collision cases.
+    """
+
+    def __init__(
+        self,
+        dga: Dga,
+        miss_rate: float = 0.0,
+        seed: int = 0,
+        collisions: Iterable[str] = (),
+    ) -> None:
+        if not 0 <= miss_rate < 1:
+            raise ValueError(f"miss_rate must be in [0, 1), got {miss_rate}")
+        self._dga = dga
+        self._miss_rate = miss_rate
+        self._seed = seed
+        self._collisions = frozenset(collisions)
+
+    @property
+    def miss_rate(self) -> float:
+        return self._miss_rate
+
+    def detected_nxds(self, day: _dt.date) -> frozenset[str]:
+        """The DGA NXDs the detector reports for ``day`` (plus collisions)."""
+        nxds = self._dga.nxdomains(day)
+        if self._miss_rate == 0.0:
+            return frozenset(nxds) | self._collisions
+        rng = np.random.default_rng((self._seed, day.toordinal()))
+        keep = rng.random(len(nxds)) >= self._miss_rate
+        return frozenset(d for d, k in zip(nxds, keep) if k) | self._collisions
+
+
+def build_detection_windows(
+    detector: OracleDetector, timeline: Timeline, day_indices: Iterable[int]
+) -> dict[int, frozenset[str]]:
+    """Materialise per-day-index detection windows for matcher/context use."""
+    return {
+        day: detector.detected_nxds(timeline.date_for_day(day))
+        for day in day_indices
+    }

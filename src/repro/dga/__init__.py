@@ -1,0 +1,40 @@
+"""DGA substrate: query-pool models, query-barrel models, and concrete
+seeded DGA families (§III of the paper)."""
+
+from .adversarial import CoordinatedCutBarrel, evasive_goz
+from .archive import ArchiveHit, DgaArchive
+from .barrels import (
+    PermutationBarrel,
+    RandomCutBarrel,
+    SamplingBarrel,
+    UniformBarrel,
+)
+from .base import BarrelClass, Dga, DgaParameters, PoolClass
+from .families import FAMILY_BUILDERS, family_names, make_family
+from .pools import DrainReplenishPool, MultipleMixturePool, SlidingWindowPool
+from .wordgen import LabelSpec, Lcg, XorShift64, date_seed
+
+__all__ = [
+    "CoordinatedCutBarrel",
+    "evasive_goz",
+    "ArchiveHit",
+    "DgaArchive",
+    "BarrelClass",
+    "Dga",
+    "DgaParameters",
+    "PoolClass",
+    "DrainReplenishPool",
+    "SlidingWindowPool",
+    "MultipleMixturePool",
+    "UniformBarrel",
+    "SamplingBarrel",
+    "RandomCutBarrel",
+    "PermutationBarrel",
+    "LabelSpec",
+    "Lcg",
+    "XorShift64",
+    "date_seed",
+    "FAMILY_BUILDERS",
+    "make_family",
+    "family_names",
+]

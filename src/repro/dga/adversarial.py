@@ -1,0 +1,93 @@
+"""Adversarial DGA models (paper §VII, future-work direction 3).
+
+The paper closes by asking, from the attacker's perspective, how a DGA
+could "evade effective population estimation".  This module implements
+one concrete answer and makes it measurable:
+
+**Coordinated-cut evasion.**  BotMeter's AR estimators infer the
+population from how many independent random stretches cover the circle.
+A botmaster can poison that signal by *coordinating* the randomcut
+starts: each bot derives its start from a shared day-dependent secret,
+choosing among only ``n_cuts`` rendezvous positions instead of the whole
+circle.  Any population ``N ≥ n_cuts`` then produces the same
+distinct-NXD pattern as ``≈ n_cuts`` bots, so coverage-based estimators
+(MB) report ``≈ n_cuts`` no matter how large the botnet grows.  The cost
+to the attacker is the same trade-off the taxonomy describes: less
+randomness means the defender can blacklist the few rendezvous stretches
+more easily.
+
+The renewal estimator (MR) partially resists the attack — repeat
+forwarded lookups per TTL window still scale with the activation rate —
+which `benchmarks/test_adversarial_evasion.py` quantifies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+from .barrels import RandomCutBarrel
+from .base import BarrelClass, BarrelModel, Dga, DgaParameters
+from .pools import DrainReplenishPool
+from .wordgen import LabelSpec, Lcg
+
+__all__ = ["CoordinatedCutBarrel", "evasive_goz"]
+
+
+class CoordinatedCutBarrel(BarrelModel):
+    """A randomcut barrel whose start is drawn from ``n_cuts`` shared
+    rendezvous positions.
+
+    The rendezvous positions are derived from the day's pool content and
+    a shared secret, so every bot computes the same candidate set
+    without any communication — exactly like the pool itself.
+    """
+
+    barrel_class = BarrelClass.RANDOMCUT
+
+    def __init__(self, n_cuts: int, secret: int = 0) -> None:
+        if n_cuts < 1:
+            raise ValueError(f"n_cuts must be >= 1, got {n_cuts}")
+        self._n_cuts = n_cuts
+        self._secret = secret
+
+    @property
+    def n_cuts(self) -> int:
+        return self._n_cuts
+
+    def rendezvous_starts(self, pool: Sequence[str]) -> list[int]:
+        """The day's shared start positions, derived from the pool."""
+        digest = hashlib.sha256(
+            f"{pool[0]}|{len(pool)}|{self._secret}".encode()
+        ).digest()
+        rng = Lcg(int.from_bytes(digest[:8], "big"))
+        return [rng.next_below(len(pool)) for _ in range(self._n_cuts)]
+
+    def barrel(self, pool: Sequence[str], barrel_size: int, rng: Lcg) -> list[str]:
+        if not 1 <= barrel_size <= len(pool):
+            raise ValueError(
+                f"barrel size {barrel_size} invalid for pool of {len(pool)}"
+            )
+        starts = self.rendezvous_starts(pool)
+        start = starts[rng.next_below(len(starts))]
+        n = len(pool)
+        return [pool[(start + k) % n] for k in range(barrel_size)]
+
+
+def evasive_goz(seed: int = 0, n_cuts: int = 8) -> Dga:
+    """A newGoZ variant using coordinated cuts to evade MB.
+
+    Identical Table-I parameters to newGoZ; only the barrel coordination
+    differs.
+    """
+    params = DgaParameters(n_registered=5, n_nxd=9995, barrel_size=500, query_interval=1.0)
+    pool = DrainReplenishPool(
+        seed ^ 0x4556, params.pool_size, LabelSpec("hex", length=28), tld="net"
+    )
+    return Dga(
+        "evasive_goz",
+        params,
+        pool,
+        CoordinatedCutBarrel(n_cuts=n_cuts, secret=seed),
+        seed,
+    )

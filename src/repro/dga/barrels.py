@@ -1,0 +1,100 @@
+"""Query-barrel models (§III-B): uniform, sampling, randomcut, and
+permutation.
+
+A barrel model answers one question: given today's pool, which domains —
+and in what order — will a single activation attempt?  The stop-on-first-
+valid-domain behaviour lives in the bot simulator, not here; barrels are
+the *planned* query sequence of up to ``θq`` domains.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import BarrelClass, BarrelModel
+from .wordgen import Lcg
+
+__all__ = [
+    "UniformBarrel",
+    "SamplingBarrel",
+    "RandomCutBarrel",
+    "PermutationBarrel",
+]
+
+
+def _check_barrel_size(pool: Sequence[str], barrel_size: int) -> None:
+    if barrel_size < 1:
+        raise ValueError(f"barrel size must be positive, got {barrel_size}")
+    if barrel_size > len(pool):
+        raise ValueError(
+            f"barrel size {barrel_size} exceeds pool size {len(pool)}"
+        )
+
+
+class UniformBarrel(BarrelModel):
+    """Query the pool in generation order (Murofet, Srizbi, Torpig).
+
+    Every bot produces the *same* barrel each day — the property that
+    makes AU invisible behind a shared negative cache and motivates the
+    Poisson estimator.
+    """
+
+    barrel_class = BarrelClass.UNIFORM
+
+    def barrel(self, pool: Sequence[str], barrel_size: int, rng: Lcg) -> list[str]:
+        _check_barrel_size(pool, barrel_size)
+        return list(pool[:barrel_size])
+
+
+class SamplingBarrel(BarrelModel):
+    """Query a random ``θq``-subset of the pool (Conficker.C).
+
+    Sampling is without replacement via a partial Fisher–Yates shuffle,
+    so the barrel order is itself uniformly random.
+    """
+
+    barrel_class = BarrelClass.SAMPLING
+
+    def barrel(self, pool: Sequence[str], barrel_size: int, rng: Lcg) -> list[str]:
+        _check_barrel_size(pool, barrel_size)
+        indices = list(range(len(pool)))
+        for i in range(barrel_size):
+            j = i + rng.next_below(len(indices) - i)
+            indices[i], indices[j] = indices[j], indices[i]
+        return [pool[i] for i in indices[:barrel_size]]
+
+
+class RandomCutBarrel(BarrelModel):
+    """Query ``θq`` consecutive domains starting at a random position of
+    the global order, wrapping modularly (newGoZ).
+
+    This is the model behind the Bernoulli estimator's circle-and-arcs
+    geometry (Figure 5).
+    """
+
+    barrel_class = BarrelClass.RANDOMCUT
+
+    def barrel(self, pool: Sequence[str], barrel_size: int, rng: Lcg) -> list[str]:
+        _check_barrel_size(pool, barrel_size)
+        start = rng.next_below(len(pool))
+        n = len(pool)
+        return [pool[(start + k) % n] for k in range(barrel_size)]
+
+
+class PermutationBarrel(BarrelModel):
+    """Query the whole pool in a freshly shuffled order (Necurs).
+
+    ``θq`` normally equals the pool size; smaller values yield a random
+    prefix of a full permutation, which coincides with sampling but keeps
+    the family's intent (exhaustive coverage in random order) explicit.
+    """
+
+    barrel_class = BarrelClass.PERMUTATION
+
+    def barrel(self, pool: Sequence[str], barrel_size: int, rng: Lcg) -> list[str]:
+        _check_barrel_size(pool, barrel_size)
+        order = list(pool)
+        for i in range(len(order) - 1, 0, -1):
+            j = rng.next_below(i + 1)
+            order[i], order[j] = order[j], order[i]
+        return order[:barrel_size]

@@ -1,0 +1,196 @@
+"""Concrete DGA families.
+
+Each builder returns a fully wired :class:`~repro.dga.base.Dga` whose
+parameters follow the paper where it gives them (Table I, §III, §V-B) and
+published malware analyses otherwise.  The pseudo-random cores are our own
+(see :mod:`repro.dga.wordgen`) — only the *DNS-visible* behaviour (pool
+size, barrel model, query interval) matters to BotMeter, so the exact
+label arithmetic of the real samples need not be byte-identical.
+
+The four synthetic evaluation prototypes of Table I:
+
+========  =====  ======  ====  ====  ======
+model     proto  θ∅      θ∃    θq    δi
+========  =====  ======  ====  ====  ======
+AU        Murofet   798     2   798  500 ms
+AS        Conficker.C 49995  5   500    1 s
+AR        newGoZ   9995     5   500    1 s
+AP        Necurs   2046     2  2046  500 ms
+========  =====  ======  ====  ====  ======
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .barrels import (
+    PermutationBarrel,
+    RandomCutBarrel,
+    SamplingBarrel,
+    UniformBarrel,
+)
+from .base import Dga, DgaParameters
+from .pools import DrainReplenishPool, MultipleMixturePool, SlidingWindowPool
+from .wordgen import LabelSpec
+
+__all__ = [
+    "murofet",
+    "srizbi",
+    "torpig",
+    "conficker_c",
+    "new_goz",
+    "necurs",
+    "ranbyus",
+    "pushdo",
+    "pykspa",
+    "ramnit",
+    "qakbot",
+    "FAMILY_BUILDERS",
+    "make_family",
+    "family_names",
+]
+
+
+def murofet(seed: int = 0) -> Dga:
+    """Murofet — AU prototype: uniform barrel over a daily pool of 800."""
+    params = DgaParameters(n_registered=2, n_nxd=798, barrel_size=798, query_interval=0.5)
+    pool = DrainReplenishPool(seed ^ 0x4D55, params.pool_size, LabelSpec("alpha", 12, 20), tld="biz")
+    return Dga("murofet", params, pool, UniformBarrel(), seed)
+
+
+def srizbi(seed: int = 0) -> Dga:
+    """Srizbi — AU: short 4-letter labels, small daily pool, in-order queries."""
+    params = DgaParameters(n_registered=2, n_nxd=498, barrel_size=498, query_interval=0.5)
+    pool = DrainReplenishPool(seed ^ 0x5352, params.pool_size, LabelSpec("alpha", 4, 4), tld="com")
+    return Dga("srizbi", params, pool, UniformBarrel(), seed)
+
+
+def torpig(seed: int = 0) -> Dga:
+    """Torpig — AU: a handful of date-derived domains queried in order."""
+    params = DgaParameters(n_registered=1, n_nxd=17, barrel_size=18, query_interval=0.5)
+    pool = DrainReplenishPool(seed ^ 0x544F, params.pool_size, LabelSpec("cv", syllables=4), tld="com")
+    return Dga("torpig", params, pool, UniformBarrel(), seed)
+
+
+def conficker_c(seed: int = 0) -> Dga:
+    """Conficker.C — AS prototype: 50K daily pool, random 500-sample barrel."""
+    params = DgaParameters(n_registered=5, n_nxd=49995, barrel_size=500, query_interval=1.0)
+    pool = DrainReplenishPool(seed ^ 0x434F, params.pool_size, LabelSpec("alpha", 4, 10), tld="ws")
+    return Dga("conficker_c", params, pool, SamplingBarrel(), seed)
+
+
+def new_goz(seed: int = 0) -> Dga:
+    """newGoZ — AR prototype: 10K pool, random 500-long consecutive cut."""
+    params = DgaParameters(n_registered=5, n_nxd=9995, barrel_size=500, query_interval=1.0)
+    pool = DrainReplenishPool(seed ^ 0x475A, params.pool_size, LabelSpec("hex", length=28), tld="net")
+    return Dga("new_goz", params, pool, RandomCutBarrel(), seed)
+
+
+def necurs(seed: int = 0) -> Dga:
+    """Necurs — AP prototype: 2,048-domain pool rolled every 4 days, fully
+    permuted query order each activation."""
+    params = DgaParameters(n_registered=2, n_nxd=2046, barrel_size=2046, query_interval=0.5)
+    pool = DrainReplenishPool(
+        seed ^ 0x4E45, params.pool_size, LabelSpec("alpha", 7, 21), tld="com", period_days=4
+    )
+    return Dga("necurs", params, pool, PermutationBarrel(), seed)
+
+
+def ranbyus(seed: int = 0) -> Dga:
+    """Ranbyus — sliding-window pool: 40 fresh domains/day over the past
+    30 days (1,240 domains), queried in order."""
+    params = DgaParameters(n_registered=3, n_nxd=1237, barrel_size=1240, query_interval=0.5)
+    pool = SlidingWindowPool(
+        seed ^ 0x5241, daily_batch=40, days_back=30, days_forward=0,
+        label_spec=LabelSpec("alpha", 14, 14), tld="org",
+    )
+    return Dga("ranbyus", params, pool, UniformBarrel(), seed)
+
+
+def pushdo(seed: int = 0) -> Dga:
+    """PushDo — sliding-window pool of −30..+15 days × 30 domains/day
+    (1,380 domains), queried in order."""
+    params = DgaParameters(n_registered=3, n_nxd=1377, barrel_size=1380, query_interval=0.5)
+    pool = SlidingWindowPool(
+        seed ^ 0x5055, daily_batch=30, days_back=30, days_forward=15,
+        label_spec=LabelSpec("alpha", 7, 12), tld="com",
+    )
+    return Dga("pushdo", params, pool, UniformBarrel(), seed)
+
+
+def pykspa(seed: int = 0) -> Dga:
+    """Pykspa — multiple-mixture pool: a 200-domain useful instance
+    interleaved with a 16K-domain noise instance.
+
+    The paper does not pin Pykspa's barrel row in Figure 3; we model it
+    with a sampling barrel (bots try a random subset of the mixture),
+    which matches its observed scattered NXD behaviour.
+    """
+    params = DgaParameters(n_registered=2, n_nxd=16198, barrel_size=400, query_interval=0.5)
+    pool = MultipleMixturePool(
+        seed ^ 0x5059, useful_size=200, noise_sizes=(16000,),
+        label_spec=LabelSpec("cv", syllables=5), tld="info",
+    )
+    return Dga("pykspa", params, pool, SamplingBarrel(), seed)
+
+
+def ramnit(seed: int = 0) -> Dga:
+    """Ramnit — AU family evaluated in §V-B; no fixed query interval
+    (Table II lists δi = none), so lookup gaps are jittered around 1 s."""
+    params = DgaParameters(
+        n_registered=2, n_nxd=298, barrel_size=300, query_interval=1.0, fixed_interval=False
+    )
+    pool = DrainReplenishPool(seed ^ 0x524D, params.pool_size, LabelSpec("alpha", 8, 19), tld="com")
+    return Dga("ramnit", params, pool, UniformBarrel(), seed)
+
+
+def qakbot(seed: int = 0) -> Dga:
+    """Qakbot — AU family evaluated in §V-B; jittered intervals, daily
+    in-order pool of 256 domains."""
+    params = DgaParameters(
+        n_registered=2, n_nxd=254, barrel_size=256, query_interval=1.0, fixed_interval=False
+    )
+    pool = DrainReplenishPool(seed ^ 0x5141, params.pool_size, LabelSpec("alpha", 8, 25), tld="net")
+    return Dga("qakbot", params, pool, UniformBarrel(), seed)
+
+
+def _evasive_goz(seed: int = 0) -> Dga:
+    # Imported lazily to avoid a circular import at module load.
+    from .adversarial import evasive_goz
+
+    return evasive_goz(seed)
+
+
+FAMILY_BUILDERS: dict[str, Callable[[int], Dga]] = {
+    "murofet": murofet,
+    "srizbi": srizbi,
+    "torpig": torpig,
+    "conficker_c": conficker_c,
+    "new_goz": new_goz,
+    "necurs": necurs,
+    "ranbyus": ranbyus,
+    "pushdo": pushdo,
+    "pykspa": pykspa,
+    "ramnit": ramnit,
+    "qakbot": qakbot,
+    "evasive_goz": _evasive_goz,
+}
+
+
+def make_family(name: str, seed: int = 0) -> Dga:
+    """Instantiate a named DGA family.
+
+    Raises:
+        KeyError: if ``name`` is not a known family.
+    """
+    try:
+        builder = FAMILY_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(FAMILY_BUILDERS))
+        raise KeyError(f"unknown DGA family {name!r}; known families: {known}") from None
+    return builder(seed)
+
+
+def family_names() -> list[str]:
+    """All registered family names, sorted."""
+    return sorted(FAMILY_BUILDERS)

@@ -1,0 +1,164 @@
+"""Deterministic pseudo-random domain-label generation.
+
+Real DGA malware derives each domain from a seed (often the current date)
+through a small arithmetic core: a linear congruential generator, a
+multiply-xor hash chain, or repeated hashing of the seed.  This module
+provides those cores so every DGA family in :mod:`repro.dga.families` can
+generate its daily query pool deterministically from ``(seed, date)`` —
+exactly the property the paper relies on when it queries DGArchive for the
+"pool dataset".
+
+All generators here are pure functions of their inputs: the same
+``(seed, date, index)`` always yields the same domain, on any platform.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+__all__ = [
+    "Lcg",
+    "XorShift64",
+    "date_seed",
+    "label_from_stream",
+    "hex_label_from_stream",
+    "consonant_vowel_label",
+    "COMMON_TLDS",
+]
+
+#: TLD sets used by the synthetic DGA families.  The exact strings are
+#: irrelevant to the estimators; they only need to be syntactically valid
+#: and stable.
+COMMON_TLDS = ("com", "net", "org", "biz", "info", "ru", "cn", "ws")
+
+_ALPHA = "abcdefghijklmnopqrstuvwxyz"
+_ALNUM = "abcdefghijklmnopqrstuvwxyz0123456789"
+_VOWELS = "aeiou"
+_CONSONANTS = "bcdfghjklmnpqrstvwxyz"
+
+_MASK64 = (1 << 64) - 1
+
+
+class Lcg:
+    """64-bit linear congruential generator (Knuth MMIX constants).
+
+    A minimal, dependency-free PRNG with a fully specified state-update
+    rule, so DGA pools are reproducible independent of Python's
+    ``random`` module internals.
+    """
+
+    _A = 6364136223846793005
+    _C = 1442695040888963407
+
+    def __init__(self, seed: int) -> None:
+        self._state = (seed ^ 0x9E3779B97F4A7C15) & _MASK64
+        # Warm up so nearby seeds diverge quickly.
+        for _ in range(3):
+            self.next_u64()
+
+    def next_u64(self) -> int:
+        """Advance the state and return the next 64-bit value."""
+        self._state = (self._state * self._A + self._C) & _MASK64
+        # Output tempering: xorshift the raw state to decorrelate low bits.
+        x = self._state
+        x ^= x >> 33
+        x = (x * 0xFF51AFD7ED558CCD) & _MASK64
+        x ^= x >> 29
+        return x
+
+    def next_below(self, bound: int) -> int:
+        """Return an integer uniform in ``[0, bound)``."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next_u64() % bound
+
+
+class XorShift64:
+    """Marsaglia xorshift64* generator — a second independent PRNG core.
+
+    Some families use this instead of :class:`Lcg` so that two DGAs with
+    the same numeric seed still produce unrelated pools.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._state = (seed | 1) & _MASK64
+
+    def next_u64(self) -> int:
+        """Advance the state and return the next 64-bit value."""
+        x = self._state
+        x ^= (x << 13) & _MASK64
+        x ^= x >> 7
+        x ^= (x << 17) & _MASK64
+        self._state = x
+        return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+    def next_below(self, bound: int) -> int:
+        """Return an integer uniform in ``[0, bound)``."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next_u64() % bound
+
+
+def date_seed(day: _dt.date, family_seed: int) -> int:
+    """Fold a calendar date and a per-family seed into one 64-bit seed.
+
+    Mirrors the common malware idiom of seeding the DGA with
+    ``(year, month, day)``; the family seed plays the role of the
+    hard-coded campaign constant found in real samples.
+    """
+    packed = (day.year << 16) | (day.month << 8) | day.day
+    return ((packed * 0x5DEECE66D) ^ (family_seed * 0x9E3779B1)) & _MASK64
+
+
+def label_from_stream(rng: Lcg | XorShift64, min_len: int, max_len: int) -> str:
+    """Draw a lowercase alphabetic label with length in ``[min_len, max_len]``."""
+    if not 1 <= min_len <= max_len:
+        raise ValueError(f"invalid label length range [{min_len}, {max_len}]")
+    length = min_len + rng.next_below(max_len - min_len + 1)
+    return "".join(_ALPHA[rng.next_below(26)] for _ in range(length))
+
+
+def hex_label_from_stream(rng: Lcg | XorShift64, length: int) -> str:
+    """Draw a fixed-length hexadecimal label (newGoZ-style)."""
+    if length < 1:
+        raise ValueError(f"label length must be positive, got {length}")
+    return "".join("0123456789abcdef"[rng.next_below(16)] for _ in range(length))
+
+
+def consonant_vowel_label(rng: Lcg | XorShift64, syllables: int) -> str:
+    """Draw a pronounceable consonant-vowel label (Pykspa-style)."""
+    if syllables < 1:
+        raise ValueError(f"syllable count must be positive, got {syllables}")
+    parts = []
+    for _ in range(syllables):
+        parts.append(_CONSONANTS[rng.next_below(len(_CONSONANTS))])
+        parts.append(_VOWELS[rng.next_below(len(_VOWELS))])
+    return "".join(parts)
+
+
+@dataclass(frozen=True)
+class LabelSpec:
+    """Shape of the labels a family generates.
+
+    ``style`` selects the character model: ``"alpha"`` (uniform letters),
+    ``"hex"`` (fixed-length hexadecimal) or ``"cv"`` (consonant-vowel
+    syllables).  ``min_len``/``max_len`` bound alpha labels; ``length``
+    fixes hex labels; ``syllables`` fixes cv labels.
+    """
+
+    style: str = "alpha"
+    min_len: int = 8
+    max_len: int = 16
+    length: int = 32
+    syllables: int = 4
+
+    def draw(self, rng: Lcg | XorShift64) -> str:
+        """Draw one label of this spec from ``rng``."""
+        if self.style == "alpha":
+            return label_from_stream(rng, self.min_len, self.max_len)
+        if self.style == "hex":
+            return hex_label_from_stream(rng, self.length)
+        if self.style == "cv":
+            return consonant_vowel_label(rng, self.syllables)
+        raise ValueError(f"unknown label style: {self.style!r}")

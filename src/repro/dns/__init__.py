@@ -1,0 +1,27 @@
+"""DNS substrate: messages, positive/negative caching, caching-and-
+forwarding servers, and the hierarchical wiring of Figure 1."""
+
+from .authority import RegistrationAuthority, Resolver, StaticResolver
+from .cache import CacheEntry, DnsCache
+from .hierarchy import DnsHierarchy
+from .message import ForwardedLookup, Lookup, RCode, Response
+from .multitier import ForwarderNode, TieredBorder, TieredDnsNetwork
+from .server import BorderDnsServer, LocalDnsServer
+
+__all__ = [
+    "RegistrationAuthority",
+    "Resolver",
+    "StaticResolver",
+    "CacheEntry",
+    "DnsCache",
+    "DnsHierarchy",
+    "ForwardedLookup",
+    "Lookup",
+    "RCode",
+    "Response",
+    "BorderDnsServer",
+    "LocalDnsServer",
+    "ForwarderNode",
+    "TieredBorder",
+    "TieredDnsNetwork",
+]

@@ -1,0 +1,107 @@
+"""Authoritative resolution for the simulated Internet.
+
+The simulator needs a single oracle that says, for any domain at any
+simulation time, whether it resolves (NOERROR) or not (NXDOMAIN) and with
+what TTL.  :class:`RegistrationAuthority` composes:
+
+* time-varying C2 registrations contributed by DGA botmasters (a domain
+  is valid only on the days it is registered), and
+* a static set of benign, always-valid domains.
+
+Everything else is NXDOMAIN.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Callable, Iterable, Protocol
+
+from .message import RCode, Response
+
+__all__ = ["Resolver", "RegistrationAuthority", "StaticResolver"]
+
+
+class Resolver(Protocol):
+    """Anything that can authoritatively resolve a domain at a time."""
+
+    def resolve(self, domain: str, day: _dt.date) -> Response:
+        """Return the authoritative answer for ``domain`` on ``day``."""
+        ...
+
+
+class StaticResolver:
+    """A fixed valid-domain set — convenient for unit tests."""
+
+    def __init__(
+        self,
+        valid: Iterable[str],
+        positive_ttl: float = 86_400.0,
+        negative_ttl: float = 7_200.0,
+    ) -> None:
+        self._valid = frozenset(valid)
+        self._positive_ttl = positive_ttl
+        self._negative_ttl = negative_ttl
+
+    def resolve(self, domain: str, day: _dt.date) -> Response:
+        """Answer from the static valid set (day is ignored)."""
+        if domain in self._valid:
+            return Response(domain, RCode.NOERROR, self._positive_ttl)
+        return Response(domain, RCode.NXDOMAIN, self._negative_ttl)
+
+
+class RegistrationAuthority:
+    """Day-aware authority combining benign domains and C2 registrations.
+
+    Registration providers are callables ``day -> set[str]`` (typically a
+    bound :meth:`repro.dga.base.Dga.registered`); their unions form the
+    day's valid C2 set.  Results are cached per day because botnet
+    simulations resolve the same day's domains millions of times.
+    """
+
+    def __init__(
+        self,
+        benign: Iterable[str] = (),
+        positive_ttl: float = 86_400.0,
+        negative_ttl: float = 7_200.0,
+    ) -> None:
+        if positive_ttl <= 0 or negative_ttl <= 0:
+            raise ValueError("TTLs must be positive")
+        self._benign = frozenset(benign)
+        self._providers: list[Callable[[_dt.date], set[str]]] = []
+        self._positive_ttl = positive_ttl
+        self._negative_ttl = negative_ttl
+        self._day_cache: tuple[_dt.date, frozenset[str]] | None = None
+
+    @property
+    def positive_ttl(self) -> float:
+        return self._positive_ttl
+
+    @property
+    def negative_ttl(self) -> float:
+        return self._negative_ttl
+
+    def add_registration_provider(self, provider: Callable[[_dt.date], set[str]]) -> None:
+        """Register a botmaster: a per-day supplier of valid C2 domains."""
+        self._providers.append(provider)
+        self._day_cache = None
+
+    def add_benign(self, domains: Iterable[str]) -> None:
+        """Add always-valid benign domains."""
+        self._benign = self._benign | frozenset(domains)
+
+    def valid_on(self, day: _dt.date) -> frozenset[str]:
+        """All domains that resolve on ``day`` (benign plus registered C2)."""
+        if self._day_cache is not None and self._day_cache[0] == day:
+            return self._day_cache[1]
+        registered: set[str] = set()
+        for provider in self._providers:
+            registered |= provider(day)
+        valid = frozenset(self._benign | registered)
+        self._day_cache = (day, valid)
+        return valid
+
+    def resolve(self, domain: str, day: _dt.date) -> Response:
+        """Answer authoritatively for ``domain`` on ``day``."""
+        if domain in self.valid_on(day):
+            return Response(domain, RCode.NOERROR, self._positive_ttl)
+        return Response(domain, RCode.NXDOMAIN, self._negative_ttl)

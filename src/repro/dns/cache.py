@@ -1,0 +1,105 @@
+"""Positive/negative DNS caching (§II-A, §II-B).
+
+A :class:`DnsCache` stores both successful answers (positive entries,
+typically cached for a day) and NXDOMAIN answers (negative entries,
+typically cached for minutes to hours, per RFC 1912/2308).  Entries expire
+lazily on access plus an occasional sweep so long simulations do not
+accumulate dead records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .message import RCode
+
+__all__ = ["CacheEntry", "DnsCache"]
+
+
+@dataclass(slots=True)
+class CacheEntry:
+    """One cached answer: its rcode and absolute expiry time."""
+
+    rcode: RCode
+    expires_at: float
+
+    def is_live(self, now: float) -> bool:
+        """Whether the entry is still valid at ``now``."""
+        return now < self.expires_at
+
+
+class DnsCache:
+    """A TTL-based DNS answer cache.
+
+    The cache is agnostic of *which* TTL applies — callers supply it per
+    insertion — so the same class backs positive and negative caching with
+    the asymmetric TTLs the paper assumes.
+    """
+
+    #: Sweep the whole table when it grows past this many entries beyond
+    #: the last sweep; keeps memory bounded in year-long simulations.
+    _SWEEP_GROWTH = 50_000
+
+    def __init__(self) -> None:
+        self._entries: dict[str, CacheEntry] = {}
+        self._hits = 0
+        self._misses = 0
+        self._last_sweep_size = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        """Number of lookups answered from cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of lookups that had to be forwarded."""
+        return self._misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 if none seen)."""
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def get(self, domain: str, now: float) -> RCode | None:
+        """Return the cached rcode for ``domain`` or ``None`` on a miss.
+
+        Expired entries are treated as misses and evicted.
+        """
+        entry = self._entries.get(domain)
+        if entry is not None and entry.is_live(now):
+            self._hits += 1
+            return entry.rcode
+        if entry is not None:
+            del self._entries[domain]
+        self._misses += 1
+        return None
+
+    def put(self, domain: str, rcode: RCode, now: float, ttl: float) -> None:
+        """Cache an answer for ``ttl`` seconds from ``now``.
+
+        A non-positive TTL means "do not cache", matching resolver
+        behaviour for TTL-0 answers.
+        """
+        if ttl <= 0:
+            return
+        self._entries[domain] = CacheEntry(rcode, now + ttl)
+        if len(self._entries) - self._last_sweep_size > self._SWEEP_GROWTH:
+            self.sweep(now)
+
+    def sweep(self, now: float) -> int:
+        """Evict every expired entry; return how many were removed."""
+        dead = [d for d, e in self._entries.items() if not e.is_live(now)]
+        for domain in dead:
+            del self._entries[domain]
+        self._last_sweep_size = len(self._entries)
+        return len(dead)
+
+    def flush(self) -> None:
+        """Drop all entries (e.g. at a server restart)."""
+        self._entries.clear()
+        self._last_sweep_size = 0

@@ -1,0 +1,80 @@
+"""Hierarchical DNS wiring (Figure 1): clients → local servers → border.
+
+:class:`DnsHierarchy` owns one border server (the vantage point) and any
+number of local caching forwarders, plus the client → local-server
+assignment.  The botnet/network simulators drive it by calling
+:meth:`lookup` for every client-issued query in timestamp order.
+"""
+
+from __future__ import annotations
+
+from .authority import Resolver
+from .message import ForwardedLookup, RCode
+from .server import BorderDnsServer, LocalDnsServer
+from ..timebase import Timeline
+
+__all__ = ["DnsHierarchy"]
+
+
+class DnsHierarchy:
+    """An enterprise DNS tree with caching-and-forwarding local servers."""
+
+    def __init__(
+        self,
+        resolver: Resolver,
+        n_local_servers: int = 1,
+        timeline: Timeline | None = None,
+        timestamp_granularity: float = 0.1,
+        negative_ttl: float = 7_200.0,
+        positive_ttl: float = 86_400.0,
+        server_prefix: str = "ldns",
+    ) -> None:
+        if n_local_servers < 1:
+            raise ValueError(f"need at least one local server, got {n_local_servers}")
+        self.border = BorderDnsServer(resolver, timeline, timestamp_granularity)
+        self.locals: dict[str, LocalDnsServer] = {}
+        for i in range(n_local_servers):
+            server_id = f"{server_prefix}-{i:03d}"
+            self.locals[server_id] = LocalDnsServer(
+                server_id,
+                self.border,
+                max_negative_ttl=negative_ttl,
+                max_positive_ttl=positive_ttl,
+            )
+        self._assignments: dict[str, str] = {}
+
+    @property
+    def server_ids(self) -> list[str]:
+        return sorted(self.locals)
+
+    def assign_client(self, client: str, server_id: str) -> None:
+        """Pin ``client`` to a specific local server."""
+        if server_id not in self.locals:
+            raise KeyError(f"unknown local server {server_id!r}")
+        self._assignments[client] = server_id
+
+    def server_for(self, client: str) -> LocalDnsServer:
+        """The local server that resolves for ``client``.
+
+        Unassigned clients are hashed onto a server deterministically so
+        ad-hoc simulations need no explicit assignment step.
+        """
+        server_id = self._assignments.get(client)
+        if server_id is None:
+            ids = self.server_ids
+            server_id = ids[hash(client) % len(ids)]
+            self._assignments[client] = server_id
+        return self.locals[server_id]
+
+    def lookup(self, client: str, domain: str, now: float) -> RCode:
+        """Resolve one client lookup through the hierarchy."""
+        return self.server_for(client).query(domain, now)
+
+    def drain_observed(self) -> list[ForwardedLookup]:
+        """Return and clear the vantage-point stream collected so far."""
+        return self.border.drain_observed()
+
+    def flush_caches(self) -> None:
+        """Flush every local cache (e.g. between independent trials)."""
+        for server in self.locals.values():
+            server.flush_cache()

@@ -1,0 +1,63 @@
+"""DNS message types shared by the simulator and BotMeter.
+
+Time is represented as ``float`` seconds since the start of the
+simulation; :mod:`repro.sim.clock` maps it to calendar days.  Two record
+shapes matter (§II-B):
+
+* the **raw** stream ``⟨timestamp, client, domain⟩`` seen *below* the
+  local DNS servers (used only for ground truth), and
+* the **observable** stream ``⟨timestamp, forwarding server, domain⟩`` of
+  cache-filtered lookups forwarded to the border server — the only thing
+  BotMeter gets to see.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["RCode", "Lookup", "Response", "ForwardedLookup"]
+
+
+class RCode(enum.Enum):
+    """DNS response codes we model: successful resolution or NXDOMAIN."""
+
+    NOERROR = 0
+    NXDOMAIN = 3
+
+
+@dataclass(frozen=True, slots=True)
+class Lookup:
+    """A client-issued DNS lookup (raw-stream record)."""
+
+    timestamp: float
+    client: str
+    domain: str
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError(f"timestamp must be >= 0, got {self.timestamp}")
+
+
+@dataclass(frozen=True, slots=True)
+class Response:
+    """An authoritative answer: the rcode and the TTL the resolver should
+    honour when caching it."""
+
+    domain: str
+    rcode: RCode
+    ttl: float
+
+    @property
+    def is_nxdomain(self) -> bool:
+        return self.rcode is RCode.NXDOMAIN
+
+
+@dataclass(frozen=True, slots=True)
+class ForwardedLookup:
+    """A cache-missed lookup forwarded by a local server to the border
+    server — the vantage-point tuple ``⟨t, s, d⟩`` of §II-B."""
+
+    timestamp: float
+    server: str
+    domain: str

@@ -1,0 +1,205 @@
+"""Multi-tier DNS hierarchies.
+
+The paper's setting (Figure 1) has two levels — local caching forwarders
+and a border server.  Large networks often interpose *regional*
+forwarders between them ("complicated DNS infrastructures", §I), each
+with its own cache.  This module models an arbitrary-depth
+caching-forwarding chain and exposes the property that matters to
+BotMeter: the vantage point sees traffic aggregated (and further
+cache-filtered) at the granularity of the *top-most forwarding tier*,
+so landscapes are charted per regional subtree instead of per leaf.
+
+Key semantics:
+
+* every tier caches positives and negatives with its own TTL caps;
+* a lookup missed at a leaf may still be absorbed by an ancestor's cache
+  (cross-subnet masking), so deeper trees forward strictly less;
+* the ``⟨t, s, d⟩`` tuples at the border carry the *direct child* of the
+  border as the forwarding server.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..timebase import Timeline, quantize
+from .authority import Resolver
+from .cache import DnsCache
+from .message import ForwardedLookup, RCode, Response
+
+__all__ = ["ForwarderNode", "TieredBorder", "TieredDnsNetwork"]
+
+
+class TieredBorder:
+    """Root of a tiered hierarchy: authoritative resolution + vantage point."""
+
+    def __init__(
+        self,
+        resolver: Resolver,
+        timeline: Timeline | None = None,
+        timestamp_granularity: float = 0.1,
+    ) -> None:
+        self._resolver = resolver
+        self._timeline = timeline or Timeline()
+        self._granularity = timestamp_granularity
+        self.observed: list[ForwardedLookup] = []
+
+    @property
+    def timeline(self) -> Timeline:
+        return self._timeline
+
+    def resolve_from(self, child_id: str, domain: str, now: float) -> Response:
+        """Resolve a forwarded query and record it at the vantage point."""
+        self.observed.append(
+            ForwardedLookup(quantize(now, self._granularity), child_id, domain)
+        )
+        return self._resolver.resolve(domain, self._timeline.date_of(now))
+
+    def drain_observed(self) -> list[ForwardedLookup]:
+        """Return and clear the vantage-point stream."""
+        observed, self.observed = self.observed, []
+        return observed
+
+
+class ForwarderNode:
+    """One caching forwarder in the chain (leaf or intermediate)."""
+
+    def __init__(
+        self,
+        node_id: str,
+        upstream: "ForwarderNode | TieredBorder",
+        max_negative_ttl: float | None = None,
+        max_positive_ttl: float | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self._upstream = upstream
+        self._cache = DnsCache()
+        self._max_negative_ttl = max_negative_ttl
+        self._max_positive_ttl = max_positive_ttl
+
+    @property
+    def cache(self) -> DnsCache:
+        return self._cache
+
+    @property
+    def upstream(self) -> "ForwarderNode | TieredBorder":
+        return self._upstream
+
+    def _effective_ttl(self, response: Response) -> float:
+        cap = (
+            self._max_negative_ttl if response.is_nxdomain else self._max_positive_ttl
+        )
+        return response.ttl if cap is None else min(response.ttl, cap)
+
+    def resolve_from(self, _child_id: str, domain: str, now: float) -> Response:
+        """Serve a downstream forwarder (intermediate-tier role)."""
+        cached = self._cache.get(domain, now)
+        if cached is not None:
+            # Answer from cache; the TTL granted downstream is our cap
+            # (a simplification: real resolvers grant the remaining TTL).
+            ttl = (
+                self._max_negative_ttl
+                if cached is RCode.NXDOMAIN
+                else self._max_positive_ttl
+            )
+            return Response(domain, cached, ttl if ttl is not None else 0.0)
+        response = self._upstream.resolve_from(self.node_id, domain, now)
+        self._cache.put(domain, response.rcode, now, self._effective_ttl(response))
+        return response
+
+    def query(self, domain: str, now: float) -> RCode:
+        """Serve an end client (leaf role)."""
+        return self.resolve_from("client", domain, now).rcode
+
+    def flush_cache(self) -> None:
+        """Drop every cached answer at this node."""
+        self._cache.flush()
+
+
+class TieredDnsNetwork:
+    """A symmetric tree: border ← tier-1 regionals ← … ← leaves ← clients.
+
+    Args:
+        resolver: authoritative oracle.
+        fanouts: children per node at each depth; ``(3, 4)`` builds 3
+            regional forwarders with 4 leaves each (12 leaf subnets).
+        negative_ttl / positive_ttl: TTL caps applied at *every* tier.
+    """
+
+    def __init__(
+        self,
+        resolver: Resolver,
+        fanouts: Sequence[int] = (3, 4),
+        timeline: Timeline | None = None,
+        timestamp_granularity: float = 0.1,
+        negative_ttl: float = 7_200.0,
+        positive_ttl: float = 86_400.0,
+    ) -> None:
+        if not fanouts or any(f < 1 for f in fanouts):
+            raise ValueError("fanouts must be a non-empty sequence of positives")
+        self.border = TieredBorder(resolver, timeline, timestamp_granularity)
+        self.tiers: list[list[ForwarderNode]] = []
+        parents: list[ForwarderNode | TieredBorder] = [self.border]
+        for depth, fanout in enumerate(fanouts):
+            tier: list[ForwarderNode] = []
+            for parent_index, parent in enumerate(parents):
+                for child_index in range(fanout):
+                    if isinstance(parent, TieredBorder):
+                        node_id = f"t{depth}-{child_index:02d}"
+                    else:
+                        node_id = f"{parent.node_id}.{child_index:02d}"
+                    tier.append(
+                        ForwarderNode(
+                            node_id,
+                            parent,
+                            max_negative_ttl=negative_ttl,
+                            max_positive_ttl=positive_ttl,
+                        )
+                    )
+            self.tiers.append(tier)
+            parents = list(tier)
+        self._assignments: dict[str, ForwarderNode] = {}
+
+    @property
+    def leaves(self) -> list[ForwarderNode]:
+        return list(self.tiers[-1])
+
+    @property
+    def regional_ids(self) -> list[str]:
+        """Identifiers the vantage point sees as forwarding servers."""
+        return [node.node_id for node in self.tiers[0]]
+
+    def assign_client(self, client: str, leaf_id: str) -> None:
+        """Pin ``client`` to a specific leaf forwarder."""
+        for node in self.leaves:
+            if node.node_id == leaf_id:
+                self._assignments[client] = node
+                return
+        raise KeyError(f"unknown leaf {leaf_id!r}")
+
+    def leaf_for(self, client: str) -> ForwarderNode:
+        """The leaf serving ``client`` (hash-assigned if unpinned)."""
+        node = self._assignments.get(client)
+        if node is None:
+            leaves = self.leaves
+            node = leaves[hash(client) % len(leaves)]
+            self._assignments[client] = node
+        return node
+
+    def lookup(self, client: str, domain: str, now: float) -> RCode:
+        """Resolve one client lookup through the whole tree."""
+        return self.leaf_for(client).query(domain, now)
+
+    def drain_observed(self) -> list[ForwardedLookup]:
+        """Return and clear the border's vantage-point stream."""
+        return self.border.drain_observed()
+
+    def regional_of(self, leaf_id: str) -> str:
+        """The tier-1 ancestor of a leaf (landscape granularity)."""
+        return leaf_id.split(".")[0]
+
+    def flush_caches(self) -> None:
+        """Flush every cache at every tier."""
+        for tier in self.tiers:
+            for node in tier:
+                node.flush_cache()

@@ -1,0 +1,107 @@
+"""Caching-and-forwarding DNS servers (Figure 1).
+
+A :class:`LocalDnsServer` answers client lookups from its cache when it
+can and forwards misses upstream; the :class:`BorderDnsServer` resolves
+forwarded queries authoritatively and — acting as the vantage point —
+records every forwarded lookup it sees, with timestamps quantised to the
+collection granularity.
+"""
+
+from __future__ import annotations
+
+from .authority import Resolver
+from .cache import DnsCache
+from .message import ForwardedLookup, RCode, Response
+from ..timebase import Timeline, quantize
+
+__all__ = ["BorderDnsServer", "LocalDnsServer"]
+
+
+class BorderDnsServer:
+    """The upper-level DNS server where BotMeter taps the traffic.
+
+    It resolves every forwarded query through the authoritative
+    ``resolver`` and appends a ``⟨t, s, d⟩`` tuple to :attr:`observed`.
+    Border-side caching is intentionally *not* modelled: the paper's
+    vantage point sees every lookup forwarded by the local layer.
+    """
+
+    def __init__(
+        self,
+        resolver: Resolver,
+        timeline: Timeline | None = None,
+        timestamp_granularity: float = 0.1,
+    ) -> None:
+        if timestamp_granularity < 0:
+            raise ValueError("timestamp granularity must be >= 0")
+        self._resolver = resolver
+        self._timeline = timeline or Timeline()
+        self._granularity = timestamp_granularity
+        self.observed: list[ForwardedLookup] = []
+
+    @property
+    def timeline(self) -> Timeline:
+        return self._timeline
+
+    def query(self, domain: str, now: float, forwarder: str) -> Response:
+        """Resolve a forwarded lookup and record it at the vantage point."""
+        self.observed.append(
+            ForwardedLookup(quantize(now, self._granularity), forwarder, domain)
+        )
+        return self._resolver.resolve(domain, self._timeline.date_of(now))
+
+    def drain_observed(self) -> list[ForwardedLookup]:
+        """Return and clear the recorded vantage-point stream."""
+        observed, self.observed = self.observed, []
+        return observed
+
+
+class LocalDnsServer:
+    """A lower-level caching forwarder serving one subnet.
+
+    Positive and negative answers are cached with the TTLs carried in the
+    upstream response (optionally clamped by ``max_negative_ttl`` /
+    ``max_positive_ttl``, mirroring resolver configuration knobs) so the
+    paper's experiments can vary the *local* negative-cache TTL
+    independently of the authority's.
+    """
+
+    def __init__(
+        self,
+        server_id: str,
+        upstream: BorderDnsServer,
+        max_negative_ttl: float | None = None,
+        max_positive_ttl: float | None = None,
+    ) -> None:
+        self.server_id = server_id
+        self._upstream = upstream
+        self._cache = DnsCache()
+        self._max_negative_ttl = max_negative_ttl
+        self._max_positive_ttl = max_positive_ttl
+
+    @property
+    def cache(self) -> DnsCache:
+        return self._cache
+
+    def _effective_ttl(self, response: Response) -> float:
+        cap = (
+            self._max_negative_ttl
+            if response.is_nxdomain
+            else self._max_positive_ttl
+        )
+        if cap is None:
+            return response.ttl
+        return min(response.ttl, cap)
+
+    def query(self, domain: str, now: float) -> RCode:
+        """Answer a client lookup, forwarding upstream on a cache miss."""
+        cached = self._cache.get(domain, now)
+        if cached is not None:
+            return cached
+        response = self._upstream.query(domain, now, self.server_id)
+        self._cache.put(domain, response.rcode, now, self._effective_ttl(response))
+        return response.rcode
+
+    def flush_cache(self) -> None:
+        """Drop every cached answer (server restart)."""
+        self._cache.flush()

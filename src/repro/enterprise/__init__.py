@@ -1,0 +1,18 @@
+"""Synthetic year-long enterprise trace: the substitute for the paper's
+proprietary §V-B dataset (see DESIGN.md §4 for the substitution record)."""
+
+from .trace_gen import (
+    DayObservation,
+    EnterpriseConfig,
+    EnterpriseTraceGenerator,
+    default_waves,
+)
+from .waves import InfectionWave
+
+__all__ = [
+    "DayObservation",
+    "EnterpriseConfig",
+    "EnterpriseTraceGenerator",
+    "default_waves",
+    "InfectionWave",
+]

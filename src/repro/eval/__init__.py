@@ -1,0 +1,43 @@
+"""Evaluation harness: ARE metrics, Figure-6 parameter sweeps, and the
+Figure-7 / Table-II enterprise study."""
+
+from .experiments import (
+    ESTIMATOR_PROTOCOL,
+    MODEL_PROTOTYPES,
+    SweepCell,
+    SweepResult,
+    run_trial,
+    sweep_d3_miss,
+    sweep_dynamics,
+    sweep_negative_ttl,
+    sweep_population,
+    sweep_window,
+)
+from .metrics import ErrorSummary, absolute_relative_error, summarize_errors
+from .realdata import DailyEstimate, EnterpriseStudyResult, run_enterprise_study
+from .report import ReproductionReport, generate_report
+from .visual import render_landscape_bars, render_series_chart, render_sweep_heatmap
+
+__all__ = [
+    "ESTIMATOR_PROTOCOL",
+    "MODEL_PROTOTYPES",
+    "SweepCell",
+    "SweepResult",
+    "run_trial",
+    "sweep_d3_miss",
+    "sweep_dynamics",
+    "sweep_negative_ttl",
+    "sweep_population",
+    "sweep_window",
+    "ErrorSummary",
+    "absolute_relative_error",
+    "summarize_errors",
+    "DailyEstimate",
+    "EnterpriseStudyResult",
+    "run_enterprise_study",
+    "render_landscape_bars",
+    "render_series_chart",
+    "render_sweep_heatmap",
+    "ReproductionReport",
+    "generate_report",
+]

@@ -1,0 +1,262 @@
+"""Figure-6 experiment harness: parameter sweeps over synthetic data.
+
+Each ``sweep_*`` function reproduces one row of Figure 6, varying a
+single parameter while holding the §V-A defaults fixed, and measuring
+the ARE of every (DGA model, estimator) pair the paper evaluates:
+
+* MT on all four prototypes (AU = Murofet, AS = Conficker.C,
+  AR = newGoZ, AP = Necurs);
+* MP on AU;
+* MB on AR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.botmeter import BotMeter, make_estimator
+from ..detect.d3 import OracleDetector, build_detection_windows
+from ..sim.network import SimConfig, simulate
+from ..timebase import SECONDS_PER_DAY
+from .metrics import ErrorSummary, absolute_relative_error, summarize_errors
+
+__all__ = [
+    "MODEL_PROTOTYPES",
+    "ESTIMATOR_PROTOCOL",
+    "SweepCell",
+    "SweepResult",
+    "run_trial",
+    "sweep_population",
+    "sweep_window",
+    "sweep_negative_ttl",
+    "sweep_dynamics",
+    "sweep_d3_miss",
+]
+
+#: Table-I prototypes per analysed model class.
+MODEL_PROTOTYPES: dict[str, str] = {
+    "AU": "murofet",
+    "AS": "conficker_c",
+    "AR": "new_goz",
+    "AP": "necurs",
+}
+
+#: Estimators applied per model class (§V-A experiment setup).
+ESTIMATOR_PROTOCOL: dict[str, tuple[str, ...]] = {
+    "AU": ("timing", "poisson"),
+    "AS": ("timing",),
+    "AR": ("timing", "bernoulli"),
+    "AP": ("timing",),
+}
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (parameter value, model, estimator) cell of a Figure-6 row."""
+
+    parameter_value: float
+    model: str
+    estimator: str
+    summary: ErrorSummary
+    errors: tuple[float, ...]
+
+
+@dataclass
+class SweepResult:
+    """All cells of one Figure-6 row, plus pretty printing."""
+
+    parameter: str
+    values: tuple[float, ...]
+    cells: list[SweepCell] = field(default_factory=list)
+
+    def cell(self, value: float, model: str, estimator: str) -> SweepCell:
+        """Look up one cell by parameter value, model and estimator."""
+        for cell in self.cells:
+            if (
+                cell.parameter_value == value
+                and cell.model == model
+                and cell.estimator == estimator
+            ):
+                return cell
+        raise KeyError(f"no cell for ({value}, {model}, {estimator})")
+
+    def series(self, model: str, estimator: str) -> list[tuple[float, ErrorSummary]]:
+        """The (parameter value → summary) series of one curve."""
+        return [
+            (c.parameter_value, c.summary)
+            for c in self.cells
+            if c.model == model and c.estimator == estimator
+        ]
+
+    def render(self) -> str:
+        """Paper-style text table: one row per parameter value."""
+        pairs = sorted({(c.model, c.estimator) for c in self.cells})
+        header = f"{self.parameter:>24} " + " ".join(
+            f"{f'{m}/{e}':>22}" for m, e in pairs
+        )
+        lines = [header, "-" * len(header)]
+        for value in self.values:
+            row = [f"{value:>24g} "]
+            for model, estimator in pairs:
+                try:
+                    s = self.cell(value, model, estimator).summary
+                    row.append(f"{s.median:>8.3f} [{s.p25:.3f},{s.p75:.3f}]")
+                except KeyError:
+                    row.append(" " * 22)
+            lines.append(" ".join(row))
+        return "\n".join(lines)
+
+
+def run_trial(
+    model: str,
+    estimator_name: str,
+    seed: int,
+    n_bots: int = 64,
+    n_days: int = 1,
+    negative_ttl: float = 7_200.0,
+    sigma: float = 0.0,
+    d3_miss_rate: float = 0.0,
+) -> float:
+    """One simulation + estimation trial; returns the ARE.
+
+    The estimate and the ground truth are both averaged over the epochs
+    of the observation window, following the paper's protocol.
+    """
+    family = MODEL_PROTOTYPES[model]
+    config = SimConfig(
+        family=family,
+        family_seed=7,
+        n_bots=n_bots,
+        n_days=n_days,
+        seed=seed,
+        sigma=sigma,
+        negative_ttl=negative_ttl,
+    )
+    result = simulate(config)
+
+    detection_windows = None
+    if d3_miss_rate > 0:
+        detector = OracleDetector(result.dga, miss_rate=d3_miss_rate, seed=seed)
+        detection_windows = build_detection_windows(
+            detector, result.timeline, range(n_days)
+        )
+
+    meter = BotMeter(
+        result.dga,
+        estimator=make_estimator(estimator_name),
+        detection_windows=detection_windows,
+        negative_ttl=negative_ttl,
+        timestamp_granularity=config.timestamp_granularity,
+        timeline=result.timeline,
+    )
+    landscape = meter.chart(result.observable, 0.0, n_days * SECONDS_PER_DAY)
+    daily = result.ground_truth.daily_populations(n_days)
+    actual = sum(daily) / len(daily)
+    return absolute_relative_error(landscape.total, actual)
+
+
+def _sweep(
+    parameter: str,
+    values: Sequence[float],
+    trial_kwargs: Callable[[float], dict],
+    trials: int,
+    models: Sequence[str],
+) -> SweepResult:
+    result = SweepResult(parameter=parameter, values=tuple(values))
+    for value in values:
+        kwargs = trial_kwargs(value)
+        for model in models:
+            for estimator in ESTIMATOR_PROTOCOL[model]:
+                errors = tuple(
+                    run_trial(model, estimator, seed=trial, **kwargs)
+                    for trial in range(trials)
+                )
+                result.cells.append(
+                    SweepCell(
+                        parameter_value=value,
+                        model=model,
+                        estimator=estimator,
+                        summary=summarize_errors(errors),
+                        errors=errors,
+                    )
+                )
+    return result
+
+
+_ALL_MODELS = ("AU", "AS", "AR", "AP")
+
+
+def sweep_population(
+    values: Sequence[float] = (16, 32, 64, 128, 256),
+    trials: int = 5,
+    models: Sequence[str] = _ALL_MODELS,
+) -> SweepResult:
+    """Figure 6(a): ARE vs actual bot population N."""
+    return _sweep(
+        "bot population N",
+        values,
+        lambda v: {"n_bots": int(v)},
+        trials,
+        models,
+    )
+
+
+def sweep_window(
+    values: Sequence[float] = (1, 2, 4, 8, 16),
+    trials: int = 5,
+    models: Sequence[str] = _ALL_MODELS,
+) -> SweepResult:
+    """Figure 6(b): ARE vs observation-window length in epochs."""
+    return _sweep(
+        "observation window (epochs)",
+        values,
+        lambda v: {"n_days": int(v)},
+        trials,
+        models,
+    )
+
+
+def sweep_negative_ttl(
+    values: Sequence[float] = (20, 40, 80, 160, 320),
+    trials: int = 5,
+    models: Sequence[str] = _ALL_MODELS,
+) -> SweepResult:
+    """Figure 6(c): ARE vs negative-cache TTL in minutes."""
+    return _sweep(
+        "negative cache TTL (min)",
+        values,
+        lambda v: {"negative_ttl": v * 60.0},
+        trials,
+        models,
+    )
+
+
+def sweep_dynamics(
+    values: Sequence[float] = (0.5, 1.0, 1.5, 2.0, 2.5),
+    trials: int = 5,
+    models: Sequence[str] = _ALL_MODELS,
+) -> SweepResult:
+    """Figure 6(d): ARE vs activation-rate dynamics σ."""
+    return _sweep(
+        "activation dynamics sigma",
+        values,
+        lambda v: {"sigma": v},
+        trials,
+        models,
+    )
+
+
+def sweep_d3_miss(
+    values: Sequence[float] = (10, 20, 30, 40, 50),
+    trials: int = 5,
+    models: Sequence[str] = _ALL_MODELS,
+) -> SweepResult:
+    """Figure 6(e): ARE vs D3 detection-miss rate in percent."""
+    return _sweep(
+        "D3 miss rate (%)",
+        values,
+        lambda v: {"d3_miss_rate": v / 100.0},
+        trials,
+        models,
+    )

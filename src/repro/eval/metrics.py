@@ -1,0 +1,60 @@
+"""Evaluation metrics (§V-A).
+
+The paper quantifies accuracy with the absolute relative error
+
+    ``ARE = |estimated − actual| / actual``                    (Eqn 4)
+
+and reports 25th–75th percentile error bars over repeated trials
+(Figure 6) or mean ± standard deviation over days (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["absolute_relative_error", "ErrorSummary", "summarize_errors"]
+
+
+def absolute_relative_error(estimated: float, actual: float) -> float:
+    """Eqn (4).  ``actual`` must be positive — an ARE against a zero
+    population is undefined (the paper only evaluates days with active
+    bots)."""
+    if actual <= 0:
+        raise ValueError(f"actual population must be positive, got {actual}")
+    return abs(estimated - actual) / actual
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Distribution summary of a set of ARE samples."""
+
+    n: int
+    mean: float
+    std: float
+    median: float
+    p25: float
+    p75: float
+
+    def __str__(self) -> str:
+        return (
+            f"median={self.median:.3f} [{self.p25:.3f}, {self.p75:.3f}] "
+            f"mean={self.mean:.3f}±{self.std:.3f} (n={self.n})"
+        )
+
+
+def summarize_errors(errors: Sequence[float]) -> ErrorSummary:
+    """Percentile/mean summary of ARE samples (empty input is an error)."""
+    if not errors:
+        raise ValueError("need at least one error sample")
+    arr = np.asarray(errors, dtype=float)
+    return ErrorSummary(
+        n=arr.size,
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=0)),
+        median=float(np.median(arr)),
+        p25=float(np.percentile(arr, 25)),
+        p75=float(np.percentile(arr, 75)),
+    )

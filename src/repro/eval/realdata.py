@@ -1,0 +1,157 @@
+"""Figure-7 / Table-II harness: daily estimation over the enterprise
+trace substitute.
+
+For each study day and each active family, the harness runs the paper's
+protocol: a one-day observation window, MT on everything, MB on newGoZ
+(AR) and MP on Ramnit/Qakbot (AU), then compares against the per-day
+ground truth (distinct infected clients that issued DGA lookups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.bernoulli import BernoulliEstimator
+from ..core.estimator import Estimator
+from ..core.poisson import PoissonEstimator
+from ..core.taxonomy import ModelClass, classify
+from ..core.timing import TimingEstimator
+from ..core.botmeter import BotMeter
+from ..enterprise.trace_gen import EnterpriseConfig, EnterpriseTraceGenerator
+from ..timebase import SECONDS_PER_DAY
+from .metrics import absolute_relative_error, summarize_errors
+
+__all__ = ["DailyEstimate", "EnterpriseStudyResult", "run_enterprise_study"]
+
+
+@dataclass(frozen=True)
+class DailyEstimate:
+    """One (day, family) evaluation point."""
+
+    day_index: int
+    date: str
+    family: str
+    actual: int
+    estimates: dict[str, float]
+
+    def error(self, estimator: str) -> float:
+        """ARE of one estimator's estimate for this day."""
+        return absolute_relative_error(self.estimates[estimator], self.actual)
+
+
+@dataclass
+class EnterpriseStudyResult:
+    """All daily points plus Table-II style aggregation."""
+
+    points: list[DailyEstimate] = field(default_factory=list)
+
+    def families(self) -> list[str]:
+        """Families with at least one evaluated day, sorted."""
+        return sorted({p.family for p in self.points})
+
+    def series(self, family: str) -> list[DailyEstimate]:
+        """Figure-7 series: the active days of one family, in order."""
+        return sorted(
+            (p for p in self.points if p.family == family),
+            key=lambda p: p.day_index,
+        )
+
+    def table2(self) -> dict[tuple[str, str], tuple[float, float]]:
+        """Mean ± std ARE per (family, estimator) — the paper's Table II."""
+        table: dict[tuple[str, str], tuple[float, float]] = {}
+        for family in self.families():
+            points = self.series(family)
+            if not points:
+                continue
+            for estimator in points[0].estimates:
+                summary = summarize_errors([p.error(estimator) for p in points])
+                table[(family, estimator)] = (summary.mean, summary.std)
+        return table
+
+    def render_table2(self) -> str:
+        """Text rendering of the Table-II aggregation."""
+        table = self.table2()
+        estimators = sorted({e for _, e in table})
+        header = f"{'DGA':<10}" + "".join(f"{e:>18}" for e in estimators)
+        lines = [header, "-" * len(header)]
+        for family in self.families():
+            row = [f"{family:<10}"]
+            for estimator in estimators:
+                cell = table.get((family, estimator))
+                row.append(
+                    f"{cell[0]:>8.3f}±{cell[1]:<8.3f}" if cell else " " * 18
+                )
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+    def render_series(self, family: str) -> str:
+        """Figure-7 style text series for one family."""
+        lines = [f"{'date':<12}{'actual':>8}" ]
+        points = self.series(family)
+        estimators = sorted(points[0].estimates) if points else []
+        lines[0] += "".join(f"{e:>12}" for e in estimators)
+        for p in points:
+            row = f"{p.date:<12}{p.actual:>8d}"
+            row += "".join(f"{p.estimates[e]:>12.1f}" for e in estimators)
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def _estimators_for(dga_class: ModelClass) -> dict[str, Estimator]:
+    estimators: dict[str, Estimator] = {"timing": TimingEstimator()}
+    if dga_class is ModelClass.AU:
+        estimators["poisson"] = PoissonEstimator()
+    elif dga_class is ModelClass.AR:
+        estimators["bernoulli"] = BernoulliEstimator()
+    return estimators
+
+
+def run_enterprise_study(
+    config: EnterpriseConfig | None = None,
+    min_population: int = 1,
+) -> EnterpriseStudyResult:
+    """Run the full §V-B evaluation over the synthetic enterprise trace.
+
+    Days where a family's actual population is below ``min_population``
+    are skipped for that family (the paper evaluates active days only —
+    ARE is undefined at zero population).
+    """
+    config = config or EnterpriseConfig()
+    generator = EnterpriseTraceGenerator(config)
+    result = EnterpriseStudyResult()
+
+    meters: dict[str, dict[str, BotMeter]] = {}
+    for family, dga in generator.dgas.items():
+        meters[family] = {
+            name: BotMeter(
+                dga,
+                estimator=estimator,
+                negative_ttl=config.negative_ttl,
+                timestamp_granularity=config.timestamp_granularity,
+                timeline=generator.timeline,
+            )
+            for name, estimator in _estimators_for(classify(dga)).items()
+        }
+
+    for day in generator.days():
+        window = (
+            day.day_index * SECONDS_PER_DAY,
+            (day.day_index + 1) * SECONDS_PER_DAY,
+        )
+        for family, actual in day.actual.items():
+            if actual < min_population:
+                continue
+            estimates = {
+                name: meter.chart(day.observable, *window).total
+                for name, meter in meters[family].items()
+            }
+            result.points.append(
+                DailyEstimate(
+                    day_index=day.day_index,
+                    date=day.date.isoformat(),
+                    family=family,
+                    actual=actual,
+                    estimates=estimates,
+                )
+            )
+    return result

@@ -1,0 +1,106 @@
+"""Text-mode visual analytics (paper §VII, future-work direction 2).
+
+The paper suggests "complementing BotMeter with visual analytical
+components".  This module renders landscapes and daily series as plain
+text so the tool is usable from a terminal or a report:
+
+* :func:`render_series_chart` — a Figure-7-style log-scale strip chart of
+  actual vs estimated daily populations;
+* :func:`render_landscape_bars` — a per-server infection bar chart for
+  one landscape;
+* :func:`render_sweep_heatmap` — a parameter-sweep error heat strip.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..core.botmeter import Landscape
+from .experiments import SweepResult
+from .realdata import DailyEstimate
+
+__all__ = [
+    "render_series_chart",
+    "render_landscape_bars",
+    "render_sweep_heatmap",
+]
+
+_SHADES = " ░▒▓█"
+
+
+def _log_position(value: float, max_value: float, width: int) -> int:
+    """Column of a value on a log scale from 1 to ``max_value``."""
+    if value < 1.0:
+        return 0
+    span = math.log10(max(max_value, 10.0))
+    return min(width - 1, int(round(math.log10(value) / span * (width - 1))))
+
+
+def render_series_chart(
+    points: Sequence[DailyEstimate],
+    estimator: str,
+    width: int = 48,
+) -> str:
+    """Figure-7-style strip chart: ``●`` actual vs ``○`` estimate per day.
+
+    Both marks share a log-scale axis from 1 to the series maximum; when
+    they land on the same column a ``◉`` is drawn.
+    """
+    if not points:
+        return "(no active days)"
+    top = max(
+        max(p.actual for p in points),
+        max(p.estimates[estimator] for p in points),
+        1.0,
+    )
+    lines = [
+        f"log-scale 1 .. {top:.0f}   ● actual   ○ {estimator}   ◉ both",
+    ]
+    for p in points:
+        row = [" "] * width
+        a = _log_position(p.actual, top, width)
+        e = _log_position(p.estimates[estimator], top, width)
+        if a == e:
+            row[a] = "◉"
+        else:
+            row[a] = "●"
+            row[e] = "○"
+        lines.append(
+            f"{p.date} |{''.join(row)}| act={p.actual:>4d} est={p.estimates[estimator]:>7.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_landscape_bars(landscape: Landscape, width: int = 40) -> str:
+    """Horizontal bar chart of per-server estimated populations."""
+    if not landscape.per_server:
+        return "(empty landscape)"
+    top = max(landscape.total, max(v for _, v in landscape.ranked()), 1.0)
+    lines = [f"{landscape.dga_name} — estimated bots per local server"]
+    for server, value in landscape.ranked():
+        filled = int(round(value / top * width))
+        lines.append(f"{server:<12} {'█' * filled}{'·' * (width - filled)} {value:6.1f}")
+    return "\n".join(lines)
+
+
+def render_sweep_heatmap(result: SweepResult, width_per_cell: int = 7) -> str:
+    """Error heat strip per (model, estimator) curve of a Figure-6 row.
+
+    Shading encodes the median ARE: ``' '`` ≈ 0 up to ``'█'`` ≥ 1.
+    """
+    pairs = sorted({(c.model, c.estimator) for c in result.cells})
+    if not pairs:
+        return "(empty sweep)"
+    header = f"{result.parameter:<28}" + "".join(
+        f"{v:>{width_per_cell}g}" for v in result.values
+    )
+    lines = [header]
+    for model, estimator in pairs:
+        cells = []
+        for value, summary in result.series(model, estimator):
+            shade = _SHADES[min(len(_SHADES) - 1, int(summary.median / 0.25))]
+            cells.append(f"{shade * 3:>{width_per_cell}}")
+        lines.append(f"{f'{model}/{estimator}':<28}" + "".join(cells))
+    lines.append("shade: ' '<0.25 ░<0.5 ▒<0.75 ▓<1.0 █>=1.0 median ARE")
+    return "\n".join(lines)

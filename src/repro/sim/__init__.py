@@ -1,0 +1,51 @@
+"""Botnet/network simulation substrate: activation processes, bot query
+trains, benign background traffic, trace containers, noise injection, and
+the end-to-end network simulator."""
+
+from .activation import ActivationProcess, activation_schedule
+from .benign import BenignConfig, BenignTrafficModel
+from .bots import Bot, activation_seed
+from .events import EventLoop
+from .network import GroundTruth, SimConfig, SimResult, simulate
+from .noise import drop_records, inject_spurious_nxds, jitter_timestamps
+from .takedown import TakedownConfig, TakedownResult, simulate_takedown
+from .trace import (
+    distinct_domains,
+    load_observable_csv,
+    load_raw_csv,
+    observable_by_server,
+    save_observable_csv,
+    save_raw_csv,
+    sort_observable,
+    sort_raw,
+    within_window,
+)
+
+__all__ = [
+    "ActivationProcess",
+    "activation_schedule",
+    "BenignConfig",
+    "BenignTrafficModel",
+    "Bot",
+    "activation_seed",
+    "EventLoop",
+    "TakedownConfig",
+    "TakedownResult",
+    "simulate_takedown",
+    "GroundTruth",
+    "SimConfig",
+    "SimResult",
+    "simulate",
+    "drop_records",
+    "inject_spurious_nxds",
+    "jitter_timestamps",
+    "distinct_domains",
+    "load_observable_csv",
+    "load_raw_csv",
+    "observable_by_server",
+    "save_observable_csv",
+    "save_raw_csv",
+    "sort_observable",
+    "sort_raw",
+    "within_window",
+]

@@ -1,0 +1,97 @@
+"""Bot-activation processes (§V-A).
+
+The paper models the activations of a population of ``N`` bots within one
+epoch as a Poisson process and evaluates two variants:
+
+* **constant rate** — inter-activation gaps are i.i.d. ``Exp(λ0)`` with
+  ``λ0 = N/δe``;
+* **dynamic rate** — the gap before the *i*-th activation is
+  ``Exp(λi)`` with ``λi = λ0·e^{κi}``, ``κi ~ N(0, σ²)``; larger ``σ``
+  means a more erratically varying activation rate.
+
+Each bot activates at most once per epoch; bots whose scheduled time
+falls past the epoch end simply do not activate that day, which is why
+the *actual* daily population used as ground truth can be smaller than
+``N``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..timebase import SECONDS_PER_DAY
+
+__all__ = ["activation_schedule", "ActivationProcess"]
+
+
+def activation_schedule(
+    n_bots: int,
+    rng: np.random.Generator,
+    epoch_length: float = SECONDS_PER_DAY,
+    sigma: float = 0.0,
+) -> np.ndarray:
+    """Draw one epoch's activation times for up to ``n_bots`` bots.
+
+    Returns the sorted array of activation offsets (seconds from epoch
+    start) for the bots that activate within the epoch; its length is the
+    epoch's *actual* active population.
+
+    Args:
+        n_bots: nominal population ``N``.
+        rng: simulation randomness source.
+        epoch_length: ``δe`` in seconds (one day by default).
+        sigma: dynamics parameter ``σ``; ``0`` selects the constant-rate
+            variant.
+    """
+    if n_bots < 0:
+        raise ValueError(f"n_bots must be >= 0, got {n_bots}")
+    if epoch_length <= 0:
+        raise ValueError(f"epoch_length must be positive, got {epoch_length}")
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    if n_bots == 0:
+        return np.empty(0, dtype=float)
+
+    base_rate = n_bots / epoch_length
+    if sigma == 0.0:
+        gaps = rng.exponential(1.0 / base_rate, size=n_bots)
+    else:
+        kappa = rng.normal(0.0, sigma, size=n_bots)
+        rates = base_rate * np.exp(kappa)
+        gaps = rng.exponential(1.0, size=n_bots) / rates
+    times = np.cumsum(gaps)
+    return times[times < epoch_length]
+
+
+class ActivationProcess:
+    """Reusable generator of per-epoch activation schedules.
+
+    Thin stateful wrapper that remembers the population, epoch length and
+    dynamics so multi-day simulations draw day after day with one call.
+    """
+
+    def __init__(
+        self,
+        n_bots: int,
+        sigma: float = 0.0,
+        epoch_length: float = SECONDS_PER_DAY,
+        seed: int | np.random.Generator = 0,
+    ) -> None:
+        self._n_bots = n_bots
+        self._sigma = sigma
+        self._epoch_length = epoch_length
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+
+    @property
+    def n_bots(self) -> int:
+        return self._n_bots
+
+    def draw_epoch(self, epoch_start: float = 0.0) -> np.ndarray:
+        """Absolute activation times for one epoch starting at
+        ``epoch_start``."""
+        offsets = activation_schedule(
+            self._n_bots, self._rng, self._epoch_length, self._sigma
+        )
+        return epoch_start + offsets

@@ -1,0 +1,114 @@
+"""Benign background DNS traffic.
+
+Realistic vantage-point streams are dominated by legitimate lookups, so
+the robustness experiments and the enterprise trace need a benign
+workload: a Zipf-popularity catalogue of valid domains, a diurnal
+(sinusoidal) aggregate rate, and a small typo rate producing benign
+NXDOMAINs that are *not* DGA-generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dns.message import Lookup
+from ..timebase import SECONDS_PER_DAY
+
+__all__ = ["BenignConfig", "BenignTrafficModel"]
+
+
+@dataclass(frozen=True)
+class BenignConfig:
+    """Shape of the benign workload.
+
+    Attributes:
+        n_domains: size of the benign domain catalogue.
+        lookups_per_client_per_day: mean lookups a client issues daily.
+        zipf_exponent: popularity skew (``~1.0`` matches web measurements).
+        typo_rate: fraction of lookups that are misspelled (NXDOMAIN).
+        diurnal_amplitude: 0 disables the day/night cycle; 1 makes the
+            overnight rate drop to zero.
+    """
+
+    n_domains: int = 5_000
+    lookups_per_client_per_day: float = 300.0
+    zipf_exponent: float = 1.0
+    typo_rate: float = 0.01
+    diurnal_amplitude: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.n_domains < 1:
+            raise ValueError("benign catalogue must contain at least one domain")
+        if self.lookups_per_client_per_day < 0:
+            raise ValueError("lookup rate must be >= 0")
+        if not 0 <= self.typo_rate <= 1:
+            raise ValueError("typo_rate must be in [0, 1]")
+        if not 0 <= self.diurnal_amplitude <= 1:
+            raise ValueError("diurnal_amplitude must be in [0, 1]")
+
+
+class BenignTrafficModel:
+    """Generates benign lookups for a set of clients.
+
+    The catalogue and popularity weights are fixed at construction so
+    repeated days reuse the same domain universe (that is what lets
+    positive caching absorb most benign traffic, as in real networks).
+    """
+
+    def __init__(self, config: BenignConfig, rng: np.random.Generator) -> None:
+        self._config = config
+        self._rng = rng
+        self._domains = [f"site{i:05d}.example" for i in range(config.n_domains)]
+        ranks = np.arange(1, config.n_domains + 1, dtype=float)
+        weights = ranks ** (-config.zipf_exponent)
+        self._popularity = weights / weights.sum()
+        self._typo_counter = 0
+
+    @property
+    def catalogue(self) -> list[str]:
+        """All benign (valid) domains this model can emit."""
+        return list(self._domains)
+
+    def _diurnal_weights(self, n_slots: int) -> np.ndarray:
+        """Relative activity per uniform time slot across one day."""
+        slot_centres = (np.arange(n_slots) + 0.5) / n_slots
+        # Peak mid-day (t=0 is midnight): 1 - a*cos(2πx) peaks at x=0.5.
+        weights = 1.0 - self._config.diurnal_amplitude * np.cos(2 * np.pi * slot_centres)
+        return weights / weights.sum()
+
+    def day_lookups(self, clients: list[str], day_start: float) -> list[Lookup]:
+        """Draw one day of benign lookups for ``clients``.
+
+        Lookup counts are Poisson per client; timestamps follow the
+        diurnal profile; domains follow the Zipf popularity; a
+        ``typo_rate`` fraction become unique NXD typos.
+        """
+        cfg = self._config
+        if not clients or cfg.lookups_per_client_per_day == 0:
+            return []
+        counts = self._rng.poisson(cfg.lookups_per_client_per_day, size=len(clients))
+        total = int(counts.sum())
+        if total == 0:
+            return []
+
+        slot_weights = self._diurnal_weights(24)
+        slots = self._rng.choice(24, size=total, p=slot_weights)
+        offsets = (slots + self._rng.random(total)) * (SECONDS_PER_DAY / 24)
+        domain_idx = self._rng.choice(cfg.n_domains, size=total, p=self._popularity)
+        typo_mask = self._rng.random(total) < cfg.typo_rate
+
+        lookups: list[Lookup] = []
+        cursor = 0
+        for client, count in zip(clients, counts):
+            for k in range(count):
+                i = cursor + k
+                if typo_mask[i]:
+                    self._typo_counter += 1
+                    domain = f"tpyo{self._typo_counter:07d}.example"
+                else:
+                    domain = self._domains[domain_idx[i]]
+                lookups.append(Lookup(day_start + float(offsets[i]), client, domain))
+            cursor += count
+        return lookups

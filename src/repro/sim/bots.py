@@ -1,0 +1,104 @@
+"""Bot behaviour: turning an activation into a train of DNS lookups.
+
+On activation a bot materialises its query barrel for the day and walks
+it in order, one lookup every ``δi`` seconds (or a jittered gap for
+families without a fixed interval), stopping as soon as a domain resolves
+— i.e. the domain is registered that day — or after ``θq`` attempts
+(§III).  The lookup on the *hit* domain itself is still issued (the bot
+had to query it to learn it resolves), so it appears in the raw stream.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Collection
+
+import numpy as np
+
+from ..dga.base import Dga
+from ..dga.wordgen import Lcg
+from ..dns.message import Lookup
+
+__all__ = ["Bot", "activation_seed"]
+
+
+def activation_seed(
+    dga_seed: int,
+    bot_index: int,
+    day: _dt.date,
+    activation_index: int = 0,
+    salt: int = 0,
+) -> int:
+    """Deterministic per-(bot, day, activation) seed for barrel drawing.
+
+    Keeps the entire simulation reproducible from a single master seed
+    while guaranteeing different bots (and repeat activations) draw
+    independent barrels.  ``salt`` ties the draws to the simulation run
+    so independent trials (different :class:`~repro.sim.network.SimConfig`
+    seeds) produce independent barrels.
+    """
+    return (
+        (dga_seed * 0x9E3779B1)
+        ^ (bot_index * 0x85EBCA77)
+        ^ (day.toordinal() * 0xC2B2AE3D)
+        ^ (activation_index * 0x27D4EB2F)
+        ^ (salt * 0x165667B1)
+    ) & ((1 << 64) - 1)
+
+
+@dataclass
+class Bot:
+    """One infected device.
+
+    Attributes:
+        bot_index: stable numeric identity within the botnet.
+        client_id: the device identifier that appears in the raw DNS
+            stream (e.g. an internal IP address).
+        dga: the domain generation algorithm this bot embeds.
+        salt: run entropy mixed into per-activation barrel seeds.
+    """
+
+    bot_index: int
+    client_id: str
+    dga: Dga
+    salt: int = 0
+
+    def activate(
+        self,
+        day: _dt.date,
+        start_time: float,
+        valid_domains: Collection[str],
+        rng: np.random.Generator,
+        activation_index: int = 0,
+    ) -> list[Lookup]:
+        """Produce the raw lookups of one activation starting at
+        ``start_time``.
+
+        ``valid_domains`` is the authoritative valid set for ``day``; the
+        bot stops after its first hit in it (C2 found) or after the full
+        barrel (abort).
+        """
+        barrel_rng = Lcg(
+            activation_seed(
+                self.dga.seed, self.bot_index, day, activation_index, self.salt
+            )
+        )
+        barrel = self.dga.barrel(day, barrel_rng)
+        interval = self.dga.params.query_interval
+        fixed = self.dga.params.fixed_interval
+
+        lookups: list[Lookup] = []
+        t = start_time
+        for domain in barrel:
+            lookups.append(Lookup(t, self.client_id, domain))
+            if domain in valid_domains:
+                break
+            if fixed:
+                t += interval
+            else:
+                # δi = "none": gaps jitter uniformly around the nominal
+                # interval, destroying the congruence structure MT's
+                # heuristic #3 relies on.
+                t += interval * rng.uniform(0.2, 1.8)
+        return lookups

@@ -1,0 +1,90 @@
+"""A minimal discrete-event simulation engine.
+
+The trace generators in :mod:`repro.sim.network` pre-compute all lookups
+and replay them sorted — fine for static scenarios.  Dynamic scenarios
+(mid-day C2 takedowns, cache flushes, staged infections) need events
+that *change the world* between lookups; :class:`EventLoop` provides the
+classic priority-queue engine for those.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+__all__ = ["EventLoop"]
+
+
+class EventLoop:
+    """Priority-queue discrete-event loop.
+
+    Actions are ``Callable[[EventLoop], None]``; they may schedule
+    further events.  Ties are broken by insertion order, making runs
+    fully deterministic.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: list[tuple[float, int, Callable[["EventLoop"], None]]] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled-but-unprocessed events."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, time: float, action: Callable[["EventLoop"], None]) -> None:
+        """Schedule ``action`` at absolute ``time`` (>= now)."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        heapq.heappush(self._queue, (time, next(self._sequence), action))
+
+    def schedule_in(self, delay: float, action: Callable[["EventLoop"], None]) -> None:
+        """Schedule ``action`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.schedule(self._now + delay, action)
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _seq, action = heapq.heappop(self._queue)
+        self._now = time
+        self._processed += 1
+        action(self)
+        return True
+
+    def run_until(self, end_time: float) -> int:
+        """Run every event with time < ``end_time``; returns the count.
+
+        The clock is left at ``end_time`` (or later if an executed event
+        scheduled nothing beyond it).
+        """
+        executed = 0
+        while self._queue and self._queue[0][0] < end_time:
+            self.step()
+            executed += 1
+        self._now = max(self._now, end_time)
+        return executed
+
+    def run(self) -> int:
+        """Drain the queue completely; returns the executed count."""
+        executed = 0
+        while self.step():
+            executed += 1
+        return executed

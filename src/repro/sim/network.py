@@ -1,0 +1,231 @@
+"""End-to-end botnet/network simulation (§V-A).
+
+:func:`simulate` wires every substrate together: it builds a DGA family,
+registers its botmaster with the authoritative resolver, spreads bots and
+benign clients over the local DNS servers of a hierarchy, draws daily
+activation schedules, replays every client lookup chronologically through
+the caching-and-forwarding layer, and returns both traffic views plus the
+per-day/per-server ground-truth populations.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dga.base import Dga
+from ..dga.families import make_family
+from ..dns.authority import RegistrationAuthority
+from ..dns.hierarchy import DnsHierarchy
+from ..dns.message import ForwardedLookup, Lookup
+from ..timebase import SECONDS_PER_DAY, Timeline
+from .activation import activation_schedule
+from .benign import BenignConfig, BenignTrafficModel
+from .bots import Bot
+from .trace import sort_observable, sort_raw
+
+__all__ = ["SimConfig", "GroundTruth", "SimResult", "simulate"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Parameters of one synthetic experiment run.
+
+    Defaults follow §V-A: one-day epochs, one-day observation windows
+    handled by the caller, 2 h negative TTL, 1 day positive TTL, 100 ms
+    timestamp granularity.
+    """
+
+    family: str = "murofet"
+    family_seed: int = 7
+    n_bots: int = 64
+    n_local_servers: int = 1
+    n_days: int = 1
+    sigma: float = 0.0
+    negative_ttl: float = 7_200.0
+    positive_ttl: float = 86_400.0
+    timestamp_granularity: float = 0.1
+    seed: int = 0
+    benign: BenignConfig | None = None
+    benign_clients_per_server: int = 0
+    origin: _dt.date = _dt.date(2014, 5, 1)
+
+    def __post_init__(self) -> None:
+        if self.n_bots < 0:
+            raise ValueError("n_bots must be >= 0")
+        if self.n_days < 1:
+            raise ValueError("n_days must be >= 1")
+        if self.n_local_servers < 1:
+            raise ValueError("n_local_servers must be >= 1")
+        if self.benign_clients_per_server < 0:
+            raise ValueError("benign_clients_per_server must be >= 0")
+        if self.benign_clients_per_server > 0 and self.benign is None:
+            raise ValueError("benign clients configured without a BenignConfig")
+
+
+class GroundTruth:
+    """Actual active-bot populations, per day and per local server.
+
+    Matches the paper's ground-truth definition: the number of distinct
+    client devices that issued DGA lookups (raw stream) during the day.
+    """
+
+    def __init__(self) -> None:
+        self._active: dict[tuple[int, str], set[str]] = {}
+
+    def record(self, day_index: int, server_id: str, client: str) -> None:
+        """Mark ``client`` active behind ``server_id`` on ``day_index``."""
+        self._active.setdefault((day_index, server_id), set()).add(client)
+
+    def population(self, day_index: int | None = None, server_id: str | None = None) -> int:
+        """Distinct active bots, optionally filtered by day and/or server."""
+        clients: set[tuple[int, str] | str] = set()
+        total: set[str] = set()
+        for (day, server), members in self._active.items():
+            if day_index is not None and day != day_index:
+                continue
+            if server_id is not None and server != server_id:
+                continue
+            total |= members
+        return len(total)
+
+    def daily_populations(self, n_days: int, server_id: str | None = None) -> list[int]:
+        """Active population for each day ``0..n_days-1``."""
+        return [self.population(day, server_id) for day in range(n_days)]
+
+    def servers(self) -> list[str]:
+        """Local servers with any recorded activity, sorted."""
+        return sorted({server for _, server in self._active})
+
+
+@dataclass
+class SimResult:
+    """Everything a downstream experiment needs from one simulation."""
+
+    config: SimConfig
+    dga: Dga
+    timeline: Timeline
+    hierarchy: DnsHierarchy
+    raw: list[Lookup]
+    observable: list[ForwardedLookup]
+    ground_truth: GroundTruth
+    authority: RegistrationAuthority = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def n_days(self) -> int:
+        return self.config.n_days
+
+
+def _spread(count: int, buckets: int) -> list[int]:
+    """Distribute ``count`` items over ``buckets`` as evenly as possible."""
+    base, extra = divmod(count, buckets)
+    return [base + (1 if i < extra else 0) for i in range(buckets)]
+
+
+def simulate(config: SimConfig) -> SimResult:
+    """Run one full simulation and return raw/observable traces plus
+    ground truth.
+
+    Deterministic given ``config`` (all randomness flows from
+    ``config.seed`` and the DGA's ``family_seed``).
+    """
+    rng = np.random.default_rng(config.seed)
+    timeline = Timeline(config.origin)
+    dga = make_family(config.family, config.family_seed)
+
+    benign_model = (
+        BenignTrafficModel(config.benign, rng) if config.benign is not None else None
+    )
+    benign_catalogue = benign_model.catalogue if benign_model is not None else []
+
+    authority = RegistrationAuthority(
+        benign=benign_catalogue,
+        positive_ttl=config.positive_ttl,
+        negative_ttl=config.negative_ttl,
+    )
+    authority.add_registration_provider(dga.registered)
+
+    hierarchy = DnsHierarchy(
+        authority,
+        n_local_servers=config.n_local_servers,
+        timeline=timeline,
+        timestamp_granularity=config.timestamp_granularity,
+        negative_ttl=config.negative_ttl,
+        positive_ttl=config.positive_ttl,
+    )
+    server_ids = hierarchy.server_ids
+
+    # Assign bots and benign clients to subnets.
+    bots_per_server = _spread(config.n_bots, config.n_local_servers)
+    bots_by_server: dict[str, list[Bot]] = {}
+    bot_index = 0
+    for server_id, n_here in zip(server_ids, bots_per_server):
+        members = []
+        for _ in range(n_here):
+            client = f"bot-{server_id}-{bot_index:04d}"
+            hierarchy.assign_client(client, server_id)
+            members.append(Bot(bot_index, client, dga, salt=config.seed))
+            bot_index += 1
+        bots_by_server[server_id] = members
+
+    benign_clients: dict[str, list[str]] = {}
+    for server_id in server_ids:
+        clients = [
+            f"host-{server_id}-{i:04d}" for i in range(config.benign_clients_per_server)
+        ]
+        for client in clients:
+            hierarchy.assign_client(client, server_id)
+        benign_clients[server_id] = clients
+
+    ground_truth = GroundTruth()
+    all_lookups: list[Lookup] = []
+    lookup_owner: dict[str, str] = {}  # client -> server, for ground truth
+
+    for server_id, members in bots_by_server.items():
+        for bot in members:
+            lookup_owner[bot.client_id] = server_id
+
+    for day in range(config.n_days):
+        day_start = timeline.start_of_day(day)
+        day_date = timeline.date_for_day(day)
+        valid = authority.valid_on(day_date)
+
+        for server_id, members in bots_by_server.items():
+            if not members:
+                continue
+            times = activation_schedule(
+                len(members), rng, SECONDS_PER_DAY, config.sigma
+            )
+            # Shuffle which bots claim the day's activation slots so the
+            # active subset varies day to day.
+            order = rng.permutation(len(members))
+            for slot, t_offset in enumerate(times):
+                bot = members[order[slot]]
+                ground_truth.record(day, server_id, bot.client_id)
+                all_lookups.extend(
+                    bot.activate(day_date, day_start + float(t_offset), valid, rng)
+                )
+
+        if benign_model is not None:
+            for server_id in server_ids:
+                clients = benign_clients[server_id]
+                if clients:
+                    all_lookups.extend(benign_model.day_lookups(clients, day_start))
+
+    # Replay chronologically through the caching hierarchy.
+    for lookup in sort_raw(all_lookups):
+        hierarchy.lookup(lookup.client, lookup.domain, lookup.timestamp)
+
+    observable = sort_observable(hierarchy.drain_observed())
+    return SimResult(
+        config=config,
+        dga=dga,
+        timeline=timeline,
+        hierarchy=hierarchy,
+        raw=sort_raw(all_lookups),
+        observable=observable,
+        ground_truth=ground_truth,
+        authority=authority,
+    )

@@ -1,0 +1,77 @@
+"""Observation-noise injection for robustness experiments.
+
+BotMeter claims resilience against noisy and missing observations; these
+helpers degrade an observable trace in controlled ways so the claim can
+be tested: random record loss (collector drops), spurious non-DGA NXD
+records (noise), and timestamp jitter (clock skew between collectors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dns.message import ForwardedLookup
+from .trace import sort_observable
+
+__all__ = ["drop_records", "inject_spurious_nxds", "jitter_timestamps"]
+
+
+def drop_records(
+    records: list[ForwardedLookup], miss_rate: float, rng: np.random.Generator
+) -> list[ForwardedLookup]:
+    """Randomly drop a ``miss_rate`` fraction of records (collector loss)."""
+    if not 0 <= miss_rate <= 1:
+        raise ValueError(f"miss_rate must be in [0, 1], got {miss_rate}")
+    if miss_rate == 0 or not records:
+        return list(records)
+    keep = rng.random(len(records)) >= miss_rate
+    return [r for r, k in zip(records, keep) if k]
+
+
+def inject_spurious_nxds(
+    records: list[ForwardedLookup],
+    rate: float,
+    rng: np.random.Generator,
+    servers: list[str] | None = None,
+) -> list[ForwardedLookup]:
+    """Insert random unrelated NXD lookups at ``rate`` × len(records).
+
+    The injected domains never collide with DGA pools (distinct suffix),
+    modelling the non-DGA junk a real collector interleaves.
+    """
+    if rate < 0:
+        raise ValueError(f"rate must be >= 0, got {rate}")
+    if rate == 0 or not records:
+        return list(records)
+    t_min = records[0].timestamp
+    t_max = records[-1].timestamp if records[-1].timestamp > t_min else t_min + 1.0
+    server_pool = servers or sorted({r.server for r in records})
+    n_new = int(round(rate * len(records)))
+    injected = [
+        ForwardedLookup(
+            float(rng.uniform(t_min, t_max)),
+            server_pool[int(rng.integers(len(server_pool)))],
+            f"junk{int(rng.integers(10**9)):09d}.invalid",
+        )
+        for _ in range(n_new)
+    ]
+    return sort_observable(list(records) + injected)
+
+
+def jitter_timestamps(
+    records: list[ForwardedLookup], max_skew: float, rng: np.random.Generator
+) -> list[ForwardedLookup]:
+    """Add uniform ±``max_skew`` seconds of jitter to every timestamp."""
+    if max_skew < 0:
+        raise ValueError(f"max_skew must be >= 0, got {max_skew}")
+    if max_skew == 0:
+        return list(records)
+    jittered = [
+        ForwardedLookup(
+            max(0.0, r.timestamp + float(rng.uniform(-max_skew, max_skew))),
+            r.server,
+            r.domain,
+        )
+        for r in records
+    ]
+    return sort_observable(jittered)

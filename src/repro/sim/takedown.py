@@ -1,0 +1,191 @@
+"""C2-takedown dynamics (§I motivation).
+
+The paper motivates DGAs by takedown resilience: "even if the current C2
+domains or IPs are captured and taken down, the bots will eventually
+identify the relocated C2 servers via looking up the next set of
+automatically generated domains."  This scenario makes that dynamic
+measurable:
+
+* day 0 runs normally until ``takedown_time``, when the registrar
+  removes the day's registered C2 domains (they become NXDs);
+* bots activating after the takedown exhaust their full barrels without
+  a hit — the NXD volume at the vantage point spikes;
+* on the next epoch the botmaster registers fresh domains from the new
+  pool and the botnet re-converges.
+
+The simulation is event-driven (each activation is an event against the
+world state at its own time) and reports per-hour NXD lookup volumes,
+per-phase C2 success rates, and BotMeter's estimates through the
+turbulence.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dga.base import Dga
+from ..dga.families import make_family
+from ..dns.authority import RegistrationAuthority
+from ..dns.hierarchy import DnsHierarchy
+from ..dns.message import ForwardedLookup, Lookup
+from ..timebase import SECONDS_PER_DAY, SECONDS_PER_HOUR, Timeline
+from .activation import activation_schedule
+from .bots import Bot
+from .events import EventLoop
+from .trace import sort_observable
+
+__all__ = ["TakedownConfig", "TakedownResult", "simulate_takedown"]
+
+
+@dataclass(frozen=True)
+class TakedownConfig:
+    """Scenario parameters."""
+
+    family: str = "new_goz"
+    family_seed: int = 7
+    n_bots: int = 64
+    takedown_time: float = 10 * SECONDS_PER_HOUR  # seconds into day 0
+    n_days: int = 2
+    seed: int = 0
+    negative_ttl: float = 7_200.0
+    positive_ttl: float = 86_400.0
+    timestamp_granularity: float = 0.1
+    origin: _dt.date = _dt.date(2014, 5, 1)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.takedown_time < SECONDS_PER_DAY:
+            raise ValueError("takedown_time must fall inside day 0")
+        if self.n_days < 1:
+            raise ValueError("n_days must be >= 1")
+        if self.n_bots < 1:
+            raise ValueError("n_bots must be >= 1")
+
+
+@dataclass
+class TakedownResult:
+    """Everything the scenario measures."""
+
+    config: TakedownConfig
+    dga: Dga
+    timeline: Timeline
+    observable: list[ForwardedLookup]
+    raw: list[Lookup]
+    #: per activation: (time, found_c2)
+    activations: list[tuple[float, bool]] = field(default_factory=list)
+
+    def success_rate(self, start: float, end: float) -> float:
+        """Fraction of activations in [start, end) that reached a C2."""
+        window = [ok for t, ok in self.activations if start <= t < end]
+        if not window:
+            return 0.0
+        return sum(window) / len(window)
+
+    def valid_at(self, timestamp: float) -> frozenset[str]:
+        """The domains that actually resolved at ``timestamp``."""
+        date = self.timeline.date_of(timestamp)
+        registered = frozenset(self.dga.registered(date))
+        if (
+            date == self.timeline.date_for_day(0)
+            and timestamp >= self.config.takedown_time
+        ):
+            return frozenset()
+        return registered
+
+    def hourly_nxd_volume(self) -> list[int]:
+        """Vantage-point NXD-lookup counts per hour of the scenario."""
+        n_hours = self.config.n_days * 24
+        counts = [0] * n_hours
+        for record in self.observable:
+            hour = int(record.timestamp // SECONDS_PER_HOUR)
+            if hour >= n_hours:
+                continue
+            if record.domain not in self.valid_at(record.timestamp):
+                counts[hour] += 1
+        return counts
+
+
+class _TakedownWorld:
+    """Mutable world state the events act on."""
+
+    def __init__(self, config: TakedownConfig) -> None:
+        self.config = config
+        self.timeline = Timeline(config.origin)
+        self.dga = make_family(config.family, config.family_seed)
+        self.authority = RegistrationAuthority(
+            positive_ttl=config.positive_ttl, negative_ttl=config.negative_ttl
+        )
+        self.taken_down = False
+        day0 = self.timeline.date_for_day(0)
+        self._day0_registered = self.dga.registered(day0)
+
+        def provider(date: _dt.date) -> set[str]:
+            registered = self.dga.registered(date)
+            if date == day0 and self.taken_down:
+                return set()
+            return registered
+
+        self.authority.add_registration_provider(provider)
+        self.hierarchy = DnsHierarchy(
+            self.authority,
+            n_local_servers=1,
+            timeline=self.timeline,
+            timestamp_granularity=config.timestamp_granularity,
+            negative_ttl=config.negative_ttl,
+            positive_ttl=config.positive_ttl,
+        )
+        self.rng = np.random.default_rng(config.seed)
+        self.bots = [
+            Bot(i, f"bot-{i:04d}", self.dga, salt=config.seed)
+            for i in range(config.n_bots)
+        ]
+        self.raw: list[Lookup] = []
+        self.activations: list[tuple[float, bool]] = []
+
+    def take_down(self, _loop: EventLoop) -> None:
+        """Remove day-0 registrations; invalidate the authority's cache."""
+        self.taken_down = True
+        self.authority._day_cache = None  # noqa: SLF001 - deliberate reset
+
+    def activate_bot(self, bot: Bot, when: float) -> None:
+        date = self.timeline.date_of(when)
+        valid = self.authority.valid_on(date)
+        train = bot.activate(date, when, valid, self.rng)
+        found = bool(train) and train[-1].domain in valid
+        self.activations.append((when, found))
+        self.raw.extend(train)
+        for lookup in train:
+            self.hierarchy.lookup(lookup.client, lookup.domain, lookup.timestamp)
+
+
+def simulate_takedown(config: TakedownConfig | None = None) -> TakedownResult:
+    """Run the takedown scenario and return its measurements."""
+    config = config or TakedownConfig()
+    world = _TakedownWorld(config)
+    loop = EventLoop()
+
+    # Schedule every bot activation for every day, plus the takedown.
+    for day in range(config.n_days):
+        day_start = day * SECONDS_PER_DAY
+        times = activation_schedule(config.n_bots, world.rng, SECONDS_PER_DAY)
+        order = world.rng.permutation(config.n_bots)
+        for slot, offset in enumerate(times):
+            bot = world.bots[order[slot]]
+            when = day_start + float(offset)
+            loop.schedule(
+                when,
+                lambda lp, b=bot, t=when: world.activate_bot(b, t),
+            )
+    loop.schedule(config.takedown_time, world.take_down)
+    loop.run()
+
+    return TakedownResult(
+        config=config,
+        dga=world.dga,
+        timeline=world.timeline,
+        observable=sort_observable(world.hierarchy.drain_observed()),
+        raw=sorted(world.raw, key=lambda l: (l.timestamp, l.domain)),
+        activations=sorted(world.activations),
+    )

@@ -1,0 +1,108 @@
+"""Trace containers and (de)serialisation.
+
+A simulation yields two parallel views of the same traffic (§V-B):
+
+* the **raw trace** ``⟨timestamp, client, domain⟩`` — below the local
+  servers, used only to compute ground truth;
+* the **observable trace** ``⟨timestamp, server, domain⟩`` — the
+  cache-filtered stream at the vantage point, the only input BotMeter is
+  allowed to consume.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..dns.message import ForwardedLookup, Lookup
+
+__all__ = [
+    "sort_raw",
+    "sort_observable",
+    "observable_by_server",
+    "within_window",
+    "distinct_domains",
+    "save_observable_csv",
+    "load_observable_csv",
+    "save_raw_csv",
+    "load_raw_csv",
+]
+
+
+def sort_raw(records: Iterable[Lookup]) -> list[Lookup]:
+    """Chronologically (and deterministically) sorted raw records."""
+    return sorted(records, key=lambda r: (r.timestamp, r.client, r.domain))
+
+
+def sort_observable(records: Iterable[ForwardedLookup]) -> list[ForwardedLookup]:
+    """Chronologically (and deterministically) sorted observable records."""
+    return sorted(records, key=lambda r: (r.timestamp, r.server, r.domain))
+
+
+def observable_by_server(
+    records: Iterable[ForwardedLookup],
+) -> dict[str, list[ForwardedLookup]]:
+    """Split the vantage-point stream per forwarding local server.
+
+    This is the first step of landscape charting: BotMeter estimates one
+    population per local server.
+    """
+    by_server: dict[str, list[ForwardedLookup]] = {}
+    for record in records:
+        by_server.setdefault(record.server, []).append(record)
+    return by_server
+
+
+def within_window(
+    records: Sequence[ForwardedLookup], start: float, end: float
+) -> list[ForwardedLookup]:
+    """Records with ``start <= timestamp < end``."""
+    if end < start:
+        raise ValueError(f"window end {end} precedes start {start}")
+    return [r for r in records if start <= r.timestamp < end]
+
+
+def distinct_domains(records: Iterable[ForwardedLookup]) -> set[str]:
+    """The set of distinct domains appearing in a stream."""
+    return {r.domain for r in records}
+
+
+def save_observable_csv(records: Iterable[ForwardedLookup], path: str | Path) -> None:
+    """Persist an observable trace as ``timestamp,server,domain`` CSV."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["timestamp", "server", "domain"])
+        for r in records:
+            writer.writerow([f"{r.timestamp:.6f}", r.server, r.domain])
+
+
+def load_observable_csv(path: str | Path) -> list[ForwardedLookup]:
+    """Load an observable trace saved by :func:`save_observable_csv`."""
+    records: list[ForwardedLookup] = []
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        for row in reader:
+            records.append(
+                ForwardedLookup(float(row["timestamp"]), row["server"], row["domain"])
+            )
+    return records
+
+
+def save_raw_csv(records: Iterable[Lookup], path: str | Path) -> None:
+    """Persist a raw trace as ``timestamp,client,domain`` CSV."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["timestamp", "client", "domain"])
+        for r in records:
+            writer.writerow([f"{r.timestamp:.6f}", r.client, r.domain])
+
+
+def load_raw_csv(path: str | Path) -> list[Lookup]:
+    """Load a raw trace saved by :func:`save_raw_csv`."""
+    records: list[Lookup] = []
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        for row in reader:
+            records.append(Lookup(float(row["timestamp"]), row["client"], row["domain"]))
+    return records

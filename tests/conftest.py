@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+Simulation runs are the expensive part of the suite, so the commonly
+reused ones are session-scoped: tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.sim import SimConfig, simulate
+
+
+@pytest.fixture(scope="session")
+def day0() -> dt.date:
+    return dt.date(2014, 5, 1)
+
+
+@pytest.fixture(scope="session")
+def murofet_run():
+    """A one-day AU (Murofet) simulation with 32 bots."""
+    return simulate(SimConfig(family="murofet", n_bots=32, n_days=1, seed=101))
+
+
+@pytest.fixture(scope="session")
+def newgoz_run():
+    """A one-day AR (newGoZ) simulation with 48 bots."""
+    return simulate(SimConfig(family="new_goz", n_bots=48, n_days=1, seed=202))
+
+
+@pytest.fixture(scope="session")
+def conficker_run():
+    """A one-day AS (Conficker.C) simulation with 24 bots."""
+    return simulate(SimConfig(family="conficker_c", n_bots=24, n_days=1, seed=303))
+
+
+@pytest.fixture(scope="session")
+def necurs_run():
+    """A one-day AP (Necurs) simulation with 24 bots."""
+    return simulate(SimConfig(family="necurs", n_bots=24, n_days=1, seed=404))
+
+
+@pytest.fixture(scope="session")
+def multiserver_run():
+    """A two-day, three-server AR simulation for landscape tests."""
+    return simulate(
+        SimConfig(
+            family="new_goz",
+            n_bots=36,
+            n_local_servers=3,
+            n_days=2,
+            seed=505,
+        )
+    )

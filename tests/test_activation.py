@@ -1,0 +1,94 @@
+"""Tests for the bot-activation processes (§V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.activation import ActivationProcess, activation_schedule
+from repro.timebase import SECONDS_PER_DAY
+
+
+class TestActivationSchedule:
+    def test_at_most_n_activations(self):
+        rng = np.random.default_rng(0)
+        times = activation_schedule(50, rng)
+        assert len(times) <= 50
+
+    def test_times_within_epoch(self):
+        rng = np.random.default_rng(1)
+        times = activation_schedule(100, rng)
+        assert np.all(times >= 0) and np.all(times < SECONDS_PER_DAY)
+
+    def test_times_sorted(self):
+        rng = np.random.default_rng(2)
+        times = activation_schedule(100, rng)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_zero_bots(self):
+        rng = np.random.default_rng(3)
+        assert activation_schedule(0, rng).size == 0
+
+    def test_mean_activations_near_population(self):
+        rng = np.random.default_rng(4)
+        counts = [len(activation_schedule(64, rng)) for _ in range(200)]
+        # E[min(N, Poisson-like)] is a bit below N; well above N/2.
+        assert 64 * 0.8 < np.mean(counts) <= 64
+
+    def test_constant_rate_gaps_exponential(self):
+        rng = np.random.default_rng(5)
+        gaps = []
+        for _ in range(50):
+            times = activation_schedule(200, rng)
+            gaps.extend(np.diff(times))
+        gaps = np.array(gaps)
+        expected_mean = SECONDS_PER_DAY / 200
+        assert abs(gaps.mean() - expected_mean) / expected_mean < 0.1
+        # Exponential ⇒ std ≈ mean.
+        assert abs(gaps.std() - gaps.mean()) / gaps.mean() < 0.15
+
+    def test_dynamic_rate_increases_gap_variance(self):
+        rng = np.random.default_rng(6)
+
+        def gap_cv(sigma):
+            gaps = []
+            for _ in range(60):
+                times = activation_schedule(150, rng, sigma=sigma)
+                gaps.extend(np.diff(times))
+            gaps = np.array(gaps)
+            return gaps.std() / gaps.mean()
+
+        assert gap_cv(2.0) > gap_cv(0.0) * 1.2
+
+    def test_custom_epoch_length(self):
+        rng = np.random.default_rng(7)
+        times = activation_schedule(20, rng, epoch_length=100.0)
+        assert np.all(times < 100.0)
+
+    def test_rejects_bad_arguments(self):
+        rng = np.random.default_rng(8)
+        with pytest.raises(ValueError):
+            activation_schedule(-1, rng)
+        with pytest.raises(ValueError):
+            activation_schedule(5, rng, epoch_length=0.0)
+        with pytest.raises(ValueError):
+            activation_schedule(5, rng, sigma=-0.1)
+
+
+class TestActivationProcess:
+    def test_draws_absolute_times(self):
+        process = ActivationProcess(30, seed=1)
+        times = process.draw_epoch(epoch_start=86_400.0)
+        assert np.all(times >= 86_400.0) and np.all(times < 2 * 86_400.0)
+
+    def test_successive_epochs_differ(self):
+        process = ActivationProcess(30, seed=2)
+        a = process.draw_epoch(0.0)
+        b = process.draw_epoch(0.0)
+        assert a.size != b.size or not np.allclose(a, b)
+
+    def test_deterministic_across_instances(self):
+        a = ActivationProcess(30, seed=3).draw_epoch()
+        b = ActivationProcess(30, seed=3).draw_epoch()
+        assert np.allclose(a, b)
+
+    def test_population_property(self):
+        assert ActivationProcess(12).n_bots == 12

@@ -1,0 +1,83 @@
+"""Tests for the adversarial coordinated-cut DGA (§VII future work 3)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.bernoulli import BernoulliEstimator
+from repro.core.botmeter import BotMeter
+from repro.dga.adversarial import CoordinatedCutBarrel, evasive_goz
+from repro.dga.wordgen import Lcg
+from repro.sim import SimConfig, simulate
+from repro.timebase import SECONDS_PER_DAY
+
+DAY = dt.date(2014, 9, 12)
+POOL = [f"d{i:04d}.net" for i in range(200)]
+
+
+class TestCoordinatedCutBarrel:
+    def test_starts_limited_to_rendezvous_set(self):
+        model = CoordinatedCutBarrel(n_cuts=4, secret=1)
+        allowed = set(model.rendezvous_starts(POOL))
+        starts = {
+            POOL.index(model.barrel(POOL, 10, Lcg(seed))[0]) for seed in range(100)
+        }
+        assert starts <= allowed
+        assert len(allowed) <= 4
+
+    def test_rendezvous_deterministic_per_pool(self):
+        model = CoordinatedCutBarrel(n_cuts=4, secret=1)
+        assert model.rendezvous_starts(POOL) == model.rendezvous_starts(POOL)
+
+    def test_rendezvous_changes_with_pool(self):
+        model = CoordinatedCutBarrel(n_cuts=4, secret=1)
+        other = [f"x{i:04d}.net" for i in range(200)]
+        assert model.rendezvous_starts(POOL) != model.rendezvous_starts(other)
+
+    def test_secret_changes_rendezvous(self):
+        a = CoordinatedCutBarrel(n_cuts=4, secret=1).rendezvous_starts(POOL)
+        b = CoordinatedCutBarrel(n_cuts=4, secret=2).rendezvous_starts(POOL)
+        assert a != b
+
+    def test_barrel_is_contiguous_cut(self):
+        model = CoordinatedCutBarrel(n_cuts=4, secret=1)
+        barrel = model.barrel(POOL, 10, Lcg(1))
+        start = POOL.index(barrel[0])
+        assert barrel == [POOL[(start + k) % 200] for k in range(10)]
+
+    def test_rejects_bad_cuts(self):
+        with pytest.raises(ValueError):
+            CoordinatedCutBarrel(n_cuts=0)
+
+    def test_rejects_bad_barrel_size(self):
+        with pytest.raises(ValueError):
+            CoordinatedCutBarrel(n_cuts=2).barrel(POOL, 0, Lcg(1))
+
+
+class TestEvasiveGoz:
+    def test_same_parameters_as_newgoz(self):
+        dga = evasive_goz()
+        assert dga.params.n_nxd == 9995
+        assert dga.params.barrel_size == 500
+
+    def test_registered_count(self):
+        assert len(evasive_goz().registered(DAY)) == 5
+
+    def test_evades_bernoulli_estimation(self):
+        """MB must drastically under-estimate the coordinated botnet."""
+        run = simulate(SimConfig(family="evasive_goz", n_bots=96, seed=3))
+        meter = BotMeter(
+            run.dga, estimator=BernoulliEstimator(), timeline=run.timeline
+        )
+        estimate = meter.chart(run.observable, 0.0, SECONDS_PER_DAY).total
+        actual = run.ground_truth.population(0)
+        assert actual > 70
+        assert estimate < actual / 3  # the evasion works
+
+    def test_distinct_coverage_capped_by_cuts(self):
+        run = simulate(SimConfig(family="evasive_goz", n_bots=96, seed=3))
+        day0 = run.timeline.date_for_day(0)
+        nxds = set(run.dga.nxdomains(day0))
+        observed = {r.domain for r in run.raw if r.domain in nxds}
+        # At most n_cuts × θq distinct NXDs regardless of population.
+        assert len(observed) <= 8 * 500

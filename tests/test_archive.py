@@ -1,0 +1,90 @@
+"""Tests for the local DGArchive-style lookup service."""
+
+import datetime as dt
+
+import pytest
+
+from repro.dga.archive import ArchiveHit, DgaArchive
+from repro.timebase import Timeline
+
+START = dt.date(2014, 5, 1)
+END = dt.date(2014, 5, 3)
+
+
+@pytest.fixture(scope="module")
+def archive():
+    return DgaArchive.build([("murofet", 7), ("torpig", 9)], START, END)
+
+
+class TestBuild:
+    def test_families_listed(self, archive):
+        assert archive.families() == ["murofet", "torpig"]
+
+    def test_date_range(self, archive):
+        assert archive.date_range == (START, END)
+
+    def test_index_covers_all_pools(self, archive):
+        # 3 days × (800 murofet + 18 torpig) domains, all distinct.
+        assert len(archive) == 3 * (800 + 18)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            DgaArchive.build([("murofet", 7)], END, START)
+
+    def test_rejects_duplicate_family(self):
+        with pytest.raises(ValueError):
+            DgaArchive.build([("murofet", 7), ("murofet", 8)], START, END)
+
+
+class TestLookup:
+    def test_attributes_domain_to_family_and_date(self, archive):
+        domain = archive.pool("murofet", START)[0]
+        hits = archive.lookup(domain)
+        assert ArchiveHit("murofet", START) in hits
+
+    def test_benign_domain_no_hits(self, archive):
+        assert archive.lookup("example.com") == []
+        assert not archive.is_dga_domain("example.com")
+
+    def test_every_pool_domain_resolvable(self, archive):
+        for domain in archive.pool("torpig", END):
+            assert archive.is_dga_domain(domain)
+
+    def test_unknown_family_rejected(self, archive):
+        with pytest.raises(KeyError):
+            archive.pool("zeus", START)
+
+    def test_nxdomains_excludes_registered(self, archive):
+        nxds = set(archive.nxdomains("murofet", START))
+        registered = archive.dga("murofet").registered(START)
+        assert not nxds & registered
+
+    def test_summary_counts(self, archive):
+        summary = archive.summary()
+        assert summary["murofet"] == 3 * 800
+        assert summary["torpig"] == 3 * 18
+
+
+class TestIntegration:
+    def test_detection_windows_feed_botmeter(self, archive):
+        windows = archive.detection_windows("murofet", Timeline(START), [0, 1])
+        assert set(windows) == {0, 1}
+        assert windows[0] == frozenset(archive.nxdomains("murofet", START))
+
+    def test_collisions_detected(self, archive):
+        dga_domain = archive.pool("murofet", START)[5]
+        collisions = archive.collisions(["benign.example", dga_domain])
+        assert list(collisions) == [dga_domain]
+
+    def test_manifest_round_trip(self, archive, tmp_path):
+        path = tmp_path / "archive.json"
+        archive.save_manifest(path)
+        restored = DgaArchive.load_manifest(path)
+        assert restored.families() == archive.families()
+        assert len(restored) == len(archive)
+        domain = archive.pool("murofet", START)[0]
+        assert restored.lookup(domain) == archive.lookup(domain)
+
+    def test_empty_archive_has_no_range(self):
+        with pytest.raises(RuntimeError):
+            DgaArchive().date_range

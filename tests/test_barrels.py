@@ -1,0 +1,140 @@
+"""Tests for the query-barrel models (§III-B)."""
+
+import pytest
+
+from repro.dga.barrels import (
+    PermutationBarrel,
+    RandomCutBarrel,
+    SamplingBarrel,
+    UniformBarrel,
+)
+from repro.dga.base import BarrelClass
+from repro.dga.wordgen import Lcg
+
+POOL = [f"d{i:03d}.com" for i in range(40)]
+
+
+class TestUniformBarrel:
+    def test_follows_pool_order(self):
+        barrel = UniformBarrel().barrel(POOL, 40, Lcg(1))
+        assert barrel == POOL
+
+    def test_prefix_when_smaller(self):
+        barrel = UniformBarrel().barrel(POOL, 10, Lcg(1))
+        assert barrel == POOL[:10]
+
+    def test_identical_across_bots(self):
+        model = UniformBarrel()
+        assert model.barrel(POOL, 40, Lcg(1)) == model.barrel(POOL, 40, Lcg(99))
+
+    def test_barrel_class(self):
+        assert UniformBarrel().barrel_class is BarrelClass.UNIFORM
+
+
+class TestSamplingBarrel:
+    def test_size(self):
+        assert len(SamplingBarrel().barrel(POOL, 15, Lcg(1))) == 15
+
+    def test_without_replacement(self):
+        barrel = SamplingBarrel().barrel(POOL, 30, Lcg(2))
+        assert len(set(barrel)) == 30
+
+    def test_subset_of_pool(self):
+        barrel = SamplingBarrel().barrel(POOL, 15, Lcg(3))
+        assert set(barrel) <= set(POOL)
+
+    def test_different_bots_differ(self):
+        model = SamplingBarrel()
+        assert model.barrel(POOL, 15, Lcg(1)) != model.barrel(POOL, 15, Lcg(2))
+
+    def test_full_pool_is_permutation(self):
+        barrel = SamplingBarrel().barrel(POOL, 40, Lcg(4))
+        assert sorted(barrel) == sorted(POOL)
+
+    def test_uniformity_of_membership(self):
+        model = SamplingBarrel()
+        counts = {d: 0 for d in POOL}
+        trials = 400
+        for seed in range(trials):
+            for d in model.barrel(POOL, 10, Lcg(seed)):
+                counts[d] += 1
+        expected = trials * 10 / 40
+        assert all(0.5 * expected < c < 1.5 * expected for c in counts.values())
+
+    def test_barrel_class(self):
+        assert SamplingBarrel().barrel_class is BarrelClass.SAMPLING
+
+
+class TestRandomCutBarrel:
+    def test_size(self):
+        assert len(RandomCutBarrel().barrel(POOL, 15, Lcg(1))) == 15
+
+    def test_consecutive_in_pool_order(self):
+        barrel = RandomCutBarrel().barrel(POOL, 15, Lcg(5))
+        start = POOL.index(barrel[0])
+        expected = [POOL[(start + k) % len(POOL)] for k in range(15)]
+        assert barrel == expected
+
+    def test_wraps_modularly(self):
+        # Force many draws; at least one must wrap for barrel > half pool.
+        wrapped = False
+        for seed in range(50):
+            barrel = RandomCutBarrel().barrel(POOL, 30, Lcg(seed))
+            start = POOL.index(barrel[0])
+            if start + 30 > len(POOL):
+                wrapped = True
+                assert barrel[-1] == POOL[(start + 29) % len(POOL)]
+        assert wrapped
+
+    def test_start_positions_vary(self):
+        starts = {
+            POOL.index(RandomCutBarrel().barrel(POOL, 5, Lcg(seed))[0])
+            for seed in range(60)
+        }
+        assert len(starts) > 20
+
+    def test_barrel_class(self):
+        assert RandomCutBarrel().barrel_class is BarrelClass.RANDOMCUT
+
+
+class TestPermutationBarrel:
+    def test_full_barrel_is_permutation(self):
+        barrel = PermutationBarrel().barrel(POOL, 40, Lcg(1))
+        assert sorted(barrel) == sorted(POOL)
+        assert barrel != POOL  # astronomically unlikely to be identity
+
+    def test_different_bots_get_different_orders(self):
+        model = PermutationBarrel()
+        assert model.barrel(POOL, 40, Lcg(1)) != model.barrel(POOL, 40, Lcg(2))
+
+    def test_prefix_barrel(self):
+        barrel = PermutationBarrel().barrel(POOL, 10, Lcg(3))
+        assert len(barrel) == 10
+        assert len(set(barrel)) == 10
+
+    def test_deterministic_given_rng(self):
+        assert (
+            PermutationBarrel().barrel(POOL, 40, Lcg(7))
+            == PermutationBarrel().barrel(POOL, 40, Lcg(7))
+        )
+
+    def test_barrel_class(self):
+        assert PermutationBarrel().barrel_class is BarrelClass.PERMUTATION
+
+
+@pytest.mark.parametrize(
+    "model",
+    [UniformBarrel(), SamplingBarrel(), RandomCutBarrel(), PermutationBarrel()],
+)
+class TestBarrelValidation:
+    def test_rejects_oversized_barrel(self, model):
+        with pytest.raises(ValueError):
+            model.barrel(POOL, len(POOL) + 1, Lcg(1))
+
+    def test_rejects_zero_barrel(self, model):
+        with pytest.raises(ValueError):
+            model.barrel(POOL, 0, Lcg(1))
+
+    def test_no_duplicates(self, model):
+        barrel = model.barrel(POOL, 20, Lcg(11))
+        assert len(set(barrel)) == len(barrel)

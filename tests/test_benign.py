@@ -1,0 +1,85 @@
+"""Tests for the benign background-traffic model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.benign import BenignConfig, BenignTrafficModel
+from repro.timebase import SECONDS_PER_DAY
+
+
+def make_model(**overrides):
+    defaults = dict(n_domains=200, lookups_per_client_per_day=50.0)
+    defaults.update(overrides)
+    return BenignTrafficModel(BenignConfig(**defaults), np.random.default_rng(0))
+
+
+class TestBenignConfig:
+    def test_rejects_empty_catalogue(self):
+        with pytest.raises(ValueError):
+            BenignConfig(n_domains=0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            BenignConfig(lookups_per_client_per_day=-1)
+
+    def test_rejects_bad_typo_rate(self):
+        with pytest.raises(ValueError):
+            BenignConfig(typo_rate=1.5)
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            BenignConfig(diurnal_amplitude=-0.1)
+
+
+class TestBenignTrafficModel:
+    def test_catalogue_size(self):
+        assert len(make_model().catalogue) == 200
+
+    def test_day_volume_scales_with_clients(self):
+        model = make_model()
+        few = model.day_lookups(["a"], 0.0)
+        many = model.day_lookups([f"c{i}" for i in range(20)], 0.0)
+        assert len(many) > len(few) * 5
+
+    def test_lookup_timestamps_within_day(self):
+        lookups = make_model().day_lookups(["a", "b"], day_start=86_400.0)
+        assert all(86_400.0 <= l.timestamp < 2 * 86_400.0 for l in lookups)
+
+    def test_clients_attributed(self):
+        lookups = make_model().day_lookups(["a", "b"], 0.0)
+        assert {l.client for l in lookups} <= {"a", "b"}
+
+    def test_popularity_skew(self):
+        model = make_model(zipf_exponent=1.2, typo_rate=0.0)
+        lookups = model.day_lookups([f"c{i}" for i in range(40)], 0.0)
+        counts = {}
+        for l in lookups:
+            counts[l.domain] = counts.get(l.domain, 0) + 1
+        top = max(counts.values())
+        assert top > len(lookups) / 40  # head domain well above uniform share
+
+    def test_typos_are_unique_nxds(self):
+        model = make_model(typo_rate=0.5)
+        lookups = model.day_lookups([f"c{i}" for i in range(10)], 0.0)
+        typos = [l.domain for l in lookups if l.domain.startswith("tpyo")]
+        assert typos
+        assert len(typos) == len(set(typos))
+
+    def test_zero_typo_rate(self):
+        model = make_model(typo_rate=0.0)
+        lookups = model.day_lookups(["a", "b", "c"], 0.0)
+        assert all(not l.domain.startswith("tpyo") for l in lookups)
+
+    def test_diurnal_profile_peaks_midday(self):
+        model = make_model(diurnal_amplitude=0.9, lookups_per_client_per_day=500.0)
+        lookups = model.day_lookups([f"c{i}" for i in range(20)], 0.0)
+        hours = np.array([l.timestamp // 3600 for l in lookups])
+        night = np.sum((hours < 3))
+        midday = np.sum((hours >= 11) & (hours < 14))
+        assert midday > night * 2
+
+    def test_no_clients_no_traffic(self):
+        assert make_model().day_lookups([], 0.0) == []
+
+    def test_zero_rate_no_traffic(self):
+        assert make_model(lookups_per_client_per_day=0.0).day_lookups(["a"], 0.0) == []

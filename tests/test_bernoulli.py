@@ -1,0 +1,155 @@
+"""Tests for the Bernoulli estimator MB (§IV-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bernoulli import (
+    BernoulliEstimator,
+    solve_coverage_population,
+    solve_pattern_population,
+)
+from repro.core.botmeter import BotMeter
+from repro.core.segments import Segment, SegmentKind
+from repro.sim import SimConfig, simulate
+from repro.timebase import SECONDS_PER_DAY
+
+
+class TestSolveCoveragePopulation:
+    def test_zero_coverage_zero_population(self):
+        assert solve_coverage_population([3, 3, 3], [False] * 3, 10) == 0.0
+
+    def test_moments_inverts_expected_coverage(self):
+        # 100 positions of weight 5 on a circle of 1000; with N bots the
+        # expected coverage is 100·(1−(1−0.005)^N).  Feed the expectation
+        # back: the moments solver must return ~N.
+        weights = [5] * 100
+        n_true = 40
+        expected = 100 * (1 - (1 - 5 / 1000) ** n_true)
+        covered_count = round(expected)
+        covered = [True] * covered_count + [False] * (100 - covered_count)
+        estimate = solve_coverage_population(weights, covered, 1000, "moments")
+        assert estimate == pytest.approx(n_true, rel=0.05)
+
+    def test_mle_close_to_moments_on_uniform_weights(self):
+        weights = [5] * 100
+        covered = [True] * 18 + [False] * 82
+        mle = solve_coverage_population(weights, covered, 1000, "mle")
+        mom = solve_coverage_population(weights, covered, 1000, "moments")
+        assert mle == pytest.approx(mom, rel=0.01)
+
+    def test_full_coverage_saturation_finite(self):
+        estimate = solve_coverage_population([5] * 50, [True] * 50, 1000)
+        assert np.isfinite(estimate)
+        assert estimate > 100  # far more bots than positions' worth
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            solve_coverage_population([1, 2], [True], 10)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            solve_coverage_population([1], [True], 10, "bayes")
+
+    def test_weight_equal_to_circle_dropped(self):
+        # Positions always covered by any bot carry no information.
+        estimate = solve_coverage_population([10, 5], [True, False], 10)
+        assert np.isfinite(estimate)
+
+    def test_empty_positions(self):
+        assert solve_coverage_population([], [], 10) == 0.0
+
+
+class TestSolvePatternPopulation:
+    def test_no_segments_zero(self):
+        assert solve_pattern_population([], 100, 105, 10, 5.0) == 0.0
+
+    def test_single_full_barrel_segment_implies_sparse_bots(self):
+        # One m-segment of exactly θq on a big circle: ~1 bot among many
+        # unoccupied positions → estimate around 1-2.
+        segment = Segment(0, 10, 50, SegmentKind.MIDDLE)
+        estimate = solve_pattern_population([segment], 995, 1000, 50, 2.0)
+        assert 0.3 < estimate < 4.0
+
+    def test_more_segments_higher_estimate(self):
+        seg = lambda i: Segment(i, 1, 50, SegmentKind.MIDDLE)
+        few = solve_pattern_population([seg(0)], 995, 1000, 50, 2.0)
+        many = solve_pattern_population(
+            [seg(i) for i in range(6)], 995, 1000, 50, 8.0
+        )
+        assert many > few * 3
+
+    def test_longer_segment_more_bots(self):
+        short = Segment(0, 1, 50, SegmentKind.MIDDLE)
+        long = Segment(0, 1, 140, SegmentKind.MIDDLE)
+        n_short = solve_pattern_population([short], 995, 1000, 50, 3.0)
+        n_long = solve_pattern_population([long], 995, 1000, 50, 5.0)
+        assert n_long > n_short
+
+
+class TestBernoulliOnSimulation:
+    @pytest.mark.parametrize("method", ["pattern", "mle", "moments"])
+    def test_reasonable_accuracy(self, newgoz_run, method):
+        meter = BotMeter(
+            newgoz_run.dga,
+            estimator=BernoulliEstimator(method=method),
+            timeline=newgoz_run.timeline,
+        )
+        landscape = meter.chart(newgoz_run.observable, 0.0, SECONDS_PER_DAY)
+        actual = newgoz_run.ground_truth.population(0)
+        assert abs(landscape.total - actual) / actual < 0.45
+
+    def test_pattern_is_default(self):
+        assert BernoulliEstimator()._method == "pattern"
+
+    def test_estimate_scales_with_population(self):
+        totals = []
+        for n in (8, 64):
+            run = simulate(SimConfig(family="new_goz", n_bots=n, seed=31))
+            meter = BotMeter(
+                run.dga, estimator=BernoulliEstimator(), timeline=run.timeline
+            )
+            totals.append(meter.chart(run.observable, 0.0, SECONDS_PER_DAY).total)
+        assert totals[1] > totals[0] * 3
+
+    def test_empty_stream(self, newgoz_run):
+        meter = BotMeter(
+            newgoz_run.dga, estimator=BernoulliEstimator(),
+            timeline=newgoz_run.timeline,
+        )
+        landscape = meter.chart([], 0.0, SECONDS_PER_DAY)
+        assert landscape.total == 0.0
+
+    def test_caching_invariance(self, newgoz_run):
+        """MB consumes distinct NXDs only: feeding the raw (pre-cache)
+        stream must give the same estimate as the cache-filtered one."""
+        from repro.dns.message import ForwardedLookup
+
+        raw_as_observable = [
+            ForwardedLookup(l.timestamp, "ldns-000", l.domain)
+            for l in newgoz_run.raw
+        ]
+        meter = BotMeter(
+            newgoz_run.dga, estimator=BernoulliEstimator(),
+            timeline=newgoz_run.timeline,
+        )
+        filtered = meter.chart(newgoz_run.observable, 0.0, SECONDS_PER_DAY).total
+        unfiltered = meter.chart(raw_as_observable, 0.0, SECONDS_PER_DAY).total
+        assert filtered == pytest.approx(unfiltered, rel=1e-6)
+
+    def test_details_report_segments(self, newgoz_run):
+        meter = BotMeter(
+            newgoz_run.dga, estimator=BernoulliEstimator(),
+            timeline=newgoz_run.timeline,
+        )
+        landscape = meter.chart(newgoz_run.observable, 0.0, SECONDS_PER_DAY)
+        estimate = landscape.per_server["ldns-000"]
+        segments = estimate.details["segments_per_epoch"][0]
+        assert segments and all(kind in ("m-segment", "b-segment") for kind, _ in segments)
+
+    def test_compensated_variant_forces_mle(self):
+        est = BernoulliEstimator(compensate_detection_window=True)
+        assert est._method == "mle"
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliEstimator(method="magic")

@@ -1,0 +1,137 @@
+"""Tests for the BotMeter pipeline and landscape charting (Figure 2)."""
+
+import pytest
+
+from repro.core.botmeter import BotMeter, Landscape, make_estimator
+from repro.core.bernoulli import BernoulliEstimator
+from repro.core.estimator import PopulationEstimate
+from repro.core.poisson import PoissonEstimator
+from repro.core.timing import TimingEstimator
+from repro.detect.d3 import OracleDetector, build_detection_windows
+from repro.timebase import SECONDS_PER_DAY
+
+
+class TestMakeEstimator:
+    def test_all_library_models(self):
+        assert isinstance(make_estimator("timing"), TimingEstimator)
+        assert isinstance(make_estimator("poisson"), PoissonEstimator)
+        assert isinstance(make_estimator("bernoulli"), BernoulliEstimator)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown estimator"):
+            make_estimator("oracle")
+
+
+class TestLandscape:
+    def make(self):
+        ls = Landscape(dga_name="new_goz", estimator_name="bernoulli")
+        ls.per_server["ldns-001"] = PopulationEstimate(5.0, "bernoulli")
+        ls.per_server["ldns-000"] = PopulationEstimate(12.0, "bernoulli")
+        ls.matched_counts = {"ldns-000": 900, "ldns-001": 400}
+        return ls
+
+    def test_total(self):
+        assert self.make().total == 17.0
+
+    def test_ranked_most_infected_first(self):
+        assert self.make().ranked() == [("ldns-000", 12.0), ("ldns-001", 5.0)]
+
+    def test_ranked_ties_by_name(self):
+        ls = Landscape("x", "timing")
+        ls.per_server["b"] = PopulationEstimate(1.0, "timing")
+        ls.per_server["a"] = PopulationEstimate(1.0, "timing")
+        assert ls.ranked() == [("a", 1.0), ("b", 1.0)]
+
+    def test_summary_text(self):
+        text = self.make().summary()
+        assert "new_goz" in text
+        assert "ldns-000" in text
+        assert "TOTAL" in text
+
+
+class TestBotMeterPipeline:
+    def test_auto_estimator_selection(self, newgoz_run):
+        meter = BotMeter(newgoz_run.dga, estimator="auto", timeline=newgoz_run.timeline)
+        assert isinstance(meter.estimator, BernoulliEstimator)
+
+    def test_estimator_by_name(self, newgoz_run):
+        meter = BotMeter(newgoz_run.dga, estimator="timing", timeline=newgoz_run.timeline)
+        assert isinstance(meter.estimator, TimingEstimator)
+
+    def test_window_defaults_to_stream_epochs(self, newgoz_run):
+        meter = BotMeter(newgoz_run.dga, timeline=newgoz_run.timeline)
+        implicit = meter.chart(newgoz_run.observable)
+        explicit = meter.chart(newgoz_run.observable, 0.0, SECONDS_PER_DAY)
+        assert implicit.total == pytest.approx(explicit.total, rel=0.05)
+
+    def test_empty_window_rejected(self, newgoz_run):
+        meter = BotMeter(newgoz_run.dga, timeline=newgoz_run.timeline)
+        with pytest.raises(ValueError):
+            meter.chart(newgoz_run.observable, 100.0, 100.0)
+
+    def test_per_server_landscape(self, multiserver_run):
+        meter = BotMeter(
+            multiserver_run.dga,
+            estimator=BernoulliEstimator(),
+            timeline=multiserver_run.timeline,
+        )
+        landscape = meter.chart(
+            multiserver_run.observable, 0.0, 2 * SECONDS_PER_DAY
+        )
+        assert set(landscape.per_server) == {"ldns-000", "ldns-001", "ldns-002"}
+
+    def test_per_server_estimates_near_per_server_truth(self, multiserver_run):
+        meter = BotMeter(
+            multiserver_run.dga,
+            estimator=BernoulliEstimator(),
+            timeline=multiserver_run.timeline,
+        )
+        landscape = meter.chart(
+            multiserver_run.observable, 0.0, 2 * SECONDS_PER_DAY
+        )
+        gt = multiserver_run.ground_truth
+        for server, estimate in landscape.per_server.items():
+            actual = sum(gt.population(d, server) for d in (0, 1)) / 2
+            assert abs(estimate.value - actual) <= max(4.0, 0.5 * actual)
+
+    def test_matched_counts_positive(self, newgoz_run):
+        meter = BotMeter(newgoz_run.dga, timeline=newgoz_run.timeline)
+        landscape = meter.chart(newgoz_run.observable, 0.0, SECONDS_PER_DAY)
+        assert landscape.matched_counts["ldns-000"] > 0
+
+    def test_benign_traffic_not_matched(self):
+        from repro.sim import BenignConfig, SimConfig, simulate
+
+        run = simulate(
+            SimConfig(
+                family="new_goz",
+                n_bots=6,
+                seed=17,
+                benign=BenignConfig(n_domains=100, lookups_per_client_per_day=50.0),
+                benign_clients_per_server=5,
+            )
+        )
+        meter = BotMeter(run.dga, timeline=run.timeline)
+        landscape = meter.chart(run.observable, 0.0, SECONDS_PER_DAY)
+        nxds = set(run.dga.nxdomains(run.timeline.date_for_day(0)))
+        matched = landscape.matched_counts["ldns-000"]
+        dga_lookups = sum(1 for r in run.observable if r.domain in nxds)
+        assert matched == dga_lookups
+
+    def test_detection_window_limits_matching(self, newgoz_run):
+        detector = OracleDetector(newgoz_run.dga, miss_rate=0.5, seed=1)
+        windows = build_detection_windows(detector, newgoz_run.timeline, [0])
+        full = BotMeter(newgoz_run.dga, timeline=newgoz_run.timeline)
+        limited = BotMeter(
+            newgoz_run.dga, detection_windows=windows, timeline=newgoz_run.timeline
+        )
+        n_full = full.chart(newgoz_run.observable, 0.0, SECONDS_PER_DAY).matched_counts
+        n_limited = limited.chart(
+            newgoz_run.observable, 0.0, SECONDS_PER_DAY
+        ).matched_counts
+        assert n_limited["ldns-000"] < n_full["ldns-000"]
+
+    def test_custom_estimator_instance(self, newgoz_run):
+        est = BernoulliEstimator(method="moments")
+        meter = BotMeter(newgoz_run.dga, estimator=est, timeline=newgoz_run.timeline)
+        assert meter.estimator is est

@@ -1,0 +1,119 @@
+"""Tests for bot activation behaviour (§III)."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.dga.families import make_family
+from repro.sim.bots import Bot, activation_seed
+
+DAY = dt.date(2014, 5, 1)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestActivationSeed:
+    def test_deterministic(self):
+        assert activation_seed(1, 2, DAY, 0) == activation_seed(1, 2, DAY, 0)
+
+    def test_varies_with_bot(self):
+        assert activation_seed(1, 2, DAY) != activation_seed(1, 3, DAY)
+
+    def test_varies_with_day(self):
+        assert activation_seed(1, 2, DAY) != activation_seed(1, 2, DAY + dt.timedelta(days=1))
+
+    def test_varies_with_activation_index(self):
+        assert activation_seed(1, 2, DAY, 0) != activation_seed(1, 2, DAY, 1)
+
+    def test_varies_with_salt(self):
+        assert activation_seed(1, 2, DAY, 0, salt=5) != activation_seed(1, 2, DAY, 0, salt=6)
+
+    def test_fits_64_bits(self):
+        assert 0 <= activation_seed(2**62, 2**31, DAY, 9, 2**40) < 1 << 64
+
+
+class TestBotActivation:
+    def test_stops_at_first_valid_domain(self):
+        dga = make_family("murofet", 3)
+        bot = Bot(0, "client-0", dga)
+        valid = dga.registered(DAY)
+        train = bot.activate(DAY, 0.0, valid, rng())
+        assert train[-1].domain in valid
+        assert all(l.domain not in valid for l in train[:-1])
+
+    def test_aborts_after_full_barrel_without_c2(self):
+        dga = make_family("murofet", 3)
+        bot = Bot(0, "client-0", dga)
+        train = bot.activate(DAY, 0.0, valid_domains=frozenset(), rng=rng())
+        assert len(train) == dga.params.barrel_size
+
+    def test_lookups_carry_client_id(self):
+        dga = make_family("murofet", 3)
+        bot = Bot(0, "client-x", dga)
+        train = bot.activate(DAY, 0.0, frozenset(), rng())
+        assert all(l.client == "client-x" for l in train)
+
+    def test_fixed_interval_spacing(self):
+        dga = make_family("new_goz", 3)  # δi = 1s fixed
+        bot = Bot(0, "c", dga)
+        train = bot.activate(DAY, 100.0, frozenset(), rng())
+        gaps = {
+            round(b.timestamp - a.timestamp, 9)
+            for a, b in zip(train, train[1:])
+        }
+        assert gaps == {1.0}
+
+    def test_jittered_interval_spacing(self):
+        dga = make_family("ramnit", 3)  # δi = none (jittered around 1s)
+        bot = Bot(0, "c", dga)
+        train = bot.activate(DAY, 0.0, frozenset(), rng())
+        gaps = np.diff([l.timestamp for l in train])
+        assert len(set(np.round(gaps, 6))) > 10  # genuinely variable
+        assert np.all(gaps >= 0.2 - 1e-9) and np.all(gaps <= 1.8 + 1e-9)
+
+    def test_start_time_respected(self):
+        dga = make_family("murofet", 3)
+        bot = Bot(0, "c", dga)
+        train = bot.activate(DAY, 1234.5, frozenset(), rng())
+        assert train[0].timestamp == 1234.5
+
+    def test_randomcut_bots_query_consecutive_pool_domains(self):
+        dga = make_family("new_goz", 3)
+        pool = dga.pool(DAY)
+        index = {d: i for i, d in enumerate(pool)}
+        bot = Bot(0, "c", dga)
+        train = bot.activate(DAY, 0.0, frozenset(), rng())
+        positions = [index[l.domain] for l in train]
+        n = len(pool)
+        assert all(
+            (b - a) % n == 1 for a, b in zip(positions, positions[1:])
+        )
+
+    def test_uniform_bots_share_queried_domains(self):
+        dga = make_family("murofet", 3)
+        valid = dga.registered(DAY)
+        t1 = Bot(0, "c0", dga).activate(DAY, 0.0, valid, rng())
+        t2 = Bot(1, "c1", dga).activate(DAY, 50.0, valid, rng())
+        assert [l.domain for l in t1] == [l.domain for l in t2]
+
+    def test_randomcut_bots_usually_differ(self):
+        dga = make_family("new_goz", 3)
+        t1 = Bot(0, "c0", dga).activate(DAY, 0.0, frozenset(), rng())
+        t2 = Bot(1, "c1", dga).activate(DAY, 0.0, frozenset(), rng())
+        assert [l.domain for l in t1] != [l.domain for l in t2]
+
+    def test_same_bot_same_day_redraws_with_activation_index(self):
+        dga = make_family("conficker_c", 3)
+        bot = Bot(0, "c", dga)
+        t1 = bot.activate(DAY, 0.0, frozenset(), rng(), activation_index=0)
+        t2 = bot.activate(DAY, 0.0, frozenset(), rng(), activation_index=1)
+        assert [l.domain for l in t1] != [l.domain for l in t2]
+
+    def test_salt_decorrelates_runs(self):
+        dga = make_family("new_goz", 3)
+        t1 = Bot(0, "c", dga, salt=1).activate(DAY, 0.0, frozenset(), rng())
+        t2 = Bot(0, "c", dga, salt=2).activate(DAY, 0.0, frozenset(), rng())
+        assert [l.domain for l in t1] != [l.domain for l in t2]

@@ -1,0 +1,86 @@
+"""Collision cases (§II-B): pool domains that coincide with valid benign
+domains leak benign traffic into the matched stream.  These tests pin
+down which estimators shrug that off."""
+
+import pytest
+
+from repro.core.bernoulli import BernoulliEstimator
+from repro.core.botmeter import BotMeter
+from repro.core.renewal import RenewalEstimator
+from repro.core.timing import TimingEstimator
+from repro.detect.d3 import OracleDetector, build_detection_windows
+from repro.sim import BenignConfig, SimConfig, simulate
+from repro.timebase import SECONDS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def run_with_benign():
+    return simulate(
+        SimConfig(
+            family="new_goz",
+            n_bots=24,
+            seed=51,
+            benign=BenignConfig(
+                n_domains=50, lookups_per_client_per_day=400.0, typo_rate=0.0
+            ),
+            benign_clients_per_server=8,
+        )
+    )
+
+
+def windows_with_collisions(run, n_collisions):
+    """Detection windows that wrongly include popular benign domains."""
+    model_catalogue = [f"site{i:05d}.example" for i in range(n_collisions)]
+    detector = OracleDetector(run.dga, miss_rate=0.0, collisions=model_catalogue)
+    return build_detection_windows(detector, run.timeline, [0])
+
+
+class TestCollisionCases:
+    def test_collisions_inflate_matched_counts(self, run_with_benign):
+        run = run_with_benign
+        clean = BotMeter(run.dga, timeline=run.timeline).chart(
+            run.observable, 0.0, SECONDS_PER_DAY
+        )
+        polluted = BotMeter(
+            run.dga,
+            detection_windows=windows_with_collisions(run, 5),
+            timeline=run.timeline,
+        ).chart(run.observable, 0.0, SECONDS_PER_DAY)
+        assert (
+            polluted.matched_counts["ldns-000"] > clean.matched_counts["ldns-000"]
+        )
+
+    @pytest.mark.parametrize(
+        "estimator_cls", [BernoulliEstimator, RenewalEstimator]
+    )
+    def test_semantic_estimators_ignore_collisions(
+        self, run_with_benign, estimator_cls
+    ):
+        """MB and MR anchor on the pool geometry: a matched domain that is
+        not on the circle contributes nothing."""
+        run = run_with_benign
+        clean = BotMeter(
+            run.dga, estimator=estimator_cls(), timeline=run.timeline
+        ).chart(run.observable, 0.0, SECONDS_PER_DAY)
+        polluted = BotMeter(
+            run.dga,
+            estimator=estimator_cls(),
+            detection_windows=windows_with_collisions(run, 5),
+            timeline=run.timeline,
+        ).chart(run.observable, 0.0, SECONDS_PER_DAY)
+        assert polluted.total == pytest.approx(clean.total, rel=1e-9)
+
+    def test_timing_estimator_inflated_by_collisions(self, run_with_benign):
+        """MT has no pool geometry: benign lookups of a collided domain
+        spawn extra bot entries."""
+        run = run_with_benign
+        clean = BotMeter(
+            run.dga, estimator=TimingEstimator(), timeline=run.timeline
+        ).chart(run.observable, 0.0, SECONDS_PER_DAY)
+        polluted = BotMeter(
+            run.dga,
+            estimator=TimingEstimator(),
+            detection_windows=windows_with_collisions(run, 5),
+            timeline=run.timeline,
+        ).chart(run.observable, 0.0, SECONDS_PER_DAY)
+        assert polluted.total > clean.total

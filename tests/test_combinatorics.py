@@ -1,0 +1,211 @@
+"""Tests for the occupancy combinatorics behind MB (§IV-D)."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.combinatorics import (
+    barrel_consumption_pmf,
+    coverage_validity_curve,
+    expected_barrel_consumption,
+    expected_bots_to_cover,
+    gap_constrained_subset_count,
+    log_gap_subset_table,
+    log_occupancy_table,
+    segment_validity_curve,
+)
+
+
+def brute_force_gap_count(length, m, gap):
+    """Enumerate m-subsets of {1..length} with endpoints and gap ≤ gap."""
+    count = 0
+    for subset in itertools.combinations(range(1, length + 1), m):
+        if subset[0] != 1 or subset[-1] != length:
+            continue
+        if all(b - a <= gap for a, b in zip(subset, subset[1:])):
+            count += 1
+    return count
+
+
+class TestBarrelConsumptionPmf:
+    """Eqn (2) of the paper."""
+
+    def test_sums_to_one(self):
+        pmf = barrel_consumption_pmf(5, 9995, 500)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_sums_to_one_small(self):
+        pmf = barrel_consumption_pmf(2, 8, 5)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_no_registered_always_aborts(self):
+        pmf = barrel_consumption_pmf(0, 10, 4)
+        assert pmf[4] == 1.0 and pmf[:4].sum() == 0.0
+
+    def test_matches_direct_hypergeometric(self):
+        # Pr(q=0) = θ∃/(θ∃+θ∅): first pick is valid.
+        pmf = barrel_consumption_pmf(3, 7, 5)
+        assert pmf[0] == pytest.approx(3 / 10)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        theta_e, theta_0, theta_q = 2, 18, 6
+        pool = [1] * theta_e + [0] * theta_0
+        counts = np.zeros(theta_q + 1)
+        trials = 40_000
+        for _ in range(trials):
+            rng.shuffle(pool)
+            q = 0
+            for v in pool[:theta_q]:
+                if v == 1:
+                    break
+                q += 1
+            counts[q] += 1
+        mc = counts / trials
+        pmf = barrel_consumption_pmf(theta_e, theta_0, theta_q)
+        assert np.allclose(pmf, mc, atol=0.01)
+
+    def test_expected_consumption_between_bounds(self):
+        e = expected_barrel_consumption(5, 9995, 500)
+        assert 0 < e < 500
+
+    def test_expected_consumption_abort_dominated(self):
+        # With no valid domains, every bot consumes the full barrel.
+        assert expected_barrel_consumption(0, 100, 30) == pytest.approx(30.0)
+
+    def test_rejects_bad_barrel(self):
+        with pytest.raises(ValueError):
+            barrel_consumption_pmf(1, 9, 11)
+
+
+class TestGapConstrainedSubsetCount:
+    def test_matches_brute_force(self):
+        for length in range(1, 12):
+            for m in range(1, length + 1):
+                for gap in (1, 2, 3, 5):
+                    assert gap_constrained_subset_count(length, m, gap) == (
+                        brute_force_gap_count(length, m, gap)
+                    ), (length, m, gap)
+
+    def test_singleton(self):
+        assert gap_constrained_subset_count(1, 1, 3) == 1
+
+    def test_two_endpoints_require_small_gap(self):
+        assert gap_constrained_subset_count(5, 2, 4) == 1
+        assert gap_constrained_subset_count(6, 2, 4) == 0
+
+    def test_unconstrained_gap_reduces_to_binomial(self):
+        # gap ≥ length−1 never binds: count = C(length−2, m−2).
+        assert gap_constrained_subset_count(10, 4, 9) == math.comb(8, 2)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            gap_constrained_subset_count(0, 1, 1)
+
+
+class TestLogGapSubsetTable:
+    def test_matches_exact_counts(self):
+        table = log_gap_subset_table(20, 10, 3)
+        for j in range(1, 21):
+            for m in range(1, 11):
+                exact = gap_constrained_subset_count(j, m, 3) if j >= 1 else 0
+                if m == 1:
+                    exact = 1 if j == 1 else 0
+                value = table[m, j]
+                if exact == 0:
+                    assert not np.isfinite(value)
+                else:
+                    assert np.exp(value) == pytest.approx(exact, rel=1e-9)
+
+    def test_large_counts_do_not_overflow(self):
+        table = log_gap_subset_table(3_000, 60, 500)
+        assert np.isfinite(table[60, 3_000])
+        assert table[60, 3_000] > 100  # astronomically many subsets
+
+
+class TestLogOccupancyTable:
+    def test_matches_surjection_counts(self):
+        table = log_occupancy_table(5, 6, 5)
+
+        def surj(n, m):
+            return sum(
+                (-1) ** j * math.comb(m, j) * (m - j) ** n for j in range(m + 1)
+            )
+
+        for n in range(1, 7):
+            for m in range(1, min(n, 5) + 1):
+                expected = surj(n, m) / 5**n
+                assert np.exp(table[n, m]) == pytest.approx(expected, rel=1e-9)
+
+    def test_impossible_cells_are_neg_inf(self):
+        table = log_occupancy_table(5, 4, 5)
+        assert not np.isfinite(table[2, 3])  # 2 balls cannot cover 3 boxes
+
+    def test_rows_bounded_by_one(self):
+        table = log_occupancy_table(7, 10, 7)
+        assert np.all(table[np.isfinite(table)] <= 1e-12)
+
+
+class TestValidityCurves:
+    def test_monotone_nondecreasing(self):
+        curve = coverage_validity_curve(8, 3, 60)
+        assert np.all(np.diff(curve) >= -1e-12)
+
+    def test_limits(self):
+        curve = coverage_validity_curve(8, 3, 400)
+        assert curve[0] == 0.0
+        assert curve[-1] > 0.99
+
+    def test_single_slot_always_valid(self):
+        slots, curve = segment_validity_curve(1, 5, 10, ends_at_boundary=True)
+        assert slots == 1
+        assert curve[0] == 0.0 and np.all(curve[1:] == 1.0)
+
+    def test_m_segment_slot_count(self):
+        slots, _ = segment_validity_curve(12, 5, 10, ends_at_boundary=False)
+        assert slots == 8
+
+    def test_b_segment_slot_count(self):
+        slots, _ = segment_validity_curve(12, 5, 10, ends_at_boundary=True)
+        assert slots == 12
+
+    def test_short_m_segment_degrades_to_single_slot(self):
+        slots, _ = segment_validity_curve(3, 5, 10, ends_at_boundary=False)
+        assert slots == 1
+
+    def test_b_segment_shorter_than_barrel_single_bot_possible(self):
+        # One bot starting at slot 1 covers the whole b-segment.
+        _, curve = segment_validity_curve(4, 5, 10, ends_at_boundary=True)
+        assert curve[1] == pytest.approx(1 / 4)
+
+    def test_m_segment_needs_both_endpoints(self):
+        # Two slots: a single bot cannot occupy both.
+        _, curve = segment_validity_curve(6, 5, 10, ends_at_boundary=False)
+        assert curve[1] == 0.0
+        assert curve[2] == pytest.approx(2 / 4)  # 2 of 2² assignments
+
+
+class TestExpectedBotsToCover:
+    def test_single_position_segment(self):
+        assert expected_bots_to_cover(1, 5, True) == 1.0
+
+    def test_exact_barrel_m_segment_is_one_bot(self):
+        # An m-segment of exactly θq NXDs has one possible start slot.
+        assert expected_bots_to_cover(10, 10, False) == pytest.approx(1.0)
+
+    def test_matches_direct_summation_small_case(self):
+        # E[N*] for coupon-style coverage of 3 slots with gap 1 (all slots
+        # must be occupied): expected throws to collect 3 coupons = 5.5.
+        value = expected_bots_to_cover(3, 1, False)
+        assert value == pytest.approx(5.5, rel=1e-3)
+
+    def test_boundary_segment_cheaper_than_middle(self):
+        m_cost = expected_bots_to_cover(12, 5, False)
+        b_cost = expected_bots_to_cover(12, 5, True)
+        assert b_cost != m_cost
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            expected_bots_to_cover(0, 5, True)

@@ -1,0 +1,112 @@
+"""Tests for the confidence-interval extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core.confidence import (
+    ConfidenceInterval,
+    coverage_profile_interval,
+    poisson_interval,
+)
+
+
+class TestConfidenceInterval:
+    def test_width(self):
+        ci = ConfidenceInterval(1.0, 2.0, 4.0, 0.9)
+        assert ci.width == 3.0
+
+    def test_contains(self):
+        ci = ConfidenceInterval(1.0, 2.0, 4.0, 0.9)
+        assert ci.contains(1.0) and ci.contains(4.0)
+        assert not ci.contains(4.1)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(3.0, 2.0, 4.0, 0.9)
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(1.0, 2.0, 3.0, 1.5)
+
+
+class TestPoissonInterval:
+    def test_brackets_point(self):
+        ci = poisson_interval(10, 14_000.0, 86_400.0)
+        assert ci.low < ci.point < ci.high
+
+    def test_point_matches_rate_estimate(self):
+        ci = poisson_interval(10, 14_000.0, 86_400.0)
+        assert ci.point == pytest.approx(10 / 14_000.0 * 86_400.0)
+
+    def test_more_events_narrower_relative_interval(self):
+        few = poisson_interval(5, 10_000.0, 86_400.0)
+        many = poisson_interval(50, 100_000.0, 86_400.0)
+        assert many.width / many.point < few.width / few.point
+
+    def test_zero_events_one_sided(self):
+        ci = poisson_interval(0, 10_000.0, 86_400.0)
+        assert ci.low == ci.point == 0.0
+        assert ci.high > 0
+
+    def test_higher_level_wider(self):
+        narrow = poisson_interval(10, 14_000.0, 86_400.0, level=0.5)
+        wide = poisson_interval(10, 14_000.0, 86_400.0, level=0.99)
+        assert wide.width > narrow.width
+
+    def test_frequentist_coverage(self):
+        """~90% of 90% intervals must contain the true population."""
+        rng = np.random.default_rng(0)
+        true_n = 80
+        window = 86_400.0
+        rate = true_n / window
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            n_events = rng.poisson(rate * window * 0.2)
+            exposure = window * 0.2  # fixed exposure, Poisson counts
+            ci = poisson_interval(n_events, exposure, window, level=0.9)
+            hits += ci.contains(true_n)
+        assert 0.82 < hits / trials <= 1.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            poisson_interval(-1, 10.0, 100.0)
+        with pytest.raises(ValueError):
+            poisson_interval(1, 0.0, 100.0)
+
+
+class TestCoverageProfileInterval:
+    def _setup(self, n_true=40, seed=0):
+        rng = np.random.default_rng(seed)
+        circle = 1_000
+        weights = np.full(300, 5)
+        p = 1 - (1 - 5 / circle) ** n_true
+        covered = rng.random(300) < p
+        return list(weights), list(covered), circle
+
+    def test_brackets_point(self):
+        from repro.core.bernoulli import solve_coverage_population
+
+        weights, covered, circle = self._setup()
+        point = solve_coverage_population(weights, covered, circle, "mle")
+        ci = coverage_profile_interval(weights, covered, circle, point)
+        assert ci.low < ci.point < ci.high
+
+    def test_interval_contains_truth_typically(self):
+        from repro.core.bernoulli import solve_coverage_population
+
+        hits = 0
+        for seed in range(20):
+            weights, covered, circle = self._setup(seed=seed)
+            point = solve_coverage_population(weights, covered, circle, "mle")
+            ci = coverage_profile_interval(weights, covered, circle, point, level=0.9)
+            hits += ci.contains(40)
+        assert hits >= 15
+
+    def test_zero_point_degenerate(self):
+        ci = coverage_profile_interval([5] * 10, [False] * 10, 100, 0.0)
+        assert ci.low == 0.0 and ci.point == 0.0
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            coverage_profile_interval([1, 2], [True], 100, 1.0)

@@ -1,0 +1,125 @@
+"""Tests for the D3 substrate: detection-window oracle and lexical
+classifier."""
+
+import datetime as dt
+
+import pytest
+
+from repro.detect.d3 import OracleDetector, build_detection_windows
+from repro.detect.lexical import LexicalDetector, label_entropy
+from repro.dga.families import make_family
+from repro.timebase import Timeline
+
+DAY = dt.date(2014, 5, 1)
+
+
+class TestOracleDetector:
+    def test_perfect_detector_sees_all_nxds(self):
+        dga = make_family("murofet", 3)
+        detector = OracleDetector(dga)
+        assert detector.detected_nxds(DAY) == frozenset(dga.nxdomains(DAY))
+
+    def test_miss_rate_shrinks_window(self):
+        dga = make_family("murofet", 3)
+        detector = OracleDetector(dga, miss_rate=0.3, seed=1)
+        detected = detector.detected_nxds(DAY)
+        total = len(dga.nxdomains(DAY))
+        assert 0.55 * total < len(detected) < 0.85 * total
+
+    def test_detected_subset_of_pool(self):
+        dga = make_family("murofet", 3)
+        detector = OracleDetector(dga, miss_rate=0.4, seed=1)
+        assert detector.detected_nxds(DAY) <= frozenset(dga.nxdomains(DAY))
+
+    def test_deterministic_per_day(self):
+        dga = make_family("murofet", 3)
+        detector = OracleDetector(dga, miss_rate=0.4, seed=1)
+        assert detector.detected_nxds(DAY) == detector.detected_nxds(DAY)
+
+    def test_different_days_different_misses(self):
+        dga = make_family("murofet", 3)
+        detector = OracleDetector(dga, miss_rate=0.4, seed=1)
+        a = detector.detected_nxds(DAY)
+        b = detector.detected_nxds(DAY + dt.timedelta(days=1))
+        assert a != b
+
+    def test_collisions_included(self):
+        dga = make_family("murofet", 3)
+        detector = OracleDetector(dga, collisions=["legit.example"])
+        assert "legit.example" in detector.detected_nxds(DAY)
+
+    def test_rejects_bad_miss_rate(self):
+        dga = make_family("murofet", 3)
+        with pytest.raises(ValueError):
+            OracleDetector(dga, miss_rate=1.0)
+
+    def test_build_detection_windows(self):
+        dga = make_family("murofet", 3)
+        detector = OracleDetector(dga, miss_rate=0.2, seed=1)
+        windows = build_detection_windows(detector, Timeline(DAY), [0, 1, 2])
+        assert set(windows) == {0, 1, 2}
+        assert all(isinstance(w, frozenset) for w in windows.values())
+
+
+class TestLabelEntropy:
+    def test_uniform_label_has_high_entropy(self):
+        assert label_entropy("abcdefgh") == pytest.approx(3.0)
+
+    def test_repeated_char_zero_entropy(self):
+        assert label_entropy("aaaa") == 0.0
+
+    def test_empty_label(self):
+        assert label_entropy("") == 0.0
+
+
+class TestLexicalDetector:
+    def fitted(self):
+        benign = [
+            "google.com", "facebook.com", "wikipedia.org", "amazon.com",
+            "youtube.com", "twitter.com", "instagram.com", "weather.com",
+            "news.com", "mail.com", "maps.com", "translate.com",
+            "shopping.com", "finance.com", "sports.com", "games.com",
+            "travel.com", "health.com", "music.com", "video.com",
+        ] * 3
+        dga = make_family("new_goz", 3)
+        dga_domains = dga.pool(DAY)[:400]
+        return LexicalDetector().fit(benign, dga_domains)
+
+    def test_unfitted_scoring_rejected(self):
+        with pytest.raises(RuntimeError):
+            LexicalDetector().score("a.com")
+
+    def test_fit_requires_data(self):
+        with pytest.raises(ValueError):
+            LexicalDetector().fit([], ["a.com"])
+
+    def test_detects_hex_dga_domains(self):
+        detector = self.fitted()
+        dga = make_family("new_goz", 3)
+        held_out = dga.pool(DAY + dt.timedelta(days=1))[:100]
+        detected = detector.detect(held_out)
+        assert len(detected) > 80
+
+    def test_passes_benign_domains(self):
+        detector = self.fitted()
+        benign = ["office.com", "support.com", "weather.org", "github.com"]
+        assert len(detector.detect(benign)) <= 1
+
+    def test_evaluate_reports_rates(self):
+        detector = self.fitted()
+        dga = make_family("new_goz", 3)
+        rates = detector.evaluate(
+            ["reader.com", "flights.com", "hotels.com"],
+            dga.pool(DAY + dt.timedelta(days=2))[:50],
+        )
+        assert rates["true_positive_rate"] > 0.8
+        assert rates["false_positive_rate"] < 0.5
+
+    def test_score_symmetry(self):
+        detector = self.fitted()
+        dga_domain = make_family("new_goz", 3).pool(DAY)[0]
+        assert detector.score(dga_domain) > detector.score("documents.com")
+
+    def test_evaluate_requires_data(self):
+        with pytest.raises(ValueError):
+            self.fitted().evaluate([], ["a.com"])

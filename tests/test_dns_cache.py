@@ -1,0 +1,98 @@
+"""Tests for positive/negative DNS caching."""
+
+import pytest
+
+from repro.dns.cache import CacheEntry, DnsCache
+from repro.dns.message import RCode
+
+
+class TestCacheEntry:
+    def test_live_before_expiry(self):
+        assert CacheEntry(RCode.NXDOMAIN, 10.0).is_live(9.99)
+
+    def test_dead_at_expiry(self):
+        assert not CacheEntry(RCode.NXDOMAIN, 10.0).is_live(10.0)
+
+
+class TestDnsCache:
+    def test_miss_on_empty(self):
+        assert DnsCache().get("a.com", 0.0) is None
+
+    def test_hit_within_ttl(self):
+        cache = DnsCache()
+        cache.put("a.com", RCode.NXDOMAIN, now=0.0, ttl=100.0)
+        assert cache.get("a.com", 50.0) is RCode.NXDOMAIN
+
+    def test_miss_after_ttl(self):
+        cache = DnsCache()
+        cache.put("a.com", RCode.NXDOMAIN, now=0.0, ttl=100.0)
+        assert cache.get("a.com", 100.0) is None
+
+    def test_expired_entry_evicted(self):
+        cache = DnsCache()
+        cache.put("a.com", RCode.NXDOMAIN, now=0.0, ttl=10.0)
+        cache.get("a.com", 11.0)
+        assert len(cache) == 0
+
+    def test_positive_and_negative_coexist(self):
+        cache = DnsCache()
+        cache.put("good.com", RCode.NOERROR, 0.0, 86_400.0)
+        cache.put("bad.com", RCode.NXDOMAIN, 0.0, 7_200.0)
+        assert cache.get("good.com", 10_000.0) is RCode.NOERROR
+        assert cache.get("bad.com", 10_000.0) is None  # negative expired
+
+    def test_refresh_extends_ttl(self):
+        cache = DnsCache()
+        cache.put("a.com", RCode.NXDOMAIN, 0.0, 10.0)
+        cache.put("a.com", RCode.NXDOMAIN, 8.0, 10.0)
+        assert cache.get("a.com", 15.0) is RCode.NXDOMAIN
+
+    def test_zero_ttl_not_cached(self):
+        cache = DnsCache()
+        cache.put("a.com", RCode.NOERROR, 0.0, 0.0)
+        assert cache.get("a.com", 0.0) is None
+
+    def test_negative_ttl_not_cached(self):
+        cache = DnsCache()
+        cache.put("a.com", RCode.NOERROR, 0.0, -5.0)
+        assert len(cache) == 0
+
+    def test_hit_miss_counters(self):
+        cache = DnsCache()
+        cache.get("a.com", 0.0)
+        cache.put("a.com", RCode.NXDOMAIN, 0.0, 10.0)
+        cache.get("a.com", 1.0)
+        cache.get("a.com", 2.0)
+        assert cache.misses == 1
+        assert cache.hits == 2
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_without_traffic(self):
+        assert DnsCache().hit_rate == 0.0
+
+    def test_sweep_removes_only_expired(self):
+        cache = DnsCache()
+        cache.put("old.com", RCode.NXDOMAIN, 0.0, 5.0)
+        cache.put("new.com", RCode.NXDOMAIN, 0.0, 50.0)
+        removed = cache.sweep(10.0)
+        assert removed == 1
+        assert len(cache) == 1
+
+    def test_flush(self):
+        cache = DnsCache()
+        cache.put("a.com", RCode.NXDOMAIN, 0.0, 100.0)
+        cache.flush()
+        assert len(cache) == 0
+        assert cache.get("a.com", 1.0) is None
+
+    def test_rcode_preserved(self):
+        cache = DnsCache()
+        cache.put("a.com", RCode.NOERROR, 0.0, 100.0)
+        assert cache.get("a.com", 1.0) is RCode.NOERROR
+
+    def test_many_entries(self):
+        cache = DnsCache()
+        for i in range(1000):
+            cache.put(f"d{i}.com", RCode.NXDOMAIN, 0.0, 100.0)
+        assert len(cache) == 1000
+        assert cache.get("d500.com", 50.0) is RCode.NXDOMAIN

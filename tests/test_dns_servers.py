@@ -1,0 +1,221 @@
+"""Tests for DNS messages, authorities, servers and the hierarchy."""
+
+import datetime as dt
+
+import pytest
+
+from repro.dga.families import make_family
+from repro.dns.authority import RegistrationAuthority, StaticResolver
+from repro.dns.hierarchy import DnsHierarchy
+from repro.dns.message import ForwardedLookup, Lookup, RCode, Response
+from repro.dns.server import BorderDnsServer, LocalDnsServer
+from repro.timebase import Timeline
+
+DAY = dt.date(2014, 5, 1)
+
+
+class TestMessages:
+    def test_lookup_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            Lookup(-1.0, "c", "a.com")
+
+    def test_response_nxd_flag(self):
+        assert Response("a.com", RCode.NXDOMAIN, 60.0).is_nxdomain
+        assert not Response("a.com", RCode.NOERROR, 60.0).is_nxdomain
+
+    def test_records_hashable(self):
+        assert len({Lookup(0, "c", "a"), Lookup(0, "c", "a")}) == 1
+        assert len({ForwardedLookup(0, "s", "a"), ForwardedLookup(1, "s", "a")}) == 2
+
+
+class TestStaticResolver:
+    def test_valid_domain(self):
+        r = StaticResolver({"good.com"})
+        assert r.resolve("good.com", DAY).rcode is RCode.NOERROR
+
+    def test_unknown_domain_is_nxd(self):
+        r = StaticResolver({"good.com"})
+        assert r.resolve("bad.com", DAY).rcode is RCode.NXDOMAIN
+
+    def test_ttls_propagated(self):
+        r = StaticResolver({"good.com"}, positive_ttl=111.0, negative_ttl=22.0)
+        assert r.resolve("good.com", DAY).ttl == 111.0
+        assert r.resolve("bad.com", DAY).ttl == 22.0
+
+
+class TestRegistrationAuthority:
+    def test_benign_always_valid(self):
+        auth = RegistrationAuthority(benign=["site.example"])
+        assert auth.resolve("site.example", DAY).rcode is RCode.NOERROR
+
+    def test_unregistered_is_nxd(self):
+        auth = RegistrationAuthority()
+        assert auth.resolve("nope.example", DAY).rcode is RCode.NXDOMAIN
+
+    def test_dga_registration_day_scoped(self):
+        dga = make_family("murofet", 3)
+        auth = RegistrationAuthority()
+        auth.add_registration_provider(dga.registered)
+        c2 = next(iter(dga.registered(DAY)))
+        assert auth.resolve(c2, DAY).rcode is RCode.NOERROR
+        assert auth.resolve(c2, DAY + dt.timedelta(days=3)).rcode is RCode.NXDOMAIN
+
+    def test_multiple_providers_union(self):
+        a, b = make_family("murofet", 1), make_family("srizbi", 2)
+        auth = RegistrationAuthority()
+        auth.add_registration_provider(a.registered)
+        auth.add_registration_provider(b.registered)
+        valid = auth.valid_on(DAY)
+        assert a.registered(DAY) <= valid
+        assert b.registered(DAY) <= valid
+
+    def test_day_cache_consistent(self):
+        dga = make_family("murofet", 3)
+        auth = RegistrationAuthority()
+        auth.add_registration_provider(dga.registered)
+        assert auth.valid_on(DAY) == auth.valid_on(DAY)
+
+    def test_add_benign_later(self):
+        auth = RegistrationAuthority()
+        auth.add_benign(["late.example"])
+        assert auth.resolve("late.example", DAY).rcode is RCode.NOERROR
+
+    def test_rejects_nonpositive_ttl(self):
+        with pytest.raises(ValueError):
+            RegistrationAuthority(positive_ttl=0.0)
+
+
+class TestBorderDnsServer:
+    def test_records_forwarded_lookup(self):
+        border = BorderDnsServer(StaticResolver(set()), Timeline())
+        border.query("a.com", 12.34, "ldns-0")
+        assert border.observed == [ForwardedLookup(12.3, "ldns-0", "a.com")]
+
+    def test_timestamp_quantised(self):
+        border = BorderDnsServer(StaticResolver(set()), Timeline(), timestamp_granularity=1.0)
+        border.query("a.com", 55.7, "s")
+        assert border.observed[0].timestamp == 55.0
+
+    def test_resolution_uses_calendar_day(self):
+        dga = make_family("murofet", 3)
+        auth = RegistrationAuthority()
+        auth.add_registration_provider(dga.registered)
+        border = BorderDnsServer(auth, Timeline(DAY))
+        c2 = next(iter(dga.registered(DAY)))
+        assert border.query(c2, 100.0, "s").rcode is RCode.NOERROR
+        # Two days later the same domain is no longer registered.
+        assert border.query(c2, 2 * 86_400.0 + 100.0, "s").rcode is RCode.NXDOMAIN
+
+    def test_drain_clears(self):
+        border = BorderDnsServer(StaticResolver(set()), Timeline())
+        border.query("a.com", 1.0, "s")
+        drained = border.drain_observed()
+        assert len(drained) == 1
+        assert border.observed == []
+
+
+class TestLocalDnsServer:
+    def make(self, neg_ttl=100.0, pos_ttl=1000.0):
+        border = BorderDnsServer(StaticResolver({"good.com"}), Timeline())
+        local = LocalDnsServer("ldns-0", border, neg_ttl, pos_ttl)
+        return border, local
+
+    def test_first_lookup_forwarded(self):
+        border, local = self.make()
+        assert local.query("bad.com", 0.0) is RCode.NXDOMAIN
+        assert len(border.observed) == 1
+
+    def test_cached_lookup_not_forwarded(self):
+        border, local = self.make()
+        local.query("bad.com", 0.0)
+        local.query("bad.com", 50.0)
+        assert len(border.observed) == 1
+
+    def test_lookup_after_negative_ttl_forwarded_again(self):
+        border, local = self.make(neg_ttl=100.0)
+        local.query("bad.com", 0.0)
+        local.query("bad.com", 150.0)
+        assert len(border.observed) == 2
+
+    def test_positive_cache_longer_than_negative(self):
+        border, local = self.make(neg_ttl=100.0, pos_ttl=1000.0)
+        local.query("good.com", 0.0)
+        local.query("good.com", 500.0)  # still cached positively
+        local.query("bad.com", 0.0)
+        local.query("bad.com", 500.0)  # negative expired → forwarded
+        assert len(border.observed) == 3
+
+    def test_ttl_cap_applies_to_upstream_ttl(self):
+        # Authority says 1000s but the local server caps negatives at 10s.
+        border = BorderDnsServer(StaticResolver(set(), negative_ttl=1000.0), Timeline())
+        local = LocalDnsServer("l", border, max_negative_ttl=10.0)
+        local.query("bad.com", 0.0)
+        local.query("bad.com", 20.0)
+        assert len(border.observed) == 2
+
+    def test_uncapped_server_uses_upstream_ttl(self):
+        border = BorderDnsServer(StaticResolver(set(), negative_ttl=1000.0), Timeline())
+        local = LocalDnsServer("l", border)
+        local.query("bad.com", 0.0)
+        local.query("bad.com", 500.0)
+        assert len(border.observed) == 1
+
+    def test_flush_cache_forces_forwarding(self):
+        border, local = self.make()
+        local.query("bad.com", 0.0)
+        local.flush_cache()
+        local.query("bad.com", 1.0)
+        assert len(border.observed) == 2
+
+    def test_rcode_answered_from_cache_matches(self):
+        _, local = self.make()
+        assert local.query("good.com", 0.0) is RCode.NOERROR
+        assert local.query("good.com", 1.0) is RCode.NOERROR
+
+
+class TestDnsHierarchy:
+    def make(self, n=3):
+        return DnsHierarchy(StaticResolver({"good.com"}), n_local_servers=n)
+
+    def test_server_ids(self):
+        assert self.make(3).server_ids == ["ldns-000", "ldns-001", "ldns-002"]
+
+    def test_assign_and_route(self):
+        h = self.make()
+        h.assign_client("client-a", "ldns-001")
+        assert h.server_for("client-a").server_id == "ldns-001"
+
+    def test_assign_unknown_server_rejected(self):
+        with pytest.raises(KeyError):
+            self.make().assign_client("c", "ldns-999")
+
+    def test_unassigned_client_routed_deterministically(self):
+        h = self.make()
+        first = h.server_for("mystery").server_id
+        assert h.server_for("mystery").server_id == first
+
+    def test_caches_are_per_server(self):
+        h = self.make(2)
+        h.assign_client("a", "ldns-000")
+        h.assign_client("b", "ldns-001")
+        h.lookup("a", "bad.com", 0.0)
+        h.lookup("b", "bad.com", 1.0)  # different cache → forwarded again
+        assert len(h.border.observed) == 2
+
+    def test_forwarder_field_identifies_server(self):
+        h = self.make(2)
+        h.assign_client("a", "ldns-001")
+        h.lookup("a", "bad.com", 0.0)
+        assert h.border.observed[0].server == "ldns-001"
+
+    def test_flush_caches(self):
+        h = self.make(1)
+        h.assign_client("a", "ldns-000")
+        h.lookup("a", "bad.com", 0.0)
+        h.flush_caches()
+        h.lookup("a", "bad.com", 1.0)
+        assert len(h.border.observed) == 2
+
+    def test_requires_one_server(self):
+        with pytest.raises(ValueError):
+            DnsHierarchy(StaticResolver(set()), n_local_servers=0)

@@ -1,0 +1,107 @@
+"""Tests for the ensemble estimator."""
+
+import pytest
+
+from repro.core.bernoulli import BernoulliEstimator
+from repro.core.botmeter import BotMeter
+from repro.core.ensemble import EnsembleEstimator, default_members
+from repro.core.renewal import RenewalEstimator
+from repro.core.timing import TimingEstimator
+from repro.dga.families import make_family
+from repro.timebase import SECONDS_PER_DAY
+
+
+class TestDefaultMembers:
+    def test_ar_includes_bernoulli(self):
+        names = {m.name for m in default_members(make_family("new_goz"))}
+        assert names == {"renewal", "timing", "bernoulli"}
+
+    def test_au_includes_poisson(self):
+        names = {m.name for m in default_members(make_family("murofet"))}
+        assert names == {"renewal", "timing", "poisson"}
+
+    def test_as_is_renewal_plus_timing(self):
+        names = {m.name for m in default_members(make_family("conficker_c"))}
+        assert names == {"renewal", "timing"}
+
+
+class TestEnsembleEstimator:
+    def test_rejects_unknown_combiner(self):
+        with pytest.raises(ValueError):
+            EnsembleEstimator(combine="geometric")
+
+    def test_rejects_empty_member_list(self):
+        with pytest.raises(ValueError):
+            EnsembleEstimator(members=[])
+
+    def test_median_on_ar(self, newgoz_run):
+        meter = BotMeter(
+            newgoz_run.dga, estimator=EnsembleEstimator(), timeline=newgoz_run.timeline
+        )
+        landscape = meter.chart(newgoz_run.observable, 0.0, SECONDS_PER_DAY)
+        actual = newgoz_run.ground_truth.population(0)
+        assert abs(landscape.total - actual) / actual < 0.3
+
+    def test_details_report_members(self, newgoz_run):
+        meter = BotMeter(
+            newgoz_run.dga, estimator=EnsembleEstimator(), timeline=newgoz_run.timeline
+        )
+        landscape = meter.chart(newgoz_run.observable, 0.0, SECONDS_PER_DAY)
+        members = landscape.per_server["ldns-000"].details["members"]
+        assert set(members) == {"renewal", "timing", "bernoulli"}
+
+    def test_min_rule_is_lower_bound(self, newgoz_run):
+        explicit = [RenewalEstimator(), TimingEstimator(), BernoulliEstimator()]
+        values = {}
+        for rule in ("min", "median"):
+            meter = BotMeter(
+                newgoz_run.dga,
+                estimator=EnsembleEstimator(members=explicit, combine=rule),
+                timeline=newgoz_run.timeline,
+            )
+            values[rule] = meter.chart(
+                newgoz_run.observable, 0.0, SECONDS_PER_DAY
+            ).total
+        assert values["min"] <= values["median"]
+
+    def test_mean_rule_between_extremes(self, newgoz_run):
+        explicit = [RenewalEstimator(), BernoulliEstimator()]
+        singles = []
+        for member in explicit:
+            meter = BotMeter(
+                newgoz_run.dga, estimator=member, timeline=newgoz_run.timeline
+            )
+            singles.append(
+                meter.chart(newgoz_run.observable, 0.0, SECONDS_PER_DAY).total
+            )
+        meter = BotMeter(
+            newgoz_run.dga,
+            estimator=EnsembleEstimator(members=explicit, combine="mean"),
+            timeline=newgoz_run.timeline,
+        )
+        combined = meter.chart(newgoz_run.observable, 0.0, SECONDS_PER_DAY).total
+        assert min(singles) - 1e-9 <= combined <= max(singles) + 1e-9
+
+    def test_masks_single_member_failure(self, murofet_run):
+        """On AU, MT is wildly low; the median of (MT, MP, MR) must land
+        far closer to truth than MT alone."""
+        meter_mt = BotMeter(
+            murofet_run.dga, estimator=TimingEstimator(), timeline=murofet_run.timeline
+        )
+        meter_ens = BotMeter(
+            murofet_run.dga, estimator=EnsembleEstimator(), timeline=murofet_run.timeline
+        )
+        actual = murofet_run.ground_truth.population(0)
+        mt_err = abs(
+            meter_mt.chart(murofet_run.observable, 0.0, SECONDS_PER_DAY).total - actual
+        )
+        ens_err = abs(
+            meter_ens.chart(murofet_run.observable, 0.0, SECONDS_PER_DAY).total - actual
+        )
+        assert ens_err < mt_err
+
+    def test_empty_stream(self, newgoz_run):
+        meter = BotMeter(
+            newgoz_run.dga, estimator=EnsembleEstimator(), timeline=newgoz_run.timeline
+        )
+        assert meter.chart([], 0.0, SECONDS_PER_DAY).total == 0.0

@@ -1,0 +1,95 @@
+"""Tests for the shared estimator types (EstimationContext etc.)."""
+
+import pytest
+
+from repro.core.estimator import (
+    EstimationContext,
+    MatchedLookup,
+    PopulationEstimate,
+    average_per_epoch,
+)
+from repro.dga.families import make_family
+from repro.timebase import SECONDS_PER_DAY, Timeline
+
+
+def context(start=0.0, end=SECONDS_PER_DAY, **kw):
+    return EstimationContext(
+        dga=make_family("new_goz", 3),
+        timeline=Timeline(),
+        window_start=start,
+        window_end=end,
+        **kw,
+    )
+
+
+class TestEstimationContext:
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            context(end=0.0)
+
+    def test_rejects_nonpositive_ttl(self):
+        with pytest.raises(ValueError):
+            context(negative_ttl=0.0)
+
+    def test_single_epoch(self):
+        ctx = context()
+        assert ctx.n_epochs == 1
+        assert ctx.epoch_bounds() == [(0, 0.0, SECONDS_PER_DAY)]
+
+    def test_multi_epoch_bounds(self):
+        ctx = context(end=3 * SECONDS_PER_DAY)
+        bounds = ctx.epoch_bounds()
+        assert [d for d, _, _ in bounds] == [0, 1, 2]
+        assert bounds[1] == (1, SECONDS_PER_DAY, 2 * SECONDS_PER_DAY)
+
+    def test_partial_epoch_clipped(self):
+        ctx = context(start=1_000.0, end=SECONDS_PER_DAY + 5_000.0)
+        bounds = ctx.epoch_bounds()
+        assert bounds[0] == (0, 1_000.0, SECONDS_PER_DAY)
+        assert bounds[1] == (1, SECONDS_PER_DAY, SECONDS_PER_DAY + 5_000.0)
+
+    def test_window_ending_exactly_at_midnight(self):
+        ctx = context(end=SECONDS_PER_DAY)
+        assert ctx.n_epochs == 1
+
+    def test_detected_nxds_defaults_to_full_pool(self):
+        ctx = context()
+        date = ctx.timeline.date_for_day(0)
+        assert ctx.detected_nxds(0) == frozenset(ctx.dga.nxdomains(date))
+
+    def test_detected_nxds_uses_window_when_present(self):
+        window = frozenset({"only.net"})
+        ctx = context(detected_nxds_by_day={0: window})
+        assert ctx.detected_nxds(0) == window
+
+    def test_detected_nxds_falls_back_for_missing_day(self):
+        ctx = context(
+            end=2 * SECONDS_PER_DAY, detected_nxds_by_day={0: frozenset({"x.net"})}
+        )
+        date = ctx.timeline.date_for_day(1)
+        assert ctx.detected_nxds(1) == frozenset(ctx.dga.nxdomains(date))
+
+
+class TestPopulationEstimate:
+    def test_rejects_negative_value(self):
+        with pytest.raises(ValueError):
+            PopulationEstimate(-1.0, "timing")
+
+    def test_carries_per_epoch(self):
+        est = PopulationEstimate(2.0, "timing", per_epoch={0: 1.0, 1: 3.0})
+        assert est.per_epoch[1] == 3.0
+
+
+class TestAveragePerEpoch:
+    def test_empty(self):
+        assert average_per_epoch({}) == 0.0
+
+    def test_mean(self):
+        assert average_per_epoch({0: 1.0, 1: 3.0}) == 2.0
+
+
+class TestMatchedLookup:
+    def test_immutable(self):
+        m = MatchedLookup(1.0, "s", "d", 0)
+        with pytest.raises(AttributeError):
+            m.timestamp = 2.0

@@ -1,0 +1,39 @@
+"""Smoke tests: the fast example scripts must run and produce their
+headline output (the slow ones are exercised manually / by `make
+examples`)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestFastExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "DGA-botnet landscape" in out
+        assert "TOTAL" in out
+
+    def test_taxonomy_tour(self):
+        out = run_example("taxonomy_tour.py")
+        assert "drain-and-replenish" in out
+        assert "conficker_c" in out and "[AS]" in out
+
+    def test_streaming_monitor(self):
+        out = run_example("streaming_monitor.py")
+        assert "90% CI" in out
+        assert "matched the DGA" in out

@@ -1,0 +1,83 @@
+"""Tests for the Figure-6 sweep harness (small configurations)."""
+
+import pytest
+
+from repro.eval.experiments import (
+    ESTIMATOR_PROTOCOL,
+    MODEL_PROTOTYPES,
+    SweepResult,
+    run_trial,
+    sweep_d3_miss,
+    sweep_population,
+)
+from repro.eval.metrics import summarize_errors
+
+
+class TestProtocolTables:
+    def test_prototypes_cover_four_models(self):
+        assert set(MODEL_PROTOTYPES) == {"AU", "AS", "AR", "AP"}
+
+    def test_timing_applies_everywhere(self):
+        assert all("timing" in v for v in ESTIMATOR_PROTOCOL.values())
+
+    def test_poisson_only_au(self):
+        assert [m for m, e in ESTIMATOR_PROTOCOL.items() if "poisson" in e] == ["AU"]
+
+    def test_bernoulli_only_ar(self):
+        assert [m for m, e in ESTIMATOR_PROTOCOL.items() if "bernoulli" in e] == ["AR"]
+
+
+class TestRunTrial:
+    def test_returns_finite_error(self):
+        error = run_trial("AR", "bernoulli", seed=0, n_bots=12)
+        assert 0.0 <= error < 5.0
+
+    def test_deterministic(self):
+        a = run_trial("AU", "poisson", seed=3, n_bots=12)
+        b = run_trial("AU", "poisson", seed=3, n_bots=12)
+        assert a == b
+
+    def test_seed_matters(self):
+        a = run_trial("AU", "poisson", seed=1, n_bots=12)
+        b = run_trial("AU", "poisson", seed=2, n_bots=12)
+        assert a != b
+
+    def test_d3_miss_rate_plumbs_through(self):
+        clean = run_trial("AR", "bernoulli", seed=4, n_bots=12)
+        degraded = run_trial("AR", "bernoulli", seed=4, n_bots=12, d3_miss_rate=0.5)
+        assert clean != degraded
+
+
+class TestSweeps:
+    def test_population_sweep_structure(self):
+        result = sweep_population(values=(8, 16), trials=2, models=("AR",))
+        assert isinstance(result, SweepResult)
+        assert result.values == (8, 16)
+        # AR gets timing + bernoulli → 2 values × 2 estimators.
+        assert len(result.cells) == 4
+
+    def test_cell_lookup(self):
+        result = sweep_population(values=(8,), trials=2, models=("AR",))
+        cell = result.cell(8, "AR", "bernoulli")
+        assert cell.summary.n == 2
+
+    def test_missing_cell_raises(self):
+        result = sweep_population(values=(8,), trials=1, models=("AR",))
+        with pytest.raises(KeyError):
+            result.cell(8, "AU", "poisson")
+
+    def test_series_extraction(self):
+        result = sweep_population(values=(8, 16), trials=1, models=("AR",))
+        series = result.series("AR", "timing")
+        assert [v for v, _ in series] == [8, 16]
+
+    def test_render_mentions_values_and_pairs(self):
+        result = sweep_population(values=(8,), trials=1, models=("AR",))
+        text = result.render()
+        assert "AR/bernoulli" in text and "AR/timing" in text
+
+    def test_d3_sweep_degrades_bernoulli(self):
+        result = sweep_d3_miss(values=(10, 50), trials=3, models=("AR",))
+        low = result.cell(10, "AR", "bernoulli").summary.median
+        high = result.cell(50, "AR", "bernoulli").summary.median
+        assert high > low

@@ -1,0 +1,149 @@
+"""Tests for the concrete DGA families (§III, Table I)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.dga import (
+    BarrelClass,
+    PoolClass,
+    family_names,
+    make_family,
+)
+from repro.dga.wordgen import Lcg
+
+DAY = dt.date(2014, 9, 12)
+
+
+class TestTableOneParameters:
+    """The four synthetic prototypes must match Table I exactly."""
+
+    def test_murofet(self):
+        dga = make_family("murofet")
+        assert dga.params.n_nxd == 798
+        assert dga.params.n_registered == 2
+        assert dga.params.barrel_size == 798
+        assert dga.params.query_interval == pytest.approx(0.5)
+        assert dga.barrel_model.barrel_class is BarrelClass.UNIFORM
+
+    def test_conficker(self):
+        dga = make_family("conficker_c")
+        assert dga.params.n_nxd == 49995
+        assert dga.params.n_registered == 5
+        assert dga.params.barrel_size == 500
+        assert dga.params.query_interval == pytest.approx(1.0)
+        assert dga.barrel_model.barrel_class is BarrelClass.SAMPLING
+
+    def test_newgoz(self):
+        dga = make_family("new_goz")
+        assert dga.params.n_nxd == 9995
+        assert dga.params.n_registered == 5
+        assert dga.params.barrel_size == 500
+        assert dga.params.query_interval == pytest.approx(1.0)
+        assert dga.barrel_model.barrel_class is BarrelClass.RANDOMCUT
+
+    def test_necurs(self):
+        dga = make_family("necurs")
+        assert dga.params.n_nxd == 2046
+        assert dga.params.n_registered == 2
+        assert dga.params.barrel_size == 2046
+        assert dga.params.query_interval == pytest.approx(0.5)
+        assert dga.barrel_model.barrel_class is BarrelClass.PERMUTATION
+
+
+class TestFamilyBehaviour:
+    @pytest.mark.parametrize("name", family_names())
+    def test_pool_matches_parameters(self, name):
+        dga = make_family(name)
+        assert len(dga.pool(DAY)) == dga.params.pool_size
+
+    @pytest.mark.parametrize("name", family_names())
+    def test_registered_count(self, name):
+        dga = make_family(name)
+        assert len(dga.registered(DAY)) == dga.params.n_registered
+
+    @pytest.mark.parametrize("name", family_names())
+    def test_registered_subset_of_pool(self, name):
+        dga = make_family(name)
+        assert dga.registered(DAY) <= set(dga.pool(DAY))
+
+    @pytest.mark.parametrize("name", family_names())
+    def test_nxdomains_complement_registered(self, name):
+        dga = make_family(name)
+        nxds = dga.nxdomains(DAY)
+        assert len(nxds) == dga.params.pool_size - dga.params.n_registered
+        assert not set(nxds) & dga.registered(DAY)
+
+    @pytest.mark.parametrize("name", family_names())
+    def test_barrel_within_pool(self, name):
+        dga = make_family(name)
+        barrel = dga.barrel(DAY, Lcg(1))
+        assert len(barrel) == dga.params.barrel_size
+        assert set(barrel) <= set(dga.pool(DAY))
+
+    @pytest.mark.parametrize("name", family_names())
+    def test_deterministic_per_seed(self, name):
+        assert make_family(name, 5).pool(DAY) == make_family(name, 5).pool(DAY)
+
+    @pytest.mark.parametrize("name", family_names())
+    def test_seed_changes_pool(self, name):
+        assert make_family(name, 1).pool(DAY) != make_family(name, 2).pool(DAY)
+
+
+class TestSpecificShapes:
+    def test_newgoz_labels_are_hex(self):
+        dga = make_family("new_goz")
+        label = dga.pool(DAY)[0].split(".")[0]
+        assert len(label) == 28
+        assert set(label) <= set("0123456789abcdef")
+
+    def test_srizbi_labels_are_four_letters(self):
+        dga = make_family("srizbi")
+        assert all(len(d.split(".")[0]) == 4 for d in dga.pool(DAY)[:20])
+
+    def test_necurs_pool_stable_within_period(self):
+        dga = make_family("necurs")
+        pools = {tuple(dga.pool(DAY + dt.timedelta(days=o))) for o in range(4)}
+        assert len(pools) <= 2  # at most one rollover inside 4 days
+
+    def test_ranbyus_sliding_window_size(self):
+        dga = make_family("ranbyus")
+        assert len(dga.pool(DAY)) == 1240
+
+    def test_pushdo_sliding_window_size(self):
+        dga = make_family("pushdo")
+        assert len(dga.pool(DAY)) == 1380
+
+    def test_pykspa_mixture_registration_from_useful_instance(self):
+        dga = make_family("pykspa")
+        useful = set(dga.pool_model.useful_pool_for(DAY))
+        assert dga.registered(DAY) <= useful
+        assert len(useful) == 200
+
+    def test_pykspa_pool_class(self):
+        dga = make_family("pykspa")
+        assert dga.pool_model.pool_class is PoolClass.MULTIPLE_MIXTURE
+
+    def test_ramnit_has_jittered_interval(self):
+        assert make_family("ramnit").params.fixed_interval is False
+
+    def test_qakbot_has_jittered_interval(self):
+        assert make_family("qakbot").params.fixed_interval is False
+
+    def test_murofet_has_fixed_interval(self):
+        assert make_family("murofet").params.fixed_interval is True
+
+
+class TestRegistry:
+    def test_twelve_families(self):
+        # 11 wild families plus the adversarial evasive_goz variant.
+        assert len(family_names()) == 12
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError, match="unknown DGA family"):
+            make_family("zeus_classic")
+
+    def test_all_builders_runnable(self):
+        for name in family_names():
+            dga = make_family(name)
+            assert dga.name == name

@@ -1,0 +1,184 @@
+"""Cross-module integration tests: full pipelines end to end."""
+
+import pytest
+
+from repro import BotMeter, SimConfig, simulate
+from repro.core import (
+    BernoulliEstimator,
+    PoissonEstimator,
+    TimingEstimator,
+    recommended_estimator,
+)
+from repro.detect import LexicalDetector, OracleDetector, build_detection_windows
+from repro.sim import BenignConfig, drop_records, inject_spurious_nxds
+from repro.timebase import SECONDS_PER_DAY
+
+import numpy as np
+
+
+class TestRecommendedEstimatorAccuracy:
+    """The paper's headline: the recommended model per class is accurate."""
+
+    @pytest.mark.parametrize(
+        "family,n_bots,tolerance",
+        [
+            ("new_goz", 48, 0.45),     # AR → MB
+            ("conficker_c", 24, 0.25),  # AS → MT
+            ("murofet", 32, 0.65),      # AU → MP (high inherent variance)
+        ],
+    )
+    def test_single_day_estimate(self, family, n_bots, tolerance):
+        errors = []
+        for seed in (77, 78, 79, 80, 81):
+            run = simulate(SimConfig(family=family, n_bots=n_bots, seed=seed))
+            meter = BotMeter(run.dga, estimator="auto", timeline=run.timeline)
+            landscape = meter.chart(run.observable, 0.0, SECONDS_PER_DAY)
+            actual = run.ground_truth.population(0)
+            errors.append(abs(landscape.total - actual) / actual)
+        assert sorted(errors)[2] < tolerance  # median of five trials
+
+
+class TestMultiDayWindow:
+    def test_window_averaging_improves_poisson(self):
+        """Figure 6(b): longer windows reduce error (statistically).
+
+        Checked on one seed with a generous margin: the 8-epoch average
+        must not be wildly worse than the single-epoch estimate.
+        """
+        errors = {}
+        for days in (1, 8):
+            run = simulate(SimConfig(family="murofet", n_bots=64, seed=5, n_days=days))
+            meter = BotMeter(run.dga, estimator=PoissonEstimator(), timeline=run.timeline)
+            landscape = meter.chart(run.observable, 0.0, days * SECONDS_PER_DAY)
+            daily = run.ground_truth.daily_populations(days)
+            actual = sum(daily) / len(daily)
+            errors[days] = abs(landscape.total - actual) / actual
+        assert errors[8] < max(errors[1] * 1.5, 0.25)
+
+
+class TestRobustness:
+    """§I claim: resilient against noisy and missing observations."""
+
+    def test_bernoulli_tolerates_spurious_records(self, newgoz_run):
+        rng = np.random.default_rng(1)
+        noisy = inject_spurious_nxds(list(newgoz_run.observable), 0.5, rng)
+        meter = BotMeter(
+            newgoz_run.dga, estimator=BernoulliEstimator(), timeline=newgoz_run.timeline
+        )
+        clean_total = meter.chart(newgoz_run.observable, 0.0, SECONDS_PER_DAY).total
+        noisy_total = meter.chart(noisy, 0.0, SECONDS_PER_DAY).total
+        # Spurious domains never match the pool: identical estimates.
+        assert noisy_total == pytest.approx(clean_total, rel=1e-9)
+
+    def test_bernoulli_degrades_gracefully_with_record_loss(self, newgoz_run):
+        rng = np.random.default_rng(2)
+        lossy = drop_records(list(newgoz_run.observable), 0.10, rng)
+        meter = BotMeter(
+            newgoz_run.dga, estimator=BernoulliEstimator(), timeline=newgoz_run.timeline
+        )
+        actual = newgoz_run.ground_truth.population(0)
+        total = meter.chart(lossy, 0.0, SECONDS_PER_DAY).total
+        assert abs(total - actual) / actual < 0.6
+
+    def test_compensated_bernoulli_handles_d3_misses(self, newgoz_run):
+        detector = OracleDetector(newgoz_run.dga, miss_rate=0.4, seed=9)
+        windows = build_detection_windows(detector, newgoz_run.timeline, [0])
+        actual = newgoz_run.ground_truth.population(0)
+
+        naive = BotMeter(
+            newgoz_run.dga,
+            estimator=BernoulliEstimator(),
+            detection_windows=windows,
+            timeline=newgoz_run.timeline,
+        ).chart(newgoz_run.observable, 0.0, SECONDS_PER_DAY).total
+        compensated = BotMeter(
+            newgoz_run.dga,
+            estimator=BernoulliEstimator(compensate_detection_window=True),
+            detection_windows=windows,
+            timeline=newgoz_run.timeline,
+        ).chart(newgoz_run.observable, 0.0, SECONDS_PER_DAY).total
+        assert abs(compensated - actual) <= abs(naive - actual) + 2.0
+
+
+class TestLexicalPipeline:
+    """Complete oracle-free pipeline: lexical D3 feeds the matcher."""
+
+    def test_lexical_detection_window_supports_estimation(self):
+        run = simulate(
+            SimConfig(
+                family="new_goz",
+                n_bots=32,
+                seed=21,
+                benign=BenignConfig(n_domains=300, lookups_per_client_per_day=60.0),
+                benign_clients_per_server=10,
+            )
+        )
+        # Train the classifier on day-0-unrelated material.
+        benign_train = [f"service{i:03d}.example" for i in range(120)]
+        training_day = run.timeline.date_for_day(0)
+        dga_train = run.dga.pool(training_day)[:300]
+        detector = LexicalDetector().fit(benign_train, dga_train)
+
+        day0 = run.timeline.date_for_day(0)
+        candidates = set(run.dga.nxdomains(day0))
+        window = frozenset(detector.detect(candidates))
+        assert len(window) > 0.8 * len(candidates)
+
+        meter = BotMeter(
+            run.dga,
+            estimator=BernoulliEstimator(compensate_detection_window=True),
+            detection_windows={0: window},
+            timeline=run.timeline,
+        )
+        landscape = meter.chart(run.observable, 0.0, SECONDS_PER_DAY)
+        actual = run.ground_truth.population(0)
+        assert abs(landscape.total - actual) / actual < 0.6
+
+
+class TestLandscapePrioritisation:
+    def test_per_server_estimates_near_per_server_truth(self):
+        run = simulate(
+            SimConfig(family="new_goz", n_bots=45, n_local_servers=3, seed=8)
+        )
+        meter = BotMeter(run.dga, estimator=BernoulliEstimator(), timeline=run.timeline)
+        landscape = meter.chart(run.observable, 0.0, SECONDS_PER_DAY)
+        gt = run.ground_truth
+        for server, value in landscape.ranked():
+            actual = gt.population(0, server)
+            assert abs(value - actual) / actual < 0.5
+
+    def test_skewed_infection_ranked_first(self):
+        """Merge the streams of a heavily and a lightly infected subnet;
+        the landscape must rank the heavy one first."""
+        heavy = simulate(SimConfig(family="new_goz", n_bots=40, seed=8))
+        light = simulate(SimConfig(family="new_goz", n_bots=5, seed=9))
+        from repro.dns.message import ForwardedLookup
+
+        merged = [
+            ForwardedLookup(r.timestamp, "subnet-heavy", r.domain)
+            for r in heavy.observable
+        ] + [
+            ForwardedLookup(r.timestamp, "subnet-light", r.domain)
+            for r in light.observable
+        ]
+        merged.sort(key=lambda r: r.timestamp)
+        meter = BotMeter(
+            heavy.dga, estimator=BernoulliEstimator(), timeline=heavy.timeline
+        )
+        landscape = meter.chart(merged, 0.0, SECONDS_PER_DAY)
+        assert landscape.ranked()[0][0] == "subnet-heavy"
+
+
+class TestEstimatorCrossApplicability:
+    def test_timing_works_on_every_model(self):
+        for family in ("murofet", "conficker_c", "new_goz", "necurs"):
+            run = simulate(SimConfig(family=family, n_bots=10, seed=13))
+            meter = BotMeter(run.dga, estimator=TimingEstimator(), timeline=run.timeline)
+            total = meter.chart(run.observable, 0.0, SECONDS_PER_DAY).total
+            assert total > 0
+
+    def test_auto_selection_matches_recommendation(self):
+        for family in ("murofet", "conficker_c", "new_goz", "necurs"):
+            run = simulate(SimConfig(family=family, n_bots=4, seed=13))
+            meter = BotMeter(run.dga, estimator="auto", timeline=run.timeline)
+            assert type(meter.estimator) is type(recommended_estimator(run.dga))

@@ -1,0 +1,121 @@
+"""Tests for the DGA-domain matcher (Figure 2, step ③)."""
+
+import pytest
+
+from repro.core.matcher import DgaDomainMatcher, PatternMatcher, group_by_server
+from repro.dns.message import ForwardedLookup
+from repro.timebase import SECONDS_PER_DAY
+
+DAY0_DOMAINS = frozenset({"aaa.com", "bbb.com"})
+DAY1_DOMAINS = frozenset({"ccc.com"})
+
+
+def matcher():
+    return DgaDomainMatcher({0: DAY0_DOMAINS, 1: DAY1_DOMAINS})
+
+
+class TestDgaDomainMatcher:
+    def test_matches_domain_in_day_window(self):
+        records = [ForwardedLookup(100.0, "s", "aaa.com")]
+        matches = matcher().match(records)
+        assert len(matches) == 1
+        assert matches[0].day_index == 0
+
+    def test_ignores_unrelated_domains(self):
+        records = [ForwardedLookup(100.0, "s", "zzz.com")]
+        assert matcher().match(records) == []
+
+    def test_respects_day_boundaries(self):
+        records = [ForwardedLookup(SECONDS_PER_DAY + 10.0, "s", "ccc.com")]
+        matches = matcher().match(records)
+        assert matches and matches[0].day_index == 1
+
+    def test_wrong_day_domain_not_matched(self):
+        # ccc.com only exists in day 1's window.
+        records = [ForwardedLookup(100.0, "s", "ccc.com")]
+        assert matcher().match(records) == []
+
+    def test_midnight_straddle_matches_previous_day(self):
+        # An activation started on day 0 can emit lookups just past
+        # midnight; they still belong to day 0's pool.
+        records = [ForwardedLookup(SECONDS_PER_DAY + 5.0, "s", "aaa.com")]
+        matches = matcher().match(records)
+        assert matches and matches[0].day_index == 0
+
+    def test_match_preserves_metadata(self):
+        records = [ForwardedLookup(42.5, "ldns-007", "bbb.com")]
+        m = matcher().match(records)[0]
+        assert (m.timestamp, m.server, m.domain) == (42.5, "ldns-007", "bbb.com")
+
+    def test_match_rate(self):
+        records = [
+            ForwardedLookup(1.0, "s", "aaa.com"),
+            ForwardedLookup(2.0, "s", "zzz.com"),
+        ]
+        assert matcher().match_rate(records) == pytest.approx(0.5)
+
+    def test_match_rate_empty(self):
+        assert matcher().match_rate([]) == 0.0
+
+    def test_days_listing(self):
+        assert matcher().days == [0, 1]
+
+    def test_window_for_unknown_day_empty(self):
+        assert matcher().window_for(99) == frozenset()
+
+
+class TestPatternMatcher:
+    def test_matches_regex(self):
+        pm = PatternMatcher([r"[0-9a-f]{8}\.net"])
+        records = [
+            ForwardedLookup(1.0, "s", "deadbeef.net"),
+            ForwardedLookup(2.0, "s", "hello.net"),
+        ]
+        assert [m.domain for m in pm.match(records)] == ["deadbeef.net"]
+
+    def test_pattern_anchored_at_end(self):
+        pm = PatternMatcher([r"[0-9a-f]{8}\.net"])
+        assert not pm.matches_domain("deadbeef.net.evil.com")
+
+    def test_multiple_patterns(self):
+        pm = PatternMatcher([r"x+\.com", r"y+\.org"])
+        assert pm.matches_domain("xxx.com")
+        assert pm.matches_domain("yy.org")
+        assert not pm.matches_domain("zz.net")
+
+    def test_match_tags_epoch(self):
+        pm = PatternMatcher([r".*\.com"])
+        m = pm.match([ForwardedLookup(2 * SECONDS_PER_DAY + 1, "s", "a.com")])[0]
+        assert m.day_index == 2
+
+    def test_requires_patterns(self):
+        with pytest.raises(ValueError):
+            PatternMatcher([])
+
+
+class TestGroupByServer:
+    def test_partitions(self):
+        matches = matcher().match(
+            [
+                ForwardedLookup(1.0, "s1", "aaa.com"),
+                ForwardedLookup(2.0, "s2", "aaa.com"),
+                ForwardedLookup(3.0, "s1", "bbb.com"),
+            ]
+        )
+        groups = group_by_server(matches)
+        assert len(groups["s1"]) == 2
+        assert len(groups["s2"]) == 1
+
+    def test_preserves_order_within_server(self):
+        matches = matcher().match(
+            [
+                ForwardedLookup(1.0, "s1", "aaa.com"),
+                ForwardedLookup(3.0, "s1", "bbb.com"),
+            ]
+        )
+        groups = group_by_server(matches)
+        times = [m.timestamp for m in groups["s1"]]
+        assert times == sorted(times)
+
+    def test_empty(self):
+        assert group_by_server([]) == {}

@@ -1,0 +1,46 @@
+"""Tests for evaluation metrics (Eqn 4)."""
+
+import pytest
+
+from repro.eval.metrics import ErrorSummary, absolute_relative_error, summarize_errors
+
+
+class TestAbsoluteRelativeError:
+    def test_exact_estimate(self):
+        assert absolute_relative_error(10.0, 10.0) == 0.0
+
+    def test_overestimate(self):
+        assert absolute_relative_error(15.0, 10.0) == pytest.approx(0.5)
+
+    def test_underestimate_symmetric(self):
+        assert absolute_relative_error(5.0, 10.0) == pytest.approx(0.5)
+
+    def test_can_exceed_one(self):
+        assert absolute_relative_error(50.0, 10.0) == pytest.approx(4.0)
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ValueError):
+            absolute_relative_error(1.0, 0.0)
+
+
+class TestSummarizeErrors:
+    def test_single_sample(self):
+        s = summarize_errors([0.2])
+        assert s.n == 1
+        assert s.mean == s.median == s.p25 == s.p75 == pytest.approx(0.2)
+        assert s.std == 0.0
+
+    def test_known_distribution(self):
+        s = summarize_errors([0.1, 0.2, 0.3, 0.4])
+        assert s.median == pytest.approx(0.25)
+        assert s.mean == pytest.approx(0.25)
+        assert s.p25 < s.median < s.p75
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_errors([])
+
+    def test_str_contains_key_numbers(self):
+        text = str(summarize_errors([0.1, 0.3]))
+        assert "median=0.200" in text
+        assert "n=2" in text

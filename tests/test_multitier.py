@@ -1,0 +1,140 @@
+"""Tests for multi-tier DNS hierarchies."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core.bernoulli import BernoulliEstimator
+from repro.core.botmeter import BotMeter
+from repro.dga.families import make_family
+from repro.dga.wordgen import Lcg
+from repro.dns.authority import RegistrationAuthority, StaticResolver
+from repro.dns.multitier import TieredDnsNetwork
+from repro.sim.bots import Bot
+from repro.sim.trace import sort_observable
+from repro.timebase import SECONDS_PER_DAY, Timeline
+
+
+def network(fanouts=(2, 2), **kw):
+    return TieredDnsNetwork(StaticResolver({"good.com"}), fanouts=fanouts, **kw)
+
+
+class TestTopology:
+    def test_tier_sizes(self):
+        net = network((3, 4))
+        assert len(net.tiers[0]) == 3
+        assert len(net.tiers[1]) == 12
+
+    def test_three_tier_tree(self):
+        net = network((2, 2, 2))
+        assert len(net.leaves) == 8
+        assert len(net.regional_ids) == 2
+
+    def test_leaf_ids_encode_ancestry(self):
+        net = network((2, 2))
+        assert net.leaves[0].node_id.startswith("t0-00.")
+        assert net.regional_of(net.leaves[0].node_id) == "t0-00"
+
+    def test_rejects_empty_fanouts(self):
+        with pytest.raises(ValueError):
+            network(())
+
+    def test_assign_unknown_leaf(self):
+        with pytest.raises(KeyError):
+            network().assign_client("c", "nope")
+
+
+class TestTieredCaching:
+    def test_first_lookup_reaches_border(self):
+        net = network()
+        net.lookup("client", "bad.com", 0.0)
+        assert len(net.border.observed) == 1
+
+    def test_same_leaf_repeat_absorbed_at_leaf(self):
+        net = network()
+        net.assign_client("a", net.leaves[0].node_id)
+        net.lookup("a", "bad.com", 0.0)
+        net.lookup("a", "bad.com", 100.0)
+        assert len(net.border.observed) == 1
+
+    def test_cross_subnet_masking_at_regional(self):
+        """Two leaves under the same regional: the second leaf's lookup
+        misses its own cache but hits the regional's."""
+        net = network((1, 2))
+        leaf_a, leaf_b = net.leaves
+        net.assign_client("a", leaf_a.node_id)
+        net.assign_client("b", leaf_b.node_id)
+        net.lookup("a", "bad.com", 0.0)
+        net.lookup("b", "bad.com", 100.0)
+        assert len(net.border.observed) == 1
+
+    def test_different_regionals_not_masked(self):
+        net = network((2, 1))
+        leaf_a, leaf_b = net.leaves
+        net.assign_client("a", leaf_a.node_id)
+        net.assign_client("b", leaf_b.node_id)
+        net.lookup("a", "bad.com", 0.0)
+        net.lookup("b", "bad.com", 100.0)
+        assert len(net.border.observed) == 2
+
+    def test_forwarder_field_is_regional(self):
+        net = network((2, 3))
+        net.lookup("someone", "bad.com", 0.0)
+        server = net.border.observed[0].server
+        assert server in net.regional_ids
+
+    def test_negative_ttl_expiry_propagates(self):
+        net = network((1, 1), negative_ttl=50.0)
+        net.lookup("a", "bad.com", 0.0)
+        net.lookup("a", "bad.com", 200.0)
+        assert len(net.border.observed) == 2
+
+    def test_deeper_trees_forward_no_more(self):
+        """Adding a caching tier can only reduce border traffic."""
+        rng = np.random.default_rng(0)
+        events = [
+            (float(t), f"c{rng.integers(6)}", f"d{rng.integers(20)}.com")
+            for t in sorted(rng.uniform(0, 20_000, size=300))
+        ]
+        flat = TieredDnsNetwork(StaticResolver(set()), fanouts=(4,))
+        deep = TieredDnsNetwork(StaticResolver(set()), fanouts=(2, 2))
+        # Same client → same leaf index in both topologies.
+        for i, leaf in enumerate(flat.leaves):
+            flat.assign_client(f"c{i}", leaf.node_id)
+        for i, leaf in enumerate(deep.leaves):
+            deep.assign_client(f"c{i}", leaf.node_id)
+        for t, client, domain in events:
+            flat.lookup(client, domain, t)
+            deep.lookup(client, domain, t)
+        assert len(deep.border.observed) <= len(flat.border.observed)
+
+
+class TestEstimationOverTiers:
+    def test_bernoulli_estimates_per_regional_subtree(self):
+        """MB charting works at regional granularity: distinct NXDs per
+        regional subtree survive both cache tiers."""
+        day = dt.date(2014, 5, 1)
+        dga = make_family("new_goz", 3)
+        authority = RegistrationAuthority()
+        authority.add_registration_provider(dga.registered)
+        net = TieredDnsNetwork(authority, fanouts=(2, 2), timeline=Timeline(day))
+        valid = authority.valid_on(day)
+
+        rng = np.random.default_rng(1)
+        n_bots = 24
+        lookups = []
+        for i in range(n_bots):
+            bot = Bot(i, f"bot-{i:02d}", dga, salt=9)
+            leaf = net.leaves[i % len(net.leaves)]
+            net.assign_client(bot.client_id, leaf.node_id)
+            start = float(rng.uniform(0, SECONDS_PER_DAY * 0.9))
+            lookups.extend(bot.activate(day, start, valid, rng))
+        for lookup in sorted(lookups, key=lambda l: l.timestamp):
+            net.lookup(lookup.client, lookup.domain, lookup.timestamp)
+
+        observable = sort_observable(net.drain_observed())
+        meter = BotMeter(dga, estimator=BernoulliEstimator(), timeline=Timeline(day))
+        landscape = meter.chart(observable, 0.0, SECONDS_PER_DAY)
+        assert set(landscape.per_server) == set(net.regional_ids)
+        assert abs(landscape.total - n_bots) / n_bots < 0.5

@@ -1,0 +1,157 @@
+"""Tests for the end-to-end network simulator."""
+
+import numpy as np
+import pytest
+
+from repro.sim.benign import BenignConfig
+from repro.sim.network import GroundTruth, SimConfig, simulate
+from repro.timebase import SECONDS_PER_DAY
+
+
+class TestSimConfigValidation:
+    def test_rejects_negative_bots(self):
+        with pytest.raises(ValueError):
+            SimConfig(n_bots=-1)
+
+    def test_rejects_zero_days(self):
+        with pytest.raises(ValueError):
+            SimConfig(n_days=0)
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ValueError):
+            SimConfig(n_local_servers=0)
+
+    def test_rejects_benign_clients_without_config(self):
+        with pytest.raises(ValueError):
+            SimConfig(benign_clients_per_server=5)
+
+
+class TestGroundTruth:
+    def test_population_counts_distinct_clients(self):
+        gt = GroundTruth()
+        gt.record(0, "s", "a")
+        gt.record(0, "s", "a")
+        gt.record(0, "s", "b")
+        assert gt.population(0, "s") == 2
+
+    def test_filters_by_day(self):
+        gt = GroundTruth()
+        gt.record(0, "s", "a")
+        gt.record(1, "s", "b")
+        assert gt.population(0) == 1
+        assert gt.population() == 2
+
+    def test_filters_by_server(self):
+        gt = GroundTruth()
+        gt.record(0, "s1", "a")
+        gt.record(0, "s2", "b")
+        assert gt.population(0, "s1") == 1
+
+    def test_daily_populations(self):
+        gt = GroundTruth()
+        gt.record(0, "s", "a")
+        gt.record(2, "s", "b")
+        assert gt.daily_populations(3) == [1, 0, 1]
+
+    def test_servers_listing(self):
+        gt = GroundTruth()
+        gt.record(0, "s2", "a")
+        gt.record(0, "s1", "b")
+        assert gt.servers() == ["s1", "s2"]
+
+
+class TestSimulate:
+    def test_deterministic(self):
+        a = simulate(SimConfig(family="murofet", n_bots=8, seed=7))
+        b = simulate(SimConfig(family="murofet", n_bots=8, seed=7))
+        assert a.observable == b.observable
+        assert a.raw == b.raw
+
+    def test_seed_changes_traffic(self):
+        a = simulate(SimConfig(family="murofet", n_bots=8, seed=1))
+        b = simulate(SimConfig(family="murofet", n_bots=8, seed=2))
+        assert a.observable != b.observable
+
+    def test_observable_is_cache_filtered(self, murofet_run):
+        assert len(murofet_run.observable) < len(murofet_run.raw)
+
+    def test_observable_sorted(self, murofet_run):
+        times = [r.timestamp for r in murofet_run.observable]
+        assert times == sorted(times)
+
+    def test_observable_timestamps_quantised(self, murofet_run):
+        granularity = murofet_run.config.timestamp_granularity
+        for record in murofet_run.observable[:200]:
+            ratio = record.timestamp / granularity
+            assert abs(ratio - round(ratio)) < 1e-6
+
+    def test_ground_truth_bounded_by_population(self, murofet_run):
+        assert murofet_run.ground_truth.population(0) <= murofet_run.config.n_bots
+
+    def test_raw_clients_are_bots(self, murofet_run):
+        assert all(r.client.startswith("bot-") for r in murofet_run.raw)
+
+    def test_distinct_nxds_survive_caching(self, newgoz_run):
+        """Caching masks repeats, never the first lookup of a domain."""
+        raw_domains = {r.domain for r in newgoz_run.raw}
+        observable_domains = {r.domain for r in newgoz_run.observable}
+        assert observable_domains == raw_domains
+
+    def test_multi_server_distribution(self, multiserver_run):
+        servers = {r.server for r in multiserver_run.observable}
+        assert servers == {"ldns-000", "ldns-001", "ldns-002"}
+
+    def test_multi_server_ground_truth_sums(self, multiserver_run):
+        gt = multiserver_run.ground_truth
+        total = gt.population(0)
+        per_server = sum(gt.population(0, s) for s in gt.servers())
+        assert total == per_server  # bots are pinned to one server
+
+    def test_multi_day_produces_fresh_pools(self, multiserver_run):
+        dga = multiserver_run.dga
+        tl = multiserver_run.timeline
+        day0 = set(dga.pool(tl.date_for_day(0)))
+        day1 = set(dga.pool(tl.date_for_day(1)))
+        assert day0.isdisjoint(day1)
+
+    def test_zero_bots_zero_traffic(self):
+        result = simulate(SimConfig(family="murofet", n_bots=0, seed=1))
+        assert result.raw == [] and result.observable == []
+
+    def test_benign_traffic_mixes_in(self):
+        config = SimConfig(
+            family="murofet",
+            n_bots=4,
+            seed=1,
+            benign=BenignConfig(n_domains=50, lookups_per_client_per_day=40.0),
+            benign_clients_per_server=3,
+        )
+        result = simulate(config)
+        clients = {r.client for r in result.raw}
+        assert any(c.startswith("host-") for c in clients)
+
+    def test_benign_valid_domains_cached_all_day(self):
+        config = SimConfig(
+            family="murofet",
+            n_bots=0,
+            seed=1,
+            benign=BenignConfig(
+                n_domains=10, lookups_per_client_per_day=200.0, typo_rate=0.0
+            ),
+            benign_clients_per_server=5,
+        )
+        result = simulate(config)
+        # At most one forwarded lookup per (benign domain, day): positive
+        # TTL is a full day.
+        assert len(result.observable) <= 10
+
+    def test_sigma_affects_schedule(self):
+        calm = simulate(SimConfig(family="murofet", n_bots=32, seed=3, sigma=0.0))
+        wild = simulate(SimConfig(family="murofet", n_bots=32, seed=3, sigma=2.5))
+        calm_times = [r.timestamp for r in calm.raw[:50]]
+        wild_times = [r.timestamp for r in wild.raw[:50]]
+        assert calm_times != wild_times
+
+    def test_window_spillover_is_bounded(self, murofet_run):
+        limit = SECONDS_PER_DAY + murofet_run.dga.params.barrel_size * 0.5
+        assert all(r.timestamp < limit for r in murofet_run.raw)

@@ -1,0 +1,85 @@
+"""Tests for observation-noise injection."""
+
+import numpy as np
+import pytest
+
+from repro.dns.message import ForwardedLookup
+from repro.sim.noise import drop_records, inject_spurious_nxds, jitter_timestamps
+
+RECORDS = [ForwardedLookup(float(i), "s0", f"d{i}.com") for i in range(100)]
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestDropRecords:
+    def test_zero_rate_keeps_all(self):
+        assert drop_records(RECORDS, 0.0, rng()) == RECORDS
+
+    def test_full_rate_drops_all(self):
+        assert drop_records(RECORDS, 1.0, rng()) == []
+
+    def test_partial_rate_drops_roughly_fraction(self):
+        kept = drop_records(RECORDS, 0.3, rng())
+        assert 50 <= len(kept) <= 90
+
+    def test_survivors_unchanged(self):
+        kept = drop_records(RECORDS, 0.5, rng())
+        assert all(r in RECORDS for r in kept)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            drop_records(RECORDS, 1.5, rng())
+
+    def test_empty_input(self):
+        assert drop_records([], 0.5, rng()) == []
+
+
+class TestInjectSpuriousNxds:
+    def test_zero_rate_is_identity(self):
+        assert inject_spurious_nxds(RECORDS, 0.0, rng()) == RECORDS
+
+    def test_adds_expected_count(self):
+        out = inject_spurious_nxds(RECORDS, 0.2, rng())
+        assert len(out) == 120
+
+    def test_injected_domains_never_collide_with_real(self):
+        out = inject_spurious_nxds(RECORDS, 0.5, rng())
+        injected = [r for r in out if r.domain.endswith(".invalid")]
+        assert len(injected) == 50
+
+    def test_output_sorted(self):
+        out = inject_spurious_nxds(RECORDS, 0.5, rng())
+        assert [r.timestamp for r in out] == sorted(r.timestamp for r in out)
+
+    def test_injected_timestamps_in_range(self):
+        out = inject_spurious_nxds(RECORDS, 0.5, rng())
+        assert all(0.0 <= r.timestamp <= 99.0 for r in out)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            inject_spurious_nxds(RECORDS, -0.1, rng())
+
+
+class TestJitterTimestamps:
+    def test_zero_skew_is_identity(self):
+        assert jitter_timestamps(RECORDS, 0.0, rng()) == RECORDS
+
+    def test_jitter_bounded(self):
+        out = jitter_timestamps(RECORDS, 2.0, rng())
+        originals = sorted(r.timestamp for r in RECORDS)
+        jittered = sorted(r.timestamp for r in out)
+        assert all(abs(a - b) <= 2.0 + 1e-9 for a, b in zip(originals, jittered))
+
+    def test_never_negative(self):
+        out = jitter_timestamps(RECORDS, 10.0, rng())
+        assert all(r.timestamp >= 0.0 for r in out)
+
+    def test_domains_preserved(self):
+        out = jitter_timestamps(RECORDS, 1.0, rng())
+        assert {r.domain for r in out} == {r.domain for r in RECORDS}
+
+    def test_rejects_negative_skew(self):
+        with pytest.raises(ValueError):
+            jitter_timestamps(RECORDS, -1.0, rng())

@@ -1,0 +1,139 @@
+"""Tests for the occupancy estimator MO (AS/AP extension)."""
+
+import math
+
+import pytest
+
+from repro.core.botmeter import BotMeter, make_estimator
+from repro.core.occupancy import OccupancyEstimator, invert_distinct_count
+from repro.detect.d3 import OracleDetector, build_detection_windows
+from repro.sim import SimConfig, simulate
+from repro.timebase import SECONDS_PER_DAY
+
+
+class TestInvertDistinctCount:
+    def test_zero_observed(self):
+        assert invert_distinct_count(0, 100, 0.05) == 0.0
+
+    def test_round_trip(self):
+        # Forward: E[distinct] for N=30; inverting recovers 30.
+        c, positions, n_true = 0.02, 1_000, 30
+        expected = positions * (1 - (1 - c) ** n_true)
+        estimate = invert_distinct_count(round(expected), positions, c)
+        assert estimate == pytest.approx(n_true, rel=0.05)
+
+    def test_monotone_in_count(self):
+        low = invert_distinct_count(100, 1_000, 0.02)
+        high = invert_distinct_count(500, 1_000, 0.02)
+        assert high > low
+
+    def test_saturation_capped(self):
+        assert invert_distinct_count(100, 100, 0.02) == pytest.approx(1e8)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            invert_distinct_count(1, 0, 0.1)
+        with pytest.raises(ValueError):
+            invert_distinct_count(1, 10, 0.0)
+        with pytest.raises(ValueError):
+            invert_distinct_count(11, 10, 0.1)
+
+
+class TestOccupancyEstimator:
+    def test_registered_in_library(self):
+        assert isinstance(make_estimator("occupancy"), OccupancyEstimator)
+
+    def test_accurate_on_sampling_dga(self, conficker_run):
+        meter = BotMeter(
+            conficker_run.dga,
+            estimator=OccupancyEstimator(),
+            timeline=conficker_run.timeline,
+        )
+        total = meter.chart(conficker_run.observable, 0.0, SECONDS_PER_DAY).total
+        actual = conficker_run.ground_truth.population(0)
+        assert abs(total - actual) / actual < 0.2
+
+    def test_saturates_on_permutation_dga(self, necurs_run):
+        """AP with θq = pool size gives every bot ~1/(θ∃+1) coverage per
+        position; two dozen bots already cover the whole pool, so the
+        distinct-count statistic saturates and MO returns its cap — this
+        is exactly why a count-free estimator (MR) is needed for AP."""
+        meter = BotMeter(
+            necurs_run.dga,
+            estimator=OccupancyEstimator(),
+            timeline=necurs_run.timeline,
+        )
+        total = meter.chart(necurs_run.observable, 0.0, SECONDS_PER_DAY).total
+        assert total == pytest.approx(1e8)
+
+    def test_accurate_on_permutation_dga_at_low_population(self):
+        run = simulate(SimConfig(family="necurs", n_bots=3, seed=5))
+        meter = BotMeter(
+            run.dga, estimator=OccupancyEstimator(), timeline=run.timeline
+        )
+        total = meter.chart(run.observable, 0.0, SECONDS_PER_DAY).total
+        actual = run.ground_truth.population(0)
+        # Unsaturated regime: a finite same-order estimate (single-epoch
+        # distinct counts are coarse at such tiny populations).
+        assert 0 < total < 4 * max(actual, 1)
+
+    def test_empty_stream(self, conficker_run):
+        meter = BotMeter(
+            conficker_run.dga,
+            estimator=OccupancyEstimator(),
+            timeline=conficker_run.timeline,
+        )
+        assert meter.chart([], 0.0, SECONDS_PER_DAY).total == 0.0
+
+    def test_scales_with_population(self):
+        totals = []
+        for n in (8, 48):
+            run = simulate(SimConfig(family="conficker_c", n_bots=n, seed=41))
+            meter = BotMeter(
+                run.dga, estimator=OccupancyEstimator(), timeline=run.timeline
+            )
+            totals.append(meter.chart(run.observable, 0.0, SECONDS_PER_DAY).total)
+        assert totals[1] > 3 * totals[0]
+
+    def test_caching_invariance(self, conficker_run):
+        from repro.dns.message import ForwardedLookup
+
+        raw_stream = [
+            ForwardedLookup(l.timestamp, "ldns-000", l.domain)
+            for l in conficker_run.raw
+        ]
+        meter = BotMeter(
+            conficker_run.dga,
+            estimator=OccupancyEstimator(),
+            timeline=conficker_run.timeline,
+        )
+        filtered = meter.chart(conficker_run.observable, 0.0, SECONDS_PER_DAY).total
+        unfiltered = meter.chart(raw_stream, 0.0, SECONDS_PER_DAY).total
+        assert filtered == pytest.approx(unfiltered, rel=1e-9)
+
+    def test_compensation_restores_accuracy_under_misses(self, conficker_run):
+        detector = OracleDetector(conficker_run.dga, miss_rate=0.4, seed=2)
+        windows = build_detection_windows(detector, conficker_run.timeline, [0])
+        actual = conficker_run.ground_truth.population(0)
+
+        def total(compensate):
+            meter = BotMeter(
+                conficker_run.dga,
+                estimator=OccupancyEstimator(compensate_detection_window=compensate),
+                detection_windows=windows,
+                timeline=conficker_run.timeline,
+            )
+            return meter.chart(conficker_run.observable, 0.0, SECONDS_PER_DAY).total
+
+        assert abs(total(True) - actual) < abs(total(False) - actual)
+        assert abs(total(True) - actual) / actual < 0.25
+
+    def test_details_expose_consumption(self, conficker_run):
+        meter = BotMeter(
+            conficker_run.dga,
+            estimator=OccupancyEstimator(),
+            timeline=conficker_run.timeline,
+        )
+        landscape = meter.chart(conficker_run.observable, 0.0, SECONDS_PER_DAY)
+        details = landscape.per_server["ldns-000"].details
+        assert 0 < details["expected_barrel_consumption"] <= 500

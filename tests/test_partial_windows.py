@@ -1,0 +1,56 @@
+"""Observation windows that do not align with epoch boundaries."""
+
+import pytest
+
+from repro.core.bernoulli import BernoulliEstimator
+from repro.core.botmeter import BotMeter
+from repro.core.poisson import PoissonEstimator
+from repro.timebase import SECONDS_PER_DAY
+
+
+class TestPartialWindows:
+    def test_half_day_window_sees_roughly_half_the_bots(self, newgoz_run):
+        """Bots activate uniformly through the day; a half-day window
+        contains roughly half the activations."""
+        meter = BotMeter(
+            newgoz_run.dga, estimator=BernoulliEstimator(), timeline=newgoz_run.timeline
+        )
+        full = meter.chart(newgoz_run.observable, 0.0, SECONDS_PER_DAY).total
+        half = meter.chart(newgoz_run.observable, 0.0, SECONDS_PER_DAY / 2).total
+        assert 0.25 * full < half < 0.8 * full
+
+    def test_poisson_partial_window_scales_rate(self, murofet_run):
+        meter = BotMeter(
+            murofet_run.dga, estimator=PoissonEstimator(), timeline=murofet_run.timeline
+        )
+        quarter = meter.chart(
+            murofet_run.observable, 0.0, SECONDS_PER_DAY / 4
+        ).total
+        # λ̂·W with W = 6 h estimates the bots *activating in 6 h*.
+        actual_daily = murofet_run.ground_truth.population(0)
+        assert 0 < quarter < actual_daily
+
+    def test_offset_window_straddling_midnight(self, multiserver_run):
+        """A window covering the second half of day 0 and the first half
+        of day 1 runs two partial epochs and averages them."""
+        meter = BotMeter(
+            multiserver_run.dga,
+            estimator=BernoulliEstimator(),
+            timeline=multiserver_run.timeline,
+        )
+        start = SECONDS_PER_DAY / 2
+        end = 1.5 * SECONDS_PER_DAY
+        landscape = meter.chart(multiserver_run.observable, start, end)
+        estimate = landscape.per_server["ldns-000"]
+        assert set(estimate.per_epoch) == {0, 1}
+        assert landscape.total > 0
+
+    def test_window_with_no_matches_is_zero(self, newgoz_run):
+        meter = BotMeter(
+            newgoz_run.dga, estimator=BernoulliEstimator(), timeline=newgoz_run.timeline
+        )
+        # Day 3 has no traffic in a 1-day simulation.
+        landscape = meter.chart(
+            newgoz_run.observable, 3 * SECONDS_PER_DAY, 4 * SECONDS_PER_DAY
+        )
+        assert landscape.total == 0.0

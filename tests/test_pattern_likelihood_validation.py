@@ -1,0 +1,72 @@
+"""Statistical validation of the pattern-likelihood MB against the exact
+generative model, on circles small enough to simulate exhaustively."""
+
+import numpy as np
+import pytest
+
+from repro.core.bernoulli import solve_pattern_population
+from repro.core.segments import DgaCircle
+
+
+def simulate_pattern(rng, circle_size, valid_positions, barrel, n_bots):
+    """Exact AR generative draw: returns the observed NXD position set."""
+    valid = set(valid_positions)
+    covered = set()
+    for start in rng.integers(0, circle_size, size=n_bots):
+        position = int(start)
+        for _ in range(barrel):
+            if position in valid:
+                break
+            covered.add(position)
+            position = (position + 1) % circle_size
+    return covered
+
+
+def estimate_once(rng, circle_size, valid_positions, barrel, n_bots):
+    pool = [f"p{i}" for i in range(circle_size)]
+    registered = {pool[i] for i in valid_positions}
+    circle = DgaCircle(pool, registered)
+    covered = simulate_pattern(rng, circle_size, valid_positions, barrel, n_bots)
+    observed = {pool[i] for i in covered}
+    segments = circle.segments(observed)
+    if not segments:
+        return 0.0
+    return solve_pattern_population(
+        segments,
+        total_nxds=circle_size - len(valid_positions),
+        circle_size=circle_size,
+        barrel_size=barrel,
+        rough_estimate=float(n_bots),
+    )
+
+
+class TestPatternLikelihoodCalibration:
+    @pytest.mark.parametrize("n_bots", [4, 10, 20])
+    def test_mean_estimate_tracks_truth(self, n_bots):
+        """Averaged over many exact generative draws, the pattern MLE
+        lands near the true population (small circle: 60 positions,
+        barrel 8, 3 arcs)."""
+        rng = np.random.default_rng(n_bots)
+        estimates = [
+            estimate_once(rng, 60, (0, 21, 40), 8, n_bots) for _ in range(40)
+        ]
+        mean = float(np.mean(estimates))
+        assert mean == pytest.approx(n_bots, rel=0.3)
+
+    def test_estimates_monotone_in_population(self):
+        rng = np.random.default_rng(99)
+        means = []
+        for n in (3, 12, 30):
+            estimates = [
+                estimate_once(rng, 60, (0, 21, 40), 8, n) for _ in range(25)
+            ]
+            means.append(float(np.mean(estimates)))
+        assert means[0] < means[1] < means[2]
+
+    def test_single_bot_patterns(self):
+        """One bot always produces one segment; the estimate should stay
+        in the ~1-bot range."""
+        rng = np.random.default_rng(7)
+        estimates = [estimate_once(rng, 60, (0, 30), 6, 1) for _ in range(30)]
+        mean = float(np.mean(estimates))
+        assert 0.5 < mean < 2.5

@@ -1,0 +1,132 @@
+"""Tests for the Poisson estimator MP (Eqn 1, Figure 4)."""
+
+import pytest
+
+from repro.core.botmeter import BotMeter
+from repro.core.estimator import EstimationContext, MatchedLookup
+from repro.core.poisson import PoissonEstimator, visible_activation_times
+from repro.dga.families import make_family
+from repro.timebase import SECONDS_PER_DAY, Timeline
+
+
+def context(negative_ttl=7_200.0, window_days=1):
+    return EstimationContext(
+        dga=make_family("murofet", 3),
+        timeline=Timeline(),
+        window_start=0.0,
+        window_end=window_days * SECONDS_PER_DAY,
+        negative_ttl=negative_ttl,
+    )
+
+
+def burst(start, n=5, interval=0.5, day=0):
+    return [
+        MatchedLookup(start + i * interval, "s", f"d{start:.0f}-{i}.biz", day)
+        for i in range(n)
+    ]
+
+
+class TestVisibleActivationTimes:
+    def test_single_burst(self):
+        times = [0.0, 0.5, 1.0, 1.5]
+        assert visible_activation_times(times, burst_gap=5.0) == [0.0]
+
+    def test_two_bursts(self):
+        times = [0.0, 0.5, 1.0, 100.0, 100.5]
+        assert visible_activation_times(times, burst_gap=5.0) == [0.0, 100.0]
+
+    def test_gap_exactly_at_threshold_not_split(self):
+        times = [0.0, 5.0]
+        assert visible_activation_times(times, burst_gap=5.0) == [0.0]
+
+    def test_empty(self):
+        assert visible_activation_times([], 5.0) == []
+
+    def test_rejects_bad_gap(self):
+        with pytest.raises(ValueError):
+            visible_activation_times([0.0], 0.0)
+
+
+class TestEqnOne:
+    def test_literal_eqn1_matches_hand_computation(self):
+        """n=2 bursts at t=1000 and t=1000+δl+500 in a 1-day window."""
+        ttl = 7_200.0
+        lookups = burst(1_000.0) + burst(1_000.0 + ttl + 500.0)
+        est = PoissonEstimator(tail_correction=False).estimate(
+            lookups, context(negative_ttl=ttl)
+        )
+        # Δ1 = 1000, Δ2 = 500 → E(N) = n + n²·δl/ΣΔ = 2 + 4·7200/1500
+        assert est.value == pytest.approx(2 + 4 * ttl / 1_500.0)
+
+    def test_tail_corrected_uses_full_window(self):
+        ttl = 7_200.0
+        lookups = burst(1_000.0) + burst(1_000.0 + ttl + 500.0)
+        est = PoissonEstimator(tail_correction=True).estimate(
+            lookups, context(negative_ttl=ttl)
+        )
+        # Exposure = 1000 + 500 + tail after last TTL window.
+        tail = SECONDS_PER_DAY - (1_000.0 + ttl + 500.0 + ttl)
+        expected = 2 / (1_500.0 + tail) * SECONDS_PER_DAY
+        assert est.value == pytest.approx(expected)
+
+    def test_empty_window_estimates_zero(self):
+        est = PoissonEstimator().estimate([], context())
+        assert est.value == 0.0
+
+    def test_single_burst_positive_estimate(self):
+        est = PoissonEstimator().estimate(burst(3_600.0), context())
+        assert est.value > 0
+
+    def test_back_to_back_bursts_do_not_divide_by_zero(self):
+        ttl = 7_200.0
+        lookups = burst(0.0) + burst(ttl) + burst(2 * ttl)
+        est = PoissonEstimator().estimate(lookups, context(negative_ttl=ttl))
+        assert est.value > 0 and est.value < 1e9
+
+    def test_multi_epoch_averages(self):
+        lookups = burst(1_000.0, day=0) + burst(SECONDS_PER_DAY + 1_000.0, day=1)
+        est = PoissonEstimator().estimate(lookups, context(window_days=2))
+        assert set(est.per_epoch) == {0, 1}
+        assert est.value == pytest.approx(
+            (est.per_epoch[0] + est.per_epoch[1]) / 2
+        )
+
+    def test_rejects_bad_burst_gap(self):
+        with pytest.raises(ValueError):
+            PoissonEstimator(burst_gap=0.0)
+
+    def test_name(self):
+        assert PoissonEstimator().name == "poisson"
+
+
+class TestOnSimulatedData:
+    def test_recovers_masked_bots(self, murofet_run):
+        """MP must land far closer to truth than the visible-burst count."""
+        meter_mp = BotMeter(
+            murofet_run.dga, estimator=PoissonEstimator(),
+            timeline=murofet_run.timeline,
+        )
+        landscape = meter_mp.chart(murofet_run.observable, 0.0, SECONDS_PER_DAY)
+        actual = murofet_run.ground_truth.population(0)
+        assert abs(landscape.total - actual) / actual < 0.6
+
+        from repro.core.timing import TimingEstimator
+
+        meter_mt = BotMeter(
+            murofet_run.dga, estimator=TimingEstimator(),
+            timeline=murofet_run.timeline,
+        )
+        mt_total = meter_mt.chart(murofet_run.observable, 0.0, SECONDS_PER_DAY).total
+        assert abs(landscape.total - actual) < abs(mt_total - actual)
+
+    def test_estimate_grows_with_population(self):
+        from repro.sim import SimConfig, simulate
+
+        estimates = []
+        for n in (16, 128):
+            run = simulate(SimConfig(family="murofet", n_bots=n, seed=9))
+            meter = BotMeter(
+                run.dga, estimator=PoissonEstimator(), timeline=run.timeline
+            )
+            estimates.append(meter.chart(run.observable, 0.0, SECONDS_PER_DAY).total)
+        assert estimates[1] > estimates[0]

@@ -1,0 +1,151 @@
+"""Tests for the query-pool models (§III-A)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.dga.base import PoolClass
+from repro.dga.pools import DrainReplenishPool, MultipleMixturePool, SlidingWindowPool
+from repro.dga.wordgen import LabelSpec
+
+DAY = dt.date(2014, 5, 10)
+
+
+class TestDrainReplenishPool:
+    def test_pool_size(self):
+        pool = DrainReplenishPool(seed=1, pool_size=100)
+        assert len(pool.pool_for(DAY)) == 100
+
+    def test_domains_unique_within_day(self):
+        pool = DrainReplenishPool(seed=1, pool_size=500)
+        domains = pool.pool_for(DAY)
+        assert len(set(domains)) == 500
+
+    def test_deterministic(self):
+        a = DrainReplenishPool(seed=1, pool_size=50)
+        b = DrainReplenishPool(seed=1, pool_size=50)
+        assert a.pool_for(DAY) == b.pool_for(DAY)
+
+    def test_daily_replacement(self):
+        pool = DrainReplenishPool(seed=1, pool_size=50)
+        today = set(pool.pool_for(DAY))
+        tomorrow = set(pool.pool_for(DAY + dt.timedelta(days=1)))
+        assert today.isdisjoint(tomorrow)
+
+    def test_seed_changes_pool(self):
+        a = DrainReplenishPool(seed=1, pool_size=50)
+        b = DrainReplenishPool(seed=2, pool_size=50)
+        assert set(a.pool_for(DAY)).isdisjoint(b.pool_for(DAY))
+
+    def test_period_days_keeps_pool_stable(self):
+        pool = DrainReplenishPool(seed=1, pool_size=50, period_days=4)
+        anchored = None
+        stable_days = 0
+        for offset in range(8):
+            current = pool.pool_for(DAY + dt.timedelta(days=offset))
+            if anchored == current:
+                stable_days += 1
+            anchored = current
+        # Within 8 days and a 4-day period there is exactly one rollover
+        # or two, so at least 5 consecutive repeats.
+        assert stable_days >= 5
+
+    def test_period_days_rolls_over(self):
+        pool = DrainReplenishPool(seed=1, pool_size=50, period_days=4)
+        pools = {tuple(pool.pool_for(DAY + dt.timedelta(days=o))) for o in range(8)}
+        assert len(pools) in (2, 3)
+
+    def test_tld_applied(self):
+        pool = DrainReplenishPool(seed=1, pool_size=10, tld="biz")
+        assert all(d.endswith(".biz") for d in pool.pool_for(DAY))
+
+    def test_useful_pool_is_full_pool(self):
+        pool = DrainReplenishPool(seed=1, pool_size=20)
+        assert pool.useful_pool_for(DAY) == pool.pool_for(DAY)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            DrainReplenishPool(seed=1, pool_size=10, period_days=0)
+
+    def test_pool_class(self):
+        assert DrainReplenishPool(1, 10).pool_class is PoolClass.DRAIN_REPLENISH
+
+
+class TestSlidingWindowPool:
+    def test_ranbyus_shape(self):
+        # 40/day over past 30 days + today = 1,240 domains.
+        pool = SlidingWindowPool(seed=1, daily_batch=40, days_back=30)
+        assert len(pool.pool_for(DAY)) == 1240
+
+    def test_pushdo_shape(self):
+        # 30/day over -30..+15 days = 1,380 domains.
+        pool = SlidingWindowPool(seed=1, daily_batch=30, days_back=30, days_forward=15)
+        assert len(pool.pool_for(DAY)) == 1380
+
+    def test_consecutive_days_overlap(self):
+        pool = SlidingWindowPool(seed=1, daily_batch=10, days_back=5)
+        today = set(pool.pool_for(DAY))
+        tomorrow = set(pool.pool_for(DAY + dt.timedelta(days=1)))
+        assert len(today & tomorrow) == 50  # all but one batch shared
+
+    def test_window_slides_fully_after_window_days(self):
+        pool = SlidingWindowPool(seed=1, daily_batch=10, days_back=5)
+        today = set(pool.pool_for(DAY))
+        later = set(pool.pool_for(DAY + dt.timedelta(days=10)))
+        assert today.isdisjoint(later)
+
+    def test_window_days(self):
+        pool = SlidingWindowPool(seed=1, daily_batch=10, days_back=3, days_forward=2)
+        assert pool.window_days == 6
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindowPool(seed=1, daily_batch=10, days_back=-1)
+
+    def test_pool_class(self):
+        pool = SlidingWindowPool(seed=1, daily_batch=10, days_back=1)
+        assert pool.pool_class is PoolClass.SLIDING_WINDOW
+
+
+class TestMultipleMixturePool:
+    def make(self):
+        return MultipleMixturePool(
+            seed=1, useful_size=20, noise_sizes=(60,), label_spec=LabelSpec("cv", syllables=4)
+        )
+
+    def test_total_size(self):
+        assert len(self.make().pool_for(DAY)) == 80
+
+    def test_useful_subset_of_pool(self):
+        pool = self.make()
+        assert set(pool.useful_pool_for(DAY)) <= set(pool.pool_for(DAY))
+
+    def test_useful_size(self):
+        assert len(self.make().useful_pool_for(DAY)) == 20
+
+    def test_interleaving_spreads_useful_domains(self):
+        pool = self.make()
+        ordered = pool.pool_for(DAY)
+        useful = set(pool.useful_pool_for(DAY))
+        positions = [i for i, d in enumerate(ordered) if d in useful]
+        # Round-robin interleave puts one useful domain every 2 positions
+        # while both streams last.
+        assert positions[0] == 0
+        assert positions[1] == 2
+
+    def test_multiple_noise_instances(self):
+        pool = MultipleMixturePool(seed=1, useful_size=5, noise_sizes=(7, 9))
+        assert len(pool.pool_for(DAY)) == 21
+
+    def test_requires_noise(self):
+        with pytest.raises(ValueError):
+            MultipleMixturePool(seed=1, useful_size=5, noise_sizes=())
+
+    def test_pool_class(self):
+        assert self.make().pool_class is PoolClass.MULTIPLE_MIXTURE
+
+    def test_noise_disjoint_from_useful(self):
+        pool = self.make()
+        useful = set(pool.useful_pool_for(DAY))
+        noise = set(pool.pool_for(DAY)) - useful
+        assert len(noise) == 60

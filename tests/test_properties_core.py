@@ -1,0 +1,243 @@
+"""Property-based tests (hypothesis) for the core data structures and
+invariants: caching, combinatorics, segments, and estimator sanity."""
+
+import itertools
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.combinatorics import (
+    barrel_consumption_pmf,
+    coverage_validity_curve,
+    expected_barrel_consumption,
+    gap_constrained_subset_count,
+    segment_validity_curve,
+)
+from repro.core.segments import DgaCircle, SegmentKind
+from repro.core.bernoulli import solve_coverage_population
+from repro.dns.cache import DnsCache
+from repro.dns.message import RCode
+
+
+# ---------------------------------------------------------------------------
+# DNS cache invariants
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def cache_operations(draw):
+    """A sequence of (op, domain, time, ttl) with non-decreasing time."""
+    n = draw(st.integers(1, 40))
+    ops = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(0.0, 100.0, allow_nan=False))
+        op = draw(st.sampled_from(["get", "put"]))
+        domain = draw(st.sampled_from(["a.com", "b.com", "c.com"]))
+        ttl = draw(st.floats(0.1, 500.0))
+        ops.append((op, domain, t, ttl))
+    return ops
+
+
+class TestCacheProperties:
+    @given(cache_operations())
+    @settings(max_examples=100, deadline=None)
+    def test_cache_agrees_with_reference_model(self, ops):
+        """The cache must behave exactly like a naive dict-of-expiries."""
+        cache = DnsCache()
+        reference: dict[str, float] = {}
+        for op, domain, t, ttl in ops:
+            if op == "put":
+                cache.put(domain, RCode.NXDOMAIN, t, ttl)
+                reference[domain] = t + ttl
+            else:
+                got = cache.get(domain, t)
+                expected_live = reference.get(domain, -1.0) > t
+                assert (got is not None) == expected_live
+
+    @given(st.floats(0.1, 1e6), st.floats(0.0, 1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_entry_never_outlives_ttl(self, ttl, probe_after):
+        cache = DnsCache()
+        cache.put("x.com", RCode.NXDOMAIN, 0.0, ttl)
+        got = cache.get("x.com", probe_after)
+        if probe_after >= ttl:
+            assert got is None
+
+
+# ---------------------------------------------------------------------------
+# Combinatorics invariants
+# ---------------------------------------------------------------------------
+
+
+class TestCombinatoricsProperties:
+    @given(st.integers(1, 60), st.integers(1, 400), st.integers(1, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_barrel_pmf_is_distribution(self, n_reg, n_nxd, barrel):
+        assume(barrel <= n_reg + n_nxd)
+        pmf = barrel_consumption_pmf(n_reg, n_nxd, barrel)
+        assert np.all(pmf >= -1e-12)
+        assert pmf.sum() == np.float64(1.0) or abs(pmf.sum() - 1.0) < 1e-9
+
+    @given(st.integers(0, 40), st.integers(1, 400), st.integers(1, 400))
+    @settings(max_examples=60, deadline=None)
+    def test_expected_consumption_bounded_by_barrel(self, n_reg, n_nxd, barrel):
+        assume(barrel <= n_reg + n_nxd)
+        e = expected_barrel_consumption(n_reg, n_nxd, barrel)
+        assert -1e-9 <= e <= barrel + 1e-9
+
+    @given(st.integers(2, 11), st.integers(2, 11), st.integers(1, 6))
+    @settings(max_examples=80, deadline=None)
+    def test_gap_count_matches_enumeration(self, length, m, gap):
+        assume(m <= length)
+        expected = 0
+        for subset in itertools.combinations(range(1, length + 1), m):
+            if subset[0] == 1 and subset[-1] == length:
+                if all(b - a <= gap for a, b in zip(subset, subset[1:])):
+                    expected += 1
+        assert gap_constrained_subset_count(length, m, gap) == expected
+
+    @given(st.integers(2, 25), st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_validity_curve_monotone_and_bounded(self, length, gap):
+        curve = coverage_validity_curve(length, gap, 80)
+        assert np.all(curve >= 0) and np.all(curve <= 1)
+        assert np.all(np.diff(curve) >= -1e-12)
+
+    @given(st.integers(1, 30), st.integers(1, 10), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_segment_curve_is_probability(self, length, gap, boundary):
+        slots, curve = segment_validity_curve(length, gap, 60, boundary)
+        assert 1 <= slots <= length
+        assert np.all(curve >= 0) and np.all(curve <= 1)
+        assert curve[0] == 0.0
+
+    @given(st.integers(2, 14), st.integers(1, 6), st.integers(1, 10), st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_segment_curve_matches_monte_carlo(self, length, gap, n, boundary):
+        slots, curve = segment_validity_curve(length, gap, max(n, 1), boundary)
+        rng = np.random.default_rng(length * 1000 + gap * 100 + n)
+        trials = 3000
+        hits = 0
+        lo = max(1, length - gap + 1)
+        for _ in range(trials):
+            s = np.unique(rng.integers(1, slots + 1, size=n))
+            if boundary:
+                ok = (
+                    s[0] == 1
+                    and np.all(np.diff(s) <= gap)
+                    and s[-1] >= lo
+                )
+            else:
+                ok = s[0] == 1 and s[-1] == slots and np.all(np.diff(s) <= gap)
+            hits += bool(ok)
+        mc = hits / trials
+        assert abs(curve[n] - mc) < 0.05
+
+
+# ---------------------------------------------------------------------------
+# Circle/segment invariants
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def circles_and_observations(draw):
+    size = draw(st.integers(3, 40))
+    pool = [f"d{i}" for i in range(size)]
+    n_valid = draw(st.integers(0, min(4, size - 1)))
+    valid_positions = draw(
+        st.sets(st.integers(0, size - 1), min_size=n_valid, max_size=n_valid)
+    )
+    registered = {pool[i] for i in valid_positions}
+    nxds = [d for d in pool if d not in registered]
+    observed = draw(st.sets(st.sampled_from(nxds))) if nxds else set()
+    return pool, registered, observed
+
+
+class TestSegmentProperties:
+    @given(circles_and_observations())
+    @settings(max_examples=150, deadline=None)
+    def test_segments_partition_observed(self, data):
+        pool, registered, observed = data
+        circle = DgaCircle(pool, registered)
+        segments = circle.segments(observed)
+        total = sum(s.length for s in segments)
+        assert total == len(observed)
+
+    @given(circles_and_observations())
+    @settings(max_examples=150, deadline=None)
+    def test_segments_within_arcs(self, data):
+        pool, registered, observed = data
+        circle = DgaCircle(pool, registered)
+        for segment in circle.segments(observed):
+            arc_len = circle.arc_lengths[segment.arc_index]
+            assert segment.length <= arc_len
+            assert 1 <= segment.start_offset <= arc_len
+            if circle.n_boundaries > 0:
+                # With boundaries, runs never wrap past the arc end; on a
+                # boundary-less circle a merged run may wrap the origin.
+                assert segment.start_offset + segment.length - 1 <= arc_len
+
+    @given(circles_and_observations())
+    @settings(max_examples=150, deadline=None)
+    def test_boundary_segments_touch_arc_end(self, data):
+        pool, registered, observed = data
+        circle = DgaCircle(pool, registered)
+        for segment in circle.segments(observed):
+            at_end = (
+                segment.start_offset + segment.length - 1
+                == circle.arc_lengths[segment.arc_index]
+            )
+            if segment.kind is SegmentKind.BOUNDARY:
+                assert at_end and circle.n_boundaries > 0
+
+    @given(circles_and_observations())
+    @settings(max_examples=100, deadline=None)
+    def test_arc_lengths_sum_to_nxd_count(self, data):
+        pool, registered, _ = data
+        circle = DgaCircle(pool, registered)
+        assert sum(circle.arc_lengths) == len(pool) - len(registered)
+
+
+# ---------------------------------------------------------------------------
+# Coverage-inversion sanity
+# ---------------------------------------------------------------------------
+
+
+class TestCoverageInversionProperties:
+    @given(
+        st.integers(1, 50),
+        st.integers(51, 500),
+        st.integers(1, 200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_moments_round_trip(self, weight, circle_size, n_true):
+        """Solving against the exact expected coverage recovers N."""
+        assume(weight < circle_size)
+        n_positions = 100
+        p = 1 - (1 - weight / circle_size) ** n_true
+        covered_count = round(n_positions * p)
+        assume(0 < covered_count < n_positions)
+        covered = [True] * covered_count + [False] * (n_positions - covered_count)
+        estimate = solve_coverage_population(
+            [weight] * n_positions, covered, circle_size, "moments"
+        )
+        # Rounding the expectation to an integer count perturbs the root.
+        p_lo = max((covered_count - 0.5) / n_positions, 1e-9)
+        p_hi = min((covered_count + 0.5) / n_positions, 1 - 1e-12)
+        base = math.log1p(-weight / circle_size)
+        n_lo = math.log1p(-p_lo) / base
+        n_hi = math.log1p(-p_hi) / base
+        assert n_lo - 1e-6 <= estimate <= n_hi + 1e-6
+
+    @given(st.lists(st.integers(1, 9), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_more_coverage_never_lowers_estimate(self, weights):
+        circle_size = 100
+        none = [False] * len(weights)
+        some = [i == 0 for i in range(len(weights))]
+        low = solve_coverage_population(weights, none, circle_size)
+        high = solve_coverage_population(weights, some, circle_size)
+        assert high >= low

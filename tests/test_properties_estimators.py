@@ -1,0 +1,94 @@
+"""Property-based tests over the estimator inversions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.occupancy import invert_distinct_count
+from repro.core.renewal import expected_forwarded_lookups
+from repro.eval.metrics import absolute_relative_error, summarize_errors
+
+
+class TestRenewalInversionProperties:
+    @given(
+        st.lists(st.floats(1e-4, 0.5), min_size=1, max_size=60),
+        st.floats(1.0, 500.0),
+        st.floats(0.0, 20_000.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_expected_volume_monotone_in_population(self, coverages, n, ttl):
+        low = expected_forwarded_lookups(coverages, n, ttl, 86_400.0)
+        high = expected_forwarded_lookups(coverages, n * 1.5 + 1, ttl, 86_400.0)
+        assert high >= low
+
+    @given(
+        st.lists(st.floats(1e-4, 0.5), min_size=1, max_size=60),
+        st.floats(1.0, 500.0),
+        st.floats(0.0, 20_000.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_caching_only_reduces_volume(self, coverages, n, ttl):
+        cached = expected_forwarded_lookups(coverages, n, ttl, 86_400.0)
+        uncached = expected_forwarded_lookups(coverages, n, 0.0, 86_400.0)
+        assert cached <= uncached + 1e-9
+
+    @given(
+        st.lists(st.floats(1e-4, 0.5), min_size=1, max_size=60),
+        st.floats(1.0, 500.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_volume_bounded_by_ttl_capacity(self, coverages, n):
+        """Each domain can forward at most W/δl (+1) lookups per window."""
+        ttl, window = 3_600.0, 86_400.0
+        volume = expected_forwarded_lookups(coverages, n, ttl, window)
+        assert volume <= len(coverages) * (window / ttl)
+
+
+class TestOccupancyInversionProperties:
+    @given(
+        st.integers(50, 400),
+        st.floats(0.01, 0.4),
+        st.integers(1, 100),
+    )
+    @settings(
+        max_examples=150,
+        deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
+    def test_round_trip_within_discretisation(self, positions, coverage, n_true):
+        expected = positions * (1 - (1 - coverage) ** n_true)
+        k = round(expected)
+        assume(0 < k < positions)
+        estimate = invert_distinct_count(k, positions, coverage)
+        # Rounding the expectation perturbs N by at most the count step.
+        lo = math.log1p(-min((k + 0.5) / positions, 1 - 1e-12)) / math.log1p(-coverage)
+        hi = math.log1p(-max((k - 0.5) / positions, 1e-12)) / math.log1p(-coverage)
+        assert min(lo, hi) - 1e-6 <= estimate <= max(lo, hi) + 1e-6
+
+    @given(st.integers(2, 300), st.floats(0.001, 0.5))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_distinct_count(self, positions, coverage):
+        estimates = [
+            invert_distinct_count(k, positions, coverage)
+            for k in range(positions)
+        ]
+        assert all(b >= a for a, b in zip(estimates, estimates[1:]))
+
+
+class TestMetricsProperties:
+    @given(st.floats(0.0, 1e6), st.floats(1e-6, 1e6))
+    @settings(max_examples=200, deadline=None)
+    def test_are_nonnegative_and_zero_iff_exact(self, estimate, actual):
+        error = absolute_relative_error(estimate, actual)
+        assert error >= 0
+        assert (error == 0) == (estimate == actual)
+
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50))
+    @settings(max_examples=200, deadline=None)
+    def test_summary_order_invariants(self, errors):
+        summary = summarize_errors(errors)
+        assert summary.p25 <= summary.median <= summary.p75
+        assert min(errors) - 1e-9 <= summary.mean <= max(errors) + 1e-9

@@ -1,0 +1,100 @@
+"""Property-based tests over the caching/forwarding pipeline and the
+Poisson estimator's renewal model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.poisson import visible_activation_times
+from repro.dns.authority import StaticResolver
+from repro.dns.server import BorderDnsServer, LocalDnsServer
+from repro.timebase import Timeline
+
+
+@st.composite
+def traffic(draw):
+    """Random client traffic: (time, domain) with non-decreasing time."""
+    n = draw(st.integers(1, 60))
+    events = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(0.0, 3_000.0, allow_nan=False))
+        domain = draw(st.sampled_from([f"d{i}.com" for i in range(6)]))
+        events.append((t, domain))
+    return events
+
+
+class TestCachingPipelineProperties:
+    @given(traffic(), st.floats(1.0, 5_000.0))
+    @settings(max_examples=120, deadline=None)
+    def test_first_lookup_of_each_domain_always_forwarded(self, events, ttl):
+        border = BorderDnsServer(StaticResolver(set()), Timeline(), 0.0)
+        local = LocalDnsServer("l", border, max_negative_ttl=ttl)
+        for t, domain in events:
+            local.query(domain, t)
+        forwarded_domains = {r.domain for r in border.observed}
+        assert forwarded_domains == {d for _, d in events}
+
+    @given(traffic(), st.floats(1.0, 5_000.0))
+    @settings(max_examples=120, deadline=None)
+    def test_forwarded_is_subset_with_ttl_spacing(self, events, ttl):
+        """Per domain, consecutive forwarded lookups are ≥ TTL apart and
+        every suppressed lookup falls inside a TTL window."""
+        border = BorderDnsServer(StaticResolver(set()), Timeline(), 0.0)
+        local = LocalDnsServer("l", border, max_negative_ttl=ttl)
+        for t, domain in events:
+            local.query(domain, t)
+        per_domain: dict[str, list[float]] = {}
+        for r in border.observed:
+            per_domain.setdefault(r.domain, []).append(r.timestamp)
+        for domain, times in per_domain.items():
+            gaps = np.diff(times)
+            assert np.all(gaps >= ttl - 1e-6)
+
+    @given(traffic(), st.floats(1.0, 5_000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_forwarded_count_matches_greedy_renewal(self, events, ttl):
+        """The forwarded count per domain equals the greedy 'first lookup
+        after each TTL expiry' renewal count."""
+        border = BorderDnsServer(StaticResolver(set()), Timeline(), 0.0)
+        local = LocalDnsServer("l", border, max_negative_ttl=ttl)
+        for t, domain in events:
+            local.query(domain, t)
+        expected: dict[str, int] = {}
+        last_cached: dict[str, float] = {}
+        for t, domain in events:
+            if domain not in last_cached or t >= last_cached[domain] + ttl:
+                expected[domain] = expected.get(domain, 0) + 1
+                last_cached[domain] = t
+        observed: dict[str, int] = {}
+        for r in border.observed:
+            observed[r.domain] = observed.get(r.domain, 0) + 1
+        assert observed == expected
+
+
+class TestBurstClusteringProperties:
+    @given(
+        st.lists(st.floats(0.0, 1e5, allow_nan=False), min_size=0, max_size=80),
+        st.floats(0.1, 1_000.0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_burst_count_bounds(self, times, gap):
+        times = sorted(times)
+        starts = visible_activation_times(times, gap)
+        if times:
+            assert 1 <= len(starts) <= len(times)
+            assert starts[0] == times[0]
+        else:
+            assert starts == []
+
+    @given(
+        st.lists(st.floats(0.0, 1e5, allow_nan=False), min_size=2, max_size=80),
+        st.floats(0.1, 1_000.0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_burst_starts_follow_large_gaps(self, times, gap):
+        times = sorted(times)
+        starts = set(visible_activation_times(times, gap))
+        for previous, current in zip(times, times[1:]):
+            if current - previous > gap:
+                assert current in starts

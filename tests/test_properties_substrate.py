@@ -1,0 +1,122 @@
+"""Property-based tests for the DGA and simulation substrates."""
+
+import datetime as dt
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.dga.barrels import (
+    PermutationBarrel,
+    RandomCutBarrel,
+    SamplingBarrel,
+    UniformBarrel,
+)
+from repro.dga.pools import DrainReplenishPool, SlidingWindowPool
+from repro.dga.wordgen import Lcg
+from repro.sim.activation import activation_schedule
+from repro.core.matcher import DgaDomainMatcher
+from repro.dns.message import ForwardedLookup
+from repro.timebase import SECONDS_PER_DAY
+
+DAYS = st.dates(min_value=dt.date(2010, 1, 1), max_value=dt.date(2030, 1, 1))
+BARRELS = st.sampled_from(
+    [UniformBarrel(), SamplingBarrel(), RandomCutBarrel(), PermutationBarrel()]
+)
+
+
+class TestPoolProperties:
+    @given(st.integers(0, 2**32), st.integers(1, 300), DAYS)
+    @settings(max_examples=50, deadline=None)
+    def test_drain_replenish_pool_unique_and_sized(self, seed, size, day):
+        pool = DrainReplenishPool(seed, size).pool_for(day)
+        assert len(pool) == size
+        assert len(set(pool)) == size
+
+    @given(st.integers(0, 2**32), st.integers(1, 30), st.integers(0, 10), st.integers(0, 5), DAYS)
+    @settings(max_examples=50, deadline=None)
+    def test_sliding_window_size_formula(self, seed, batch, back, forward, day):
+        pool = SlidingWindowPool(seed, batch, back, forward)
+        assert len(pool.pool_for(day)) == batch * (back + forward + 1)
+
+    @given(st.integers(0, 2**32), st.integers(1, 30), st.integers(1, 10), DAYS)
+    @settings(max_examples=50, deadline=None)
+    def test_sliding_window_tomorrow_drops_one_batch(self, seed, batch, back, day):
+        pool = SlidingWindowPool(seed, batch, back, 0)
+        today = set(pool.pool_for(day))
+        tomorrow = set(pool.pool_for(day + dt.timedelta(days=1)))
+        assert len(today - tomorrow) == batch
+
+
+class TestBarrelProperties:
+    @given(BARRELS, st.integers(1, 50), st.integers(0, 2**32))
+    @settings(max_examples=100, deadline=None)
+    def test_barrel_invariants(self, model, barrel_size, seed):
+        pool = [f"d{i}" for i in range(50)]
+        barrel = model.barrel(pool, barrel_size, Lcg(seed))
+        assert len(barrel) == barrel_size
+        assert len(set(barrel)) == barrel_size  # no repeats
+        assert set(barrel) <= set(pool)
+
+    @given(st.integers(1, 49), st.integers(0, 2**32))
+    @settings(max_examples=100, deadline=None)
+    def test_randomcut_is_circularly_contiguous(self, barrel_size, seed):
+        pool = [f"d{i}" for i in range(50)]
+        barrel = RandomCutBarrel().barrel(pool, barrel_size, Lcg(seed))
+        index = {d: i for i, d in enumerate(pool)}
+        positions = [index[d] for d in barrel]
+        assert all(
+            (b - a) % 50 == 1 for a, b in zip(positions, positions[1:])
+        )
+
+
+class TestActivationProperties:
+    @given(st.integers(0, 300), st.floats(0.0, 3.0), st.integers(0, 2**32))
+    @settings(max_examples=80, deadline=None)
+    def test_schedule_invariants(self, n_bots, sigma, seed):
+        rng = np.random.default_rng(seed)
+        times = activation_schedule(n_bots, rng, sigma=sigma)
+        assert len(times) <= n_bots
+        assert np.all(times >= 0)
+        assert np.all(times < SECONDS_PER_DAY)
+        assert np.all(np.diff(times) >= 0)
+
+
+@st.composite
+def matcher_inputs(draw):
+    windows = {
+        0: frozenset({"w0a", "w0b"}),
+        1: frozenset({"w1a"}),
+    }
+    n = draw(st.integers(0, 30))
+    records = []
+    for _ in range(n):
+        t = draw(st.floats(0.0, 2 * SECONDS_PER_DAY - 1, allow_nan=False))
+        domain = draw(st.sampled_from(["w0a", "w0b", "w1a", "zzz"]))
+        records.append(ForwardedLookup(t, "s", domain))
+    return windows, records
+
+
+class TestMatcherProperties:
+    @given(matcher_inputs())
+    @settings(max_examples=100, deadline=None)
+    def test_matches_subset_and_tagged(self, data):
+        windows, records = data
+        matcher = DgaDomainMatcher(windows)
+        matches = matcher.match(records)
+        assert len(matches) <= len(records)
+        for m in matches:
+            assert m.domain in windows[m.day_index]
+            day_of_time = int(m.timestamp // SECONDS_PER_DAY)
+            assert m.day_index in (day_of_time, day_of_time - 1)
+
+    @given(matcher_inputs())
+    @settings(max_examples=100, deadline=None)
+    def test_match_is_idempotent_on_filtered_stream(self, data):
+        windows, records = data
+        matcher = DgaDomainMatcher(windows)
+        matches = matcher.match(records)
+        refiltered = matcher.match(
+            ForwardedLookup(m.timestamp, m.server, m.domain) for m in matches
+        )
+        assert len(refiltered) == len(matches)

@@ -1,0 +1,63 @@
+"""Tests for the Figure-7 / Table-II enterprise-study harness."""
+
+import pytest
+
+from repro.enterprise.trace_gen import EnterpriseConfig
+from repro.enterprise.waves import InfectionWave
+from repro.eval.realdata import run_enterprise_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    config = EnterpriseConfig(
+        n_days=8,
+        waves=(
+            InfectionWave("new_goz", 11, 1, 7, peak=12, ramp_days=2, activity=1.0, seed=1),
+            InfectionWave("ramnit", 13, 1, 7, peak=10, ramp_days=2, activity=1.0, seed=2),
+            InfectionWave("qakbot", 17, 1, 7, peak=6, ramp_days=2, activity=1.0, seed=3),
+        ),
+        n_benign_clients=10,
+        seed=4,
+    )
+    return run_enterprise_study(config)
+
+
+class TestEnterpriseStudy:
+    def test_families_evaluated(self, study):
+        assert study.families() == ["new_goz", "qakbot", "ramnit"]
+
+    def test_protocol_estimators(self, study):
+        newgoz = study.series("new_goz")[0]
+        assert set(newgoz.estimates) == {"timing", "bernoulli"}
+        ramnit = study.series("ramnit")[0]
+        assert set(ramnit.estimates) == {"timing", "poisson"}
+
+    def test_only_active_days_evaluated(self, study):
+        assert all(p.actual >= 1 for p in study.points)
+
+    def test_series_is_chronological(self, study):
+        days = [p.day_index for p in study.series("new_goz")]
+        assert days == sorted(days)
+
+    def test_bernoulli_beats_timing_on_newgoz(self, study):
+        table = study.table2()
+        mb_mean = table[("new_goz", "bernoulli")][0]
+        mt_mean = table[("new_goz", "timing")][0]
+        assert mb_mean < mt_mean
+
+    def test_bernoulli_accuracy_on_newgoz(self, study):
+        mean, _std = study.table2()[("new_goz", "bernoulli")]
+        assert mean < 0.35
+
+    def test_render_table2(self, study):
+        text = study.render_table2()
+        assert "new_goz" in text and "bernoulli" in text and "±" in text
+
+    def test_render_series(self, study):
+        text = study.render_series("qakbot")
+        assert "actual" in text and "poisson" in text
+
+    def test_point_error_method(self, study):
+        point = study.series("new_goz")[0]
+        error = point.error("bernoulli")
+        assert error == abs(point.estimates["bernoulli"] - point.actual) / point.actual

@@ -1,0 +1,128 @@
+"""Tests for the renewal estimator MR (extension, §VII future work 1)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.botmeter import BotMeter, make_estimator
+from repro.core.renewal import (
+    RenewalEstimator,
+    coverage_probabilities,
+    expected_forwarded_lookups,
+)
+from repro.dga.families import make_family
+from repro.sim import SimConfig, simulate
+from repro.timebase import SECONDS_PER_DAY
+
+DAY = dt.date(2014, 9, 12)
+
+
+class TestExpectedForwardedLookups:
+    def test_zero_population_zero_lookups(self):
+        assert expected_forwarded_lookups([0.05] * 10, 0.0, 7200.0, 86400.0) == 0.0
+
+    def test_monotone_in_population(self):
+        low = expected_forwarded_lookups([0.05] * 10, 10.0, 7200.0, 86400.0)
+        high = expected_forwarded_lookups([0.05] * 10, 20.0, 7200.0, 86400.0)
+        assert high > low
+
+    def test_sublinear_under_caching(self):
+        """Doubling N less than doubles visible lookups once the TTL
+        masking saturates per-domain rates."""
+        one = expected_forwarded_lookups([0.5] * 100, 200.0, 7200.0, 86400.0)
+        two = expected_forwarded_lookups([0.5] * 100, 400.0, 7200.0, 86400.0)
+        assert two < 2 * one
+
+    def test_no_caching_is_linear(self):
+        one = expected_forwarded_lookups([0.05] * 10, 10.0, 0.0, 86400.0)
+        two = expected_forwarded_lookups([0.05] * 10, 20.0, 0.0, 86400.0)
+        assert two == pytest.approx(2 * one)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            expected_forwarded_lookups([0.1], 1.0, 10.0, 0.0)
+        with pytest.raises(ValueError):
+            expected_forwarded_lookups([0.1], 1.0, -1.0, 100.0)
+        with pytest.raises(ValueError):
+            expected_forwarded_lookups([1.5], 1.0, 10.0, 100.0)
+
+
+class TestCoverageProbabilities:
+    def test_randomcut_uses_circle_weights(self):
+        dga = make_family("new_goz", 3)
+        coverage = coverage_probabilities(dga, DAY)
+        assert len(coverage) == dga.params.n_nxd
+        values = set(coverage.values())
+        assert max(values) == pytest.approx(500 / 10_000)
+        assert min(values) == pytest.approx(1 / 10_000)
+
+    def test_sampling_uniform_coverage(self):
+        dga = make_family("conficker_c", 3)
+        coverage = coverage_probabilities(dga, DAY)
+        assert len(set(coverage.values())) == 1
+        value = next(iter(coverage.values()))
+        assert 0 < value < 500 / 49_995 * 1.01
+
+    def test_permutation_uniform_coverage(self):
+        dga = make_family("necurs", 3)
+        coverage = coverage_probabilities(dga, DAY)
+        assert len(coverage) == 2046
+        value = next(iter(coverage.values()))
+        # E[q]/θ∅ ≈ (θ∅/(θ∃+1))/θ∅ = 1/3 for θ∃ = 2.
+        assert value == pytest.approx(1 / 3, rel=0.05)
+
+    def test_uniform_prefix_only(self):
+        dga = make_family("murofet", 3)
+        coverage = coverage_probabilities(dga, DAY)
+        pool = dga.pool(DAY)
+        registered_positions = sorted(
+            pool.index(d) for d in dga.registered(DAY)
+        )
+        assert len(coverage) == registered_positions[0]
+        assert set(coverage.values()) == {1.0}
+
+
+class TestRenewalEstimator:
+    def test_registered_in_library(self):
+        assert isinstance(make_estimator("renewal"), RenewalEstimator)
+
+    def test_empty_stream_zero(self, newgoz_run):
+        meter = BotMeter(
+            newgoz_run.dga, estimator=RenewalEstimator(), timeline=newgoz_run.timeline
+        )
+        assert meter.chart([], 0.0, SECONDS_PER_DAY).total == 0.0
+
+    @pytest.mark.parametrize(
+        "fixture,tolerance",
+        [
+            ("newgoz_run", 0.25),
+            ("conficker_run", 0.25),
+            ("necurs_run", 0.45),
+            ("murofet_run", 0.6),
+        ],
+    )
+    def test_accuracy_across_taxonomy(self, request, fixture, tolerance):
+        run = request.getfixturevalue(fixture)
+        meter = BotMeter(run.dga, estimator=RenewalEstimator(), timeline=run.timeline)
+        total = meter.chart(run.observable, 0.0, SECONDS_PER_DAY).total
+        actual = run.ground_truth.population(0)
+        assert abs(total - actual) / actual < tolerance
+
+    def test_remains_accurate_at_saturation(self):
+        """Where MB saturates (N·θq ≫ C), MR stays sharp."""
+        run = simulate(SimConfig(family="new_goz", n_bots=256, seed=11))
+        meter = BotMeter(run.dga, estimator=RenewalEstimator(), timeline=run.timeline)
+        total = meter.chart(run.observable, 0.0, SECONDS_PER_DAY).total
+        actual = run.ground_truth.population(0)
+        assert abs(total - actual) / actual < 0.25
+
+    def test_scales_with_population(self):
+        totals = []
+        for n in (16, 128):
+            run = simulate(SimConfig(family="new_goz", n_bots=n, seed=23))
+            meter = BotMeter(run.dga, estimator=RenewalEstimator(), timeline=run.timeline)
+            totals.append(meter.chart(run.observable, 0.0, SECONDS_PER_DAY).total)
+        assert totals[1] > 4 * totals[0]
+
+    def test_name(self):
+        assert RenewalEstimator().name == "renewal"

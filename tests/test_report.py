@@ -1,0 +1,76 @@
+"""Tests for the one-command reproduction report (small configurations)."""
+
+import pytest
+
+from repro.enterprise.trace_gen import EnterpriseConfig
+from repro.enterprise.waves import InfectionWave
+from repro.eval.report import ReproductionReport, generate_report
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    config = EnterpriseConfig(
+        n_days=4,
+        waves=(
+            InfectionWave(
+                "new_goz", 11, 1, 3, peak=8, ramp_days=1, activity=1.0, seed=1
+            ),
+        ),
+        n_benign_clients=3,
+    )
+    return generate_report(
+        trials=1,
+        models=("AR",),
+        sweep_keys=("fig6a",),
+        enterprise_config=config,
+    )
+
+
+class TestGenerateReport:
+    def test_selected_sweeps_present(self, small_report):
+        assert set(small_report.sweeps) == {"fig6a"}
+
+    def test_enterprise_included(self, small_report):
+        assert small_report.enterprise is not None
+        assert small_report.enterprise.families() == ["new_goz"]
+
+    def test_elapsed_recorded(self, small_report):
+        assert small_report.elapsed_seconds > 0
+
+    def test_markdown_structure(self, small_report):
+        md = small_report.to_markdown()
+        assert md.startswith("# BotMeter reproduction report")
+        assert "Figure 6(a)" in md
+        assert "Table II" in md
+        assert "new_goz daily series" in md
+
+    def test_markdown_contains_heatmap_legend(self, small_report):
+        assert "median ARE" in small_report.to_markdown()
+
+    def test_skip_enterprise(self):
+        report = generate_report(
+            trials=1, models=("AR",), sweep_keys=(), include_enterprise=False
+        )
+        assert report.enterprise is None
+        assert report.sweeps == {}
+        assert "Table II" not in report.to_markdown()
+
+    def test_empty_report_renders(self):
+        assert ReproductionReport().to_markdown().startswith("#")
+
+
+class TestReportCli:
+    def test_report_to_file(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+        import repro.eval.report as report_mod
+
+        def tiny_generate(trials, include_enterprise):
+            return generate_report(
+                trials=1, models=("AR",), sweep_keys=(), include_enterprise=False
+            )
+
+        monkeypatch.setattr(report_mod, "generate_report", tiny_generate)
+        out = tmp_path / "report.md"
+        assert cli.main(["report", "--skip-enterprise", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "BotMeter reproduction report" in out.read_text()

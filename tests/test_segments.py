@@ -1,0 +1,145 @@
+"""Tests for the AR circle geometry (Figure 5)."""
+
+import pytest
+
+from repro.core.segments import DgaCircle, Segment, SegmentKind
+
+# A 12-position circle with valid domains at positions 2 and 7:
+# arcs: arc0 = positions 3..6 (v2 → v7), arc1 = positions 8..11,0,1 (v7 → v2).
+POOL = [f"p{i}" for i in range(12)]
+REGISTERED = {"p2", "p7"}
+
+
+def circle():
+    return DgaCircle(POOL, REGISTERED)
+
+
+class TestArcConstruction:
+    def test_size(self):
+        assert circle().size == 12
+
+    def test_boundaries(self):
+        assert circle().n_boundaries == 2
+
+    def test_arc_lengths(self):
+        assert sorted(circle().arc_lengths) == [4, 6]
+
+    def test_arc_domains_order_wraps(self):
+        c = circle()
+        arcs = {tuple(c.arc_domains(i)) for i in range(2)}
+        assert ("p3", "p4", "p5", "p6") in arcs
+        assert ("p8", "p9", "p10", "p11", "p0", "p1") in arcs
+
+    def test_locate_offsets(self):
+        c = circle()
+        arc, offset = c.locate("p3")
+        assert offset == 1
+        arc, offset = c.locate("p0")
+        assert offset == 5  # fifth NXD after p7
+
+    def test_locate_rejects_valid_domain(self):
+        with pytest.raises(KeyError):
+            circle().locate("p2")
+
+    def test_iter_covers_all_nxds(self):
+        domains = {d for d, _, _ in circle().iter_nxds()}
+        assert domains == set(POOL) - REGISTERED
+
+    def test_registered_must_be_in_pool(self):
+        with pytest.raises(ValueError):
+            DgaCircle(POOL, {"ghost"})
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            DgaCircle([], set())
+
+
+class TestCoverageWeight:
+    def test_ramp_up_to_barrel_size(self):
+        c = circle()
+        arc = c.locate("p8")[0]
+        weights = [c.coverage_weight(arc, off, 3) for off in range(1, 7)]
+        assert weights == [1, 2, 3, 3, 3, 3]
+
+    def test_offset_out_of_range(self):
+        c = circle()
+        with pytest.raises(ValueError):
+            c.coverage_weight(0, 99, 3)
+
+
+class TestSegments:
+    def test_single_run_mid_arc_is_m_segment(self):
+        segments = circle().segments({"p4", "p5"})
+        assert segments == [
+            Segment(circle().locate("p4")[0], 2, 2, SegmentKind.MIDDLE)
+        ]
+
+    def test_run_reaching_boundary_is_b_segment(self):
+        # p6 is the last NXD before valid p7.
+        segments = circle().segments({"p5", "p6"})
+        assert segments[0].kind is SegmentKind.BOUNDARY
+
+    def test_run_starting_at_arc_start(self):
+        segments = circle().segments({"p3"})
+        assert segments[0].start_offset == 1
+        assert segments[0].kind is SegmentKind.MIDDLE
+
+    def test_two_runs_in_one_arc(self):
+        segments = circle().segments({"p8", "p10", "p11"})
+        lengths = sorted(s.length for s in segments)
+        assert lengths == [1, 2]
+
+    def test_runs_in_different_arcs_are_separate(self):
+        segments = circle().segments({"p6", "p8"})
+        assert len(segments) == 2
+
+    def test_observed_valid_domains_ignored(self):
+        segments = circle().segments({"p2", "p4"})
+        assert len(segments) == 1
+
+    def test_unknown_domains_ignored(self):
+        assert circle().segments({"nonsense"}) == []
+
+    def test_empty_observation(self):
+        assert circle().segments(set()) == []
+
+    def test_full_arc_is_single_b_segment(self):
+        segments = circle().segments({"p3", "p4", "p5", "p6"})
+        assert len(segments) == 1
+        assert segments[0].length == 4
+        assert segments[0].kind is SegmentKind.BOUNDARY
+
+
+class TestBoundaryLessCircle:
+    def test_single_arc(self):
+        c = DgaCircle(POOL, set())
+        assert c.arc_lengths == [12]
+        assert c.n_boundaries == 0
+
+    def test_all_segments_are_middle(self):
+        c = DgaCircle(POOL, set())
+        segments = c.segments({"p0", "p1", "p5"})
+        assert all(s.kind is SegmentKind.MIDDLE for s in segments)
+
+    def test_wraparound_run_merged(self):
+        c = DgaCircle(POOL, set())
+        # p11 and p0 are adjacent on the circle.
+        segments = c.segments({"p11", "p0"})
+        assert len(segments) == 1
+        assert segments[0].length == 2
+
+    def test_full_circle_single_segment(self):
+        c = DgaCircle(POOL, set())
+        segments = c.segments(set(POOL))
+        assert len(segments) == 1
+        assert segments[0].length == 12
+
+
+class TestSegmentValidation:
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            Segment(0, 1, 0, SegmentKind.MIDDLE)
+
+    def test_rejects_zero_offset(self):
+        with pytest.raises(ValueError):
+            Segment(0, 0, 1, SegmentKind.MIDDLE)

@@ -1,0 +1,114 @@
+"""Tests for the streaming (online) BotMeter."""
+
+import pytest
+
+from repro.core.bernoulli import BernoulliEstimator
+from repro.core.botmeter import BotMeter
+from repro.core.streaming import StreamingBotMeter
+from repro.sim import SimConfig, simulate
+from repro.timebase import SECONDS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def two_day_run():
+    return simulate(SimConfig(family="new_goz", n_bots=24, n_days=2, seed=61))
+
+
+class TestStreamingLifecycle:
+    def test_epoch_closes_after_grace(self, two_day_run):
+        meter = StreamingBotMeter(
+            two_day_run.dga,
+            estimator=BernoulliEstimator(),
+            timeline=two_day_run.timeline,
+            grace=900.0,
+        )
+        closed = meter.ingest_many(two_day_run.observable)
+        # Day 0 closes once day-1 traffic passes the grace watermark.
+        assert len(closed) >= 1
+        assert meter.landscapes[0][0] == 0
+
+    def test_finalize_flushes_remaining(self, two_day_run):
+        meter = StreamingBotMeter(
+            two_day_run.dga,
+            estimator=BernoulliEstimator(),
+            timeline=two_day_run.timeline,
+        )
+        meter.ingest_many(two_day_run.observable)
+        meter.finalize()
+        days = [day for day, _ in meter.landscapes]
+        assert days == [0, 1]
+
+    def test_matches_batch_botmeter(self, two_day_run):
+        """Per-epoch streaming results equal the batch pipeline's."""
+        streaming = StreamingBotMeter(
+            two_day_run.dga,
+            estimator=BernoulliEstimator(),
+            timeline=two_day_run.timeline,
+        )
+        streaming.ingest_many(two_day_run.observable)
+        streaming.finalize()
+
+        batch = BotMeter(
+            two_day_run.dga,
+            estimator=BernoulliEstimator(),
+            timeline=two_day_run.timeline,
+        )
+        for day, landscape in streaming.landscapes:
+            window = (day * SECONDS_PER_DAY, (day + 1) * SECONDS_PER_DAY)
+            expected = batch.chart(two_day_run.observable, *window)
+            assert landscape.total == pytest.approx(expected.total, rel=1e-9)
+
+    def test_callback_invoked(self, two_day_run):
+        seen = []
+        meter = StreamingBotMeter(
+            two_day_run.dga,
+            estimator=BernoulliEstimator(),
+            timeline=two_day_run.timeline,
+            on_epoch=lambda day, landscape: seen.append((day, landscape.total)),
+        )
+        meter.ingest_many(two_day_run.observable)
+        meter.finalize()
+        assert [day for day, _ in seen] == [0, 1]
+
+    def test_stats_counters(self, two_day_run):
+        meter = StreamingBotMeter(
+            two_day_run.dga,
+            estimator=BernoulliEstimator(),
+            timeline=two_day_run.timeline,
+        )
+        meter.ingest_many(two_day_run.observable)
+        stats = meter.stats
+        assert stats["ingested"] == len(two_day_run.observable)
+        assert 0 < stats["matched"] <= stats["ingested"]
+
+    def test_estimate_accuracy(self, two_day_run):
+        meter = StreamingBotMeter(
+            two_day_run.dga,
+            estimator=BernoulliEstimator(),
+            timeline=two_day_run.timeline,
+        )
+        meter.ingest_many(two_day_run.observable)
+        meter.finalize()
+        for day, landscape in meter.landscapes:
+            actual = two_day_run.ground_truth.population(day)
+            assert abs(landscape.total - actual) / actual < 0.5
+
+    def test_auto_estimator(self, two_day_run):
+        meter = StreamingBotMeter(two_day_run.dga, timeline=two_day_run.timeline)
+        assert meter._estimator.name == "bernoulli"
+
+    def test_rejects_negative_grace(self, two_day_run):
+        with pytest.raises(ValueError):
+            StreamingBotMeter(two_day_run.dga, grace=-1.0)
+
+    def test_unmatched_stream_produces_empty_landscapes(self, two_day_run):
+        from repro.dns.message import ForwardedLookup
+
+        meter = StreamingBotMeter(
+            two_day_run.dga,
+            estimator=BernoulliEstimator(),
+            timeline=two_day_run.timeline,
+        )
+        meter.ingest(ForwardedLookup(100.0, "s", "benign.example"))
+        meter.ingest(ForwardedLookup(2 * SECONDS_PER_DAY, "s", "benign.example"))
+        assert meter.landscapes and meter.landscapes[0][1].total == 0.0

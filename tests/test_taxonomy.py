@@ -1,0 +1,91 @@
+"""Tests for the DGA taxonomy (Figure 3) and estimator selection."""
+
+import pytest
+
+from repro.core.bernoulli import BernoulliEstimator
+from repro.core.poisson import PoissonEstimator
+from repro.core.taxonomy import (
+    TAXONOMY_GRID,
+    ModelClass,
+    applicable_estimators,
+    classify,
+    recommended_estimator,
+    render_taxonomy,
+    taxonomy_cell,
+)
+from repro.core.timing import TimingEstimator
+from repro.dga.base import BarrelClass, PoolClass
+from repro.dga.families import family_names, make_family
+
+
+class TestClassification:
+    def test_murofet_is_au(self):
+        assert classify(make_family("murofet")) is ModelClass.AU
+
+    def test_conficker_is_as(self):
+        assert classify(make_family("conficker_c")) is ModelClass.AS
+
+    def test_newgoz_is_ar(self):
+        assert classify(make_family("new_goz")) is ModelClass.AR
+
+    def test_necurs_is_ap(self):
+        assert classify(make_family("necurs")) is ModelClass.AP
+
+    def test_sliding_window_families_inherit_barrel_class(self):
+        assert classify(make_family("ranbyus")) is ModelClass.AU
+
+    def test_every_family_classifiable(self):
+        for name in family_names():
+            assert classify(make_family(name)) in ModelClass
+
+
+class TestTaxonomyGrid:
+    def test_grid_covers_all_twelve_cells(self):
+        assert len(TAXONOMY_GRID) == 12
+        assert set(TAXONOMY_GRID) == {
+            (p, b) for p in PoolClass for b in BarrelClass
+        }
+
+    def test_known_placements(self):
+        assert "murofet" in TAXONOMY_GRID[(PoolClass.DRAIN_REPLENISH, BarrelClass.UNIFORM)]
+        assert "conficker_c" in TAXONOMY_GRID[(PoolClass.DRAIN_REPLENISH, BarrelClass.SAMPLING)]
+        assert "new_goz" in TAXONOMY_GRID[(PoolClass.DRAIN_REPLENISH, BarrelClass.RANDOMCUT)]
+        assert "necurs" in TAXONOMY_GRID[(PoolClass.DRAIN_REPLENISH, BarrelClass.PERMUTATION)]
+
+    def test_unspotted_cells_exist(self):
+        empty = [cell for cell, families in TAXONOMY_GRID.items() if not families]
+        assert len(empty) >= 5  # the "?" cells of Figure 3
+
+    def test_grid_families_are_registered(self):
+        known = set(family_names())
+        for families in TAXONOMY_GRID.values():
+            assert set(families) <= known
+
+    def test_every_family_in_its_own_cell(self):
+        for name in family_names():
+            dga = make_family(name)
+            assert name in TAXONOMY_GRID[taxonomy_cell(dga)]
+
+    def test_render_contains_all_families(self):
+        text = render_taxonomy()
+        for name in family_names():
+            assert name in text
+        assert "?" in text
+
+
+class TestEstimatorSelection:
+    def test_protocol_applicability(self):
+        assert applicable_estimators(make_family("murofet")) == ["timing", "poisson"]
+        assert applicable_estimators(make_family("new_goz")) == ["timing", "bernoulli"]
+        assert applicable_estimators(make_family("conficker_c")) == ["timing"]
+        assert applicable_estimators(make_family("necurs")) == ["timing"]
+
+    def test_recommended_for_au_is_poisson(self):
+        assert isinstance(recommended_estimator(make_family("murofet")), PoissonEstimator)
+
+    def test_recommended_for_ar_is_bernoulli(self):
+        assert isinstance(recommended_estimator(make_family("new_goz")), BernoulliEstimator)
+
+    def test_recommended_for_as_ap_is_timing(self):
+        assert isinstance(recommended_estimator(make_family("conficker_c")), TimingEstimator)
+        assert isinstance(recommended_estimator(make_family("necurs")), TimingEstimator)

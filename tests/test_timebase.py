@@ -1,0 +1,67 @@
+"""Tests for the shared time base."""
+
+import datetime as dt
+
+import pytest
+
+from repro.timebase import SECONDS_PER_DAY, Timeline, quantize
+
+
+class TestQuantize:
+    def test_rounds_down_to_granularity(self):
+        assert quantize(1.234, 0.1) == pytest.approx(1.2)
+
+    def test_exact_multiple_unchanged(self):
+        assert quantize(5.0, 0.5) == pytest.approx(5.0)
+
+    def test_one_second_granularity(self):
+        assert quantize(86399.9, 1.0) == pytest.approx(86399.0)
+
+    def test_zero_granularity_is_identity(self):
+        assert quantize(1.2345, 0.0) == 1.2345
+
+    def test_negative_granularity_is_identity(self):
+        assert quantize(1.2345, -1.0) == 1.2345
+
+    def test_quantized_never_exceeds_original(self):
+        for t in [0.05, 1.0, 123.456, 86400.0]:
+            assert quantize(t, 0.1) <= t
+
+
+class TestTimeline:
+    def test_origin_is_day_zero(self):
+        tl = Timeline(dt.date(2014, 5, 1))
+        assert tl.date_of(0.0) == dt.date(2014, 5, 1)
+
+    def test_one_second_before_midnight_is_same_day(self):
+        tl = Timeline(dt.date(2014, 5, 1))
+        assert tl.date_of(SECONDS_PER_DAY - 1) == dt.date(2014, 5, 1)
+
+    def test_midnight_rolls_to_next_day(self):
+        tl = Timeline(dt.date(2014, 5, 1))
+        assert tl.date_of(SECONDS_PER_DAY) == dt.date(2014, 5, 2)
+
+    def test_day_index(self):
+        tl = Timeline()
+        assert tl.day_index(0.0) == 0
+        assert tl.day_index(3 * SECONDS_PER_DAY + 5) == 3
+
+    def test_start_of_day_round_trips(self):
+        tl = Timeline()
+        for day in [0, 1, 7, 364]:
+            assert tl.day_index(tl.start_of_day(day)) == day
+
+    def test_date_for_day_crosses_month(self):
+        tl = Timeline(dt.date(2014, 5, 1))
+        assert tl.date_for_day(31) == dt.date(2014, 6, 1)
+
+    def test_date_for_day_crosses_year(self):
+        tl = Timeline(dt.date(2014, 5, 1))
+        assert tl.date_for_day(365) == dt.date(2015, 5, 1)
+
+    def test_negative_timestamp_rejected(self):
+        tl = Timeline()
+        with pytest.raises(ValueError):
+            tl.date_of(-1.0)
+        with pytest.raises(ValueError):
+            tl.day_index(-0.5)

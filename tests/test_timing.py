@@ -1,0 +1,146 @@
+"""Tests for the Timing estimator MT (Algorithm 1)."""
+
+import pytest
+
+from repro.core.estimator import EstimationContext, MatchedLookup
+from repro.core.timing import TimingEstimator
+from repro.dga.families import make_family
+from repro.timebase import SECONDS_PER_DAY, Timeline
+
+
+def context(family="new_goz", window_days=1, granularity=0.1):
+    return EstimationContext(
+        dga=make_family(family, 3),
+        timeline=Timeline(),
+        window_start=0.0,
+        window_end=window_days * SECONDS_PER_DAY,
+        timestamp_granularity=granularity,
+    )
+
+
+def train(start, domains, interval=1.0, server="s", day=0):
+    """A δi-periodic lookup train, as one bot activation produces."""
+    return [
+        MatchedLookup(start + i * interval, server, d, day)
+        for i, d in enumerate(domains)
+    ]
+
+
+class TestAlgorithmOne:
+    def test_single_bot_single_entry(self):
+        lookups = train(100.0, [f"d{i}.net" for i in range(10)])
+        est = TimingEstimator().estimate(lookups, context())
+        assert est.value == 1.0
+
+    def test_heuristic1_repeated_domain_splits(self):
+        # The same NXD twice in one epoch ⇒ two bots.
+        lookups = train(100.0, ["a.net", "b.net"]) + train(500.0, ["a.net", "b.net"])
+        est = TimingEstimator().estimate(lookups, context())
+        assert est.value == 2.0
+
+    def test_heuristic2_duration_bound_splits(self):
+        dga = make_family("new_goz", 3)  # θq=500, δi=1 ⇒ max duration 500s
+        ctx = context()
+        lookups = train(0.0, ["a.net"]) + train(600.0, ["b.net"])
+        est = TimingEstimator().estimate(lookups, ctx)
+        assert est.value == 2.0
+
+    def test_heuristic3_offgrid_gap_splits(self):
+        # Two lookups 0.5s apart cannot come from a 1s-periodic bot.
+        lookups = [
+            MatchedLookup(100.0, "s", "a.net", 0),
+            MatchedLookup(100.5, "s", "b.net", 0),
+        ]
+        est = TimingEstimator().estimate(lookups, context())
+        assert est.value == 2.0
+
+    def test_heuristic3_multiple_of_interval_absorbs(self):
+        # Gap of 7 full intervals: same bot (domains differ, within
+        # duration).
+        lookups = [
+            MatchedLookup(100.0, "s", "a.net", 0),
+            MatchedLookup(107.0, "s", "b.net", 0),
+        ]
+        est = TimingEstimator().estimate(lookups, context())
+        assert est.value == 1.0
+
+    def test_two_interleaved_bots_with_phase_offset(self):
+        a = train(100.0, [f"a{i}.net" for i in range(5)])
+        b = train(100.4, [f"b{i}.net" for i in range(5)])
+        merged = sorted(a + b, key=lambda l: l.timestamp)
+        est = TimingEstimator().estimate(merged, context())
+        assert est.value == 2.0
+
+    def test_tolerance_accepts_granularity_skew(self):
+        # 100ms quantisation may shift lookups off the exact grid.
+        lookups = [
+            MatchedLookup(100.0, "s", "a.net", 0),
+            MatchedLookup(101.1, "s", "b.net", 0),
+        ]
+        est = TimingEstimator().estimate(lookups, context(granularity=0.1))
+        assert est.value == 1.0
+
+    def test_interval_heuristic_disabled_for_jittered_families(self):
+        # Ramnit has no fixed δi: heuristic #3 must not split.
+        ctx = context(family="ramnit")
+        lookups = [
+            MatchedLookup(100.0, "s", "a.com", 0),
+            MatchedLookup(100.7, "s", "b.com", 0),
+        ]
+        est = TimingEstimator().estimate(lookups, ctx)
+        assert est.value == 1.0
+
+    def test_interval_heuristic_disabled_when_coarser_than_granularity(self):
+        # δi = 1s but 1s timestamps: the congruence test is vacuous.
+        lookups = [
+            MatchedLookup(100.0, "s", "a.net", 0),
+            MatchedLookup(101.0, "s", "b.net", 0),
+        ]
+        est = TimingEstimator().estimate(lookups, context(granularity=1.0))
+        assert est.value == 1.0
+
+    def test_empty_input(self):
+        est = TimingEstimator().estimate([], context())
+        assert est.value == 0.0
+
+    def test_per_epoch_counts_average(self):
+        ctx = context(window_days=2)
+        lookups = train(100.0, ["a.net", "b.net"], day=0) + train(
+            SECONDS_PER_DAY + 100.0, ["c.net", "d.net", "e.net"], day=1
+        ) + train(SECONDS_PER_DAY + 200.5, ["f.net"], day=1)
+        est = TimingEstimator().estimate(lookups, ctx)
+        assert est.per_epoch == {0: 1.0, 1: 2.0}
+        assert est.value == pytest.approx(1.5)
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            TimingEstimator(interval_tolerance=-0.1)
+
+    def test_estimator_name(self):
+        assert TimingEstimator().name == "timing"
+
+
+class TestOnSimulatedData:
+    def test_accurate_on_sampling_dga(self, conficker_run):
+        """MT is near-exact for AS: strong per-bot domain randomness."""
+        from repro.core.botmeter import BotMeter
+
+        meter = BotMeter(
+            conficker_run.dga, estimator=TimingEstimator(),
+            timeline=conficker_run.timeline,
+        )
+        landscape = meter.chart(conficker_run.observable, 0.0, SECONDS_PER_DAY)
+        actual = conficker_run.ground_truth.population(0)
+        assert abs(landscape.total - actual) / actual < 0.15
+
+    def test_underestimates_uniform_dga(self, murofet_run):
+        """Caching masks whole AU activations: MT must undercount."""
+        from repro.core.botmeter import BotMeter
+
+        meter = BotMeter(
+            murofet_run.dga, estimator=TimingEstimator(),
+            timeline=murofet_run.timeline,
+        )
+        landscape = meter.chart(murofet_run.observable, 0.0, SECONDS_PER_DAY)
+        actual = murofet_run.ground_truth.population(0)
+        assert landscape.total < actual

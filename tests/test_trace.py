@@ -1,0 +1,82 @@
+"""Tests for trace containers, sorting and (de)serialisation."""
+
+import pytest
+
+from repro.dns.message import ForwardedLookup, Lookup
+from repro.sim.trace import (
+    distinct_domains,
+    load_observable_csv,
+    load_raw_csv,
+    observable_by_server,
+    save_observable_csv,
+    save_raw_csv,
+    sort_observable,
+    sort_raw,
+    within_window,
+)
+
+OBS = [
+    ForwardedLookup(5.0, "s1", "b.com"),
+    ForwardedLookup(1.0, "s2", "a.com"),
+    ForwardedLookup(1.0, "s1", "a.com"),
+    ForwardedLookup(3.0, "s1", "c.com"),
+]
+
+
+class TestSorting:
+    def test_sort_observable_by_time_then_server(self):
+        ordered = sort_observable(OBS)
+        assert [r.timestamp for r in ordered] == [1.0, 1.0, 3.0, 5.0]
+        assert ordered[0].server == "s1"
+
+    def test_sort_raw(self):
+        raw = [Lookup(2.0, "c", "x"), Lookup(1.0, "c", "y")]
+        assert [r.timestamp for r in sort_raw(raw)] == [1.0, 2.0]
+
+    def test_sort_deterministic_on_ties(self):
+        a = sort_observable(OBS)
+        b = sort_observable(list(reversed(OBS)))
+        assert a == b
+
+
+class TestGrouping:
+    def test_observable_by_server(self):
+        groups = observable_by_server(OBS)
+        assert set(groups) == {"s1", "s2"}
+        assert len(groups["s1"]) == 3
+
+    def test_within_window_half_open(self):
+        records = sort_observable(OBS)
+        window = within_window(records, 1.0, 5.0)
+        assert all(1.0 <= r.timestamp < 5.0 for r in window)
+        assert len(window) == 3
+
+    def test_within_window_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            within_window(OBS, 5.0, 1.0)
+
+    def test_distinct_domains(self):
+        assert distinct_domains(OBS) == {"a.com", "b.com", "c.com"}
+
+
+class TestCsvRoundTrip:
+    def test_observable_round_trip(self, tmp_path):
+        path = tmp_path / "obs.csv"
+        save_observable_csv(sort_observable(OBS), path)
+        assert load_observable_csv(path) == sort_observable(OBS)
+
+    def test_raw_round_trip(self, tmp_path):
+        raw = [Lookup(1.5, "client-1", "a.com"), Lookup(2.5, "client-2", "b.com")]
+        path = tmp_path / "raw.csv"
+        save_raw_csv(raw, path)
+        assert load_raw_csv(path) == raw
+
+    def test_empty_trace_round_trip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_observable_csv([], path)
+        assert load_observable_csv(path) == []
+
+    def test_csv_has_header(self, tmp_path):
+        path = tmp_path / "obs.csv"
+        save_observable_csv(OBS, path)
+        assert path.read_text().splitlines()[0] == "timestamp,server,domain"

@@ -1,0 +1,82 @@
+"""Tests for the text-mode visual analytics."""
+
+import pytest
+
+from repro.core.botmeter import Landscape
+from repro.core.estimator import PopulationEstimate
+from repro.eval.experiments import sweep_population
+from repro.eval.realdata import DailyEstimate
+from repro.eval.visual import (
+    render_landscape_bars,
+    render_series_chart,
+    render_sweep_heatmap,
+)
+
+
+def points():
+    return [
+        DailyEstimate(0, "2014-05-01", "new_goz", 10, {"bernoulli": 11.0}),
+        DailyEstimate(1, "2014-05-02", "new_goz", 50, {"bernoulli": 30.0}),
+        DailyEstimate(2, "2014-05-03", "new_goz", 3, {"bernoulli": 3.0}),
+    ]
+
+
+class TestSeriesChart:
+    def test_contains_every_day(self):
+        chart = render_series_chart(points(), "bernoulli")
+        assert chart.count("2014-05-") == 3
+
+    def test_marks_present(self):
+        chart = render_series_chart(points(), "bernoulli")
+        assert "●" in chart and "○" in chart
+
+    def test_coincident_marks_merged(self):
+        chart = render_series_chart(points(), "bernoulli")
+        assert "◉" in chart  # day 3: actual == estimate
+
+    def test_empty_series(self):
+        assert "no active days" in render_series_chart([], "bernoulli")
+
+    def test_monotone_log_axis(self):
+        chart_lines = render_series_chart(points(), "bernoulli").splitlines()[1:]
+        col_small = chart_lines[2].index("◉")
+        col_large = min(
+            i for i, ch in enumerate(chart_lines[1]) if ch in "●○◉"
+        )
+        assert col_small < col_large
+
+
+class TestLandscapeBars:
+    def make(self):
+        ls = Landscape("new_goz", "bernoulli")
+        ls.per_server["ldns-000"] = PopulationEstimate(20.0, "bernoulli")
+        ls.per_server["ldns-001"] = PopulationEstimate(5.0, "bernoulli")
+        return ls
+
+    def test_bars_scale_with_estimates(self):
+        text = render_landscape_bars(self.make())
+        lines = text.splitlines()[1:]
+        assert lines[0].count("█") > lines[1].count("█")
+
+    def test_empty_landscape(self):
+        assert "empty" in render_landscape_bars(Landscape("x", "timing"))
+
+    def test_values_printed(self):
+        text = render_landscape_bars(self.make())
+        assert "20.0" in text and "5.0" in text
+
+
+class TestSweepHeatmap:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_population(values=(8, 16), trials=1, models=("AR",))
+
+    def test_all_curves_rendered(self, sweep):
+        text = render_sweep_heatmap(sweep)
+        assert "AR/bernoulli" in text and "AR/timing" in text
+
+    def test_legend_included(self, sweep):
+        assert "median ARE" in render_sweep_heatmap(sweep)
+
+    def test_parameter_name_in_header(self, sweep):
+        assert "bot population N" in render_sweep_heatmap(sweep)

@@ -1,0 +1,148 @@
+"""Tests for the pseudo-random label generators."""
+
+import datetime as dt
+
+import pytest
+
+from repro.dga.wordgen import (
+    COMMON_TLDS,
+    LabelSpec,
+    Lcg,
+    XorShift64,
+    consonant_vowel_label,
+    date_seed,
+    hex_label_from_stream,
+    label_from_stream,
+)
+
+
+class TestLcg:
+    def test_deterministic(self):
+        a, b = Lcg(42), Lcg(42)
+        assert [a.next_u64() for _ in range(10)] == [b.next_u64() for _ in range(10)]
+
+    def test_different_seeds_diverge(self):
+        a, b = Lcg(1), Lcg(2)
+        assert [a.next_u64() for _ in range(5)] != [b.next_u64() for _ in range(5)]
+
+    def test_values_are_64_bit(self):
+        rng = Lcg(7)
+        for _ in range(100):
+            assert 0 <= rng.next_u64() < 1 << 64
+
+    def test_next_below_respects_bound(self):
+        rng = Lcg(9)
+        for _ in range(1000):
+            assert 0 <= rng.next_below(17) < 17
+
+    def test_next_below_covers_small_range(self):
+        rng = Lcg(11)
+        seen = {rng.next_below(4) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_next_below_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Lcg(0).next_below(0)
+
+    def test_roughly_uniform(self):
+        rng = Lcg(5)
+        counts = [0] * 8
+        for _ in range(8000):
+            counts[rng.next_below(8)] += 1
+        assert min(counts) > 800  # each bucket within 20% of 1000
+
+
+class TestXorShift64:
+    def test_deterministic(self):
+        a, b = XorShift64(42), XorShift64(42)
+        assert [a.next_u64() for _ in range(10)] == [b.next_u64() for _ in range(10)]
+
+    def test_independent_from_lcg(self):
+        assert Lcg(42).next_u64() != XorShift64(42).next_u64()
+
+    def test_bound_respected(self):
+        rng = XorShift64(3)
+        assert all(0 <= rng.next_below(5) < 5 for _ in range(500))
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            XorShift64(1).next_below(-1)
+
+
+class TestDateSeed:
+    def test_same_inputs_same_seed(self):
+        d = dt.date(2014, 5, 1)
+        assert date_seed(d, 7) == date_seed(d, 7)
+
+    def test_different_days_different_seeds(self):
+        assert date_seed(dt.date(2014, 5, 1), 7) != date_seed(dt.date(2014, 5, 2), 7)
+
+    def test_different_families_different_seeds(self):
+        d = dt.date(2014, 5, 1)
+        assert date_seed(d, 1) != date_seed(d, 2)
+
+    def test_seed_fits_64_bits(self):
+        assert 0 <= date_seed(dt.date(2199, 12, 31), 2**63) < 1 << 64
+
+
+class TestLabelGenerators:
+    def test_alpha_length_range(self):
+        rng = Lcg(1)
+        for _ in range(200):
+            label = label_from_stream(rng, 4, 9)
+            assert 4 <= len(label) <= 9
+            assert label.isalpha() and label.islower()
+
+    def test_alpha_fixed_length(self):
+        rng = Lcg(2)
+        assert all(len(label_from_stream(rng, 6, 6)) == 6 for _ in range(50))
+
+    def test_alpha_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            label_from_stream(Lcg(1), 5, 4)
+        with pytest.raises(ValueError):
+            label_from_stream(Lcg(1), 0, 4)
+
+    def test_hex_label_shape(self):
+        rng = Lcg(3)
+        label = hex_label_from_stream(rng, 28)
+        assert len(label) == 28
+        assert set(label) <= set("0123456789abcdef")
+
+    def test_hex_label_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            hex_label_from_stream(Lcg(1), 0)
+
+    def test_cv_label_alternates(self):
+        rng = Lcg(4)
+        label = consonant_vowel_label(rng, 3)
+        assert len(label) == 6
+        vowels = set("aeiou")
+        assert all(
+            (c in vowels) == (i % 2 == 1) for i, c in enumerate(label)
+        )
+
+    def test_cv_rejects_zero_syllables(self):
+        with pytest.raises(ValueError):
+            consonant_vowel_label(Lcg(1), 0)
+
+
+class TestLabelSpec:
+    def test_alpha_spec(self):
+        label = LabelSpec("alpha", 5, 5).draw(Lcg(1))
+        assert len(label) == 5
+
+    def test_hex_spec(self):
+        label = LabelSpec("hex", length=16).draw(Lcg(1))
+        assert len(label) == 16
+
+    def test_cv_spec(self):
+        label = LabelSpec("cv", syllables=2).draw(Lcg(1))
+        assert len(label) == 4
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            LabelSpec("emoji").draw(Lcg(1))
+
+    def test_common_tlds_nonempty_strings(self):
+        assert all(t and t.isalpha() for t in COMMON_TLDS)
