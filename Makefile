@@ -1,12 +1,23 @@
 # Convenience targets for the BotMeter reproduction.
 
-.PHONY: install test bench bench-paper bench-perf examples report clean
+.PHONY: install test test-fast smoke-sweep bench bench-paper bench-perf examples report clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+# Tier-1 suite minus the multi-simulation determinism/e2e tests.
+test-fast:
+	pytest tests/ -x -q -m "not slow"
+
+# 2-worker end-to-end sweep on a tiny grid; proves the parallel engine
+# and the CLI wiring in seconds.
+smoke-sweep:
+	python -m repro.cli sweep population --values 8 12 --trials 2 \
+		--models AR --workers 2 --perf-json smoke_perf.json
+	@cat smoke_perf.json
 
 test-logged:
 	pytest tests/ 2>&1 | tee test_output.txt

@@ -31,6 +31,7 @@ from .eval.experiments import (
     sweep_population,
     sweep_window,
 )
+from .eval.parallel import TrialRunner
 from .eval.realdata import run_enterprise_study
 from .sim.network import SimConfig, simulate
 from .sim.trace import load_observable_csv, save_observable_csv
@@ -86,6 +87,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--models", nargs="+", default=["AU", "AS", "AR", "AP"],
         choices=["AU", "AS", "AR", "AP"],
     )
+    sweep.add_argument(
+        "--values", nargs="+", type=float, default=None,
+        help="override the row's swept parameter values",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="trial process-pool size (1 = serial; output is identical)",
+    )
+    sweep.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed for the per-trial seed derivation",
+    )
+    sweep.add_argument(
+        "--perf-json", default=None, metavar="PATH",
+        help="write the runner's wall-time/throughput summary as JSON",
+    )
 
     ent = sub.add_parser("enterprise", help="run the §V-B enterprise study")
     ent.add_argument("--days", type=int, default=210)
@@ -96,6 +113,27 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--trials", type=int, default=3)
     report.add_argument("--skip-enterprise", action="store_true")
     report.add_argument("--out", default=None, help="write Markdown here instead of stdout")
+    report.add_argument(
+        "--sweeps", nargs="+", default=None,
+        choices=["fig6a", "fig6b", "fig6c", "fig6d", "fig6e"],
+        help="run only these Figure-6 rows (default: all five)",
+    )
+    report.add_argument(
+        "--models", nargs="+", default=["AU", "AS", "AR", "AP"],
+        choices=["AU", "AS", "AR", "AP"],
+    )
+    report.add_argument(
+        "--workers", type=int, default=1,
+        help="trial process-pool size (1 = serial; the report is identical)",
+    )
+    report.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed for the per-trial seed derivation",
+    )
+    report.add_argument(
+        "--perf-json", default=None, metavar="PATH",
+        help="write the sweep perf summary (workers, wall time, throughput) as JSON",
+    )
 
     return parser
 
@@ -155,9 +193,22 @@ def _cmd_families(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_perf_json(path: str, runner: TrialRunner) -> None:
+    import json
+    from pathlib import Path
+
+    Path(path).write_text(json.dumps(runner.perf_summary(), indent=2) + "\n")
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    result = _SWEEPS[args.row](trials=args.trials, models=tuple(args.models))
+    runner = TrialRunner(workers=args.workers, root_seed=args.seed)
+    kwargs = dict(trials=args.trials, models=tuple(args.models), runner=runner)
+    if args.values is not None:
+        kwargs["values"] = tuple(args.values)
+    result = _SWEEPS[args.row](**kwargs)
     print(result.render())
+    if args.perf_json:
+        _write_perf_json(args.perf_json, runner)
     return 0
 
 
@@ -173,9 +224,16 @@ def _cmd_enterprise(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .eval.report import generate_report
 
-    report = generate_report(
-        trials=args.trials, include_enterprise=not args.skip_enterprise
+    runner = TrialRunner(workers=args.workers, root_seed=args.seed)
+    kwargs = dict(
+        trials=args.trials,
+        include_enterprise=not args.skip_enterprise,
+        models=tuple(args.models),
+        runner=runner,
     )
+    if args.sweeps is not None:
+        kwargs["sweep_keys"] = tuple(args.sweeps)
+    report = generate_report(**kwargs)
     markdown = report.to_markdown()
     if args.out:
         from pathlib import Path
@@ -184,6 +242,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote report to {args.out}")
     else:
         print(markdown)
+    if args.perf_json:
+        _write_perf_json(args.perf_json, runner)
     return 0
 
 

@@ -14,6 +14,12 @@ from .experiments import (
     sweep_window,
 )
 from .metrics import ErrorSummary, absolute_relative_error, summarize_errors
+from .parallel import (
+    TrialOutcome,
+    TrialRunner,
+    TrialSpec,
+    derive_seed,
+)
 from .realdata import DailyEstimate, EnterpriseStudyResult, run_enterprise_study
 from .report import ReproductionReport, generate_report
 from .visual import render_landscape_bars, render_series_chart, render_sweep_heatmap
@@ -32,6 +38,10 @@ __all__ = [
     "ErrorSummary",
     "absolute_relative_error",
     "summarize_errors",
+    "TrialOutcome",
+    "TrialRunner",
+    "TrialSpec",
+    "derive_seed",
     "DailyEstimate",
     "EnterpriseStudyResult",
     "run_enterprise_study",

@@ -20,6 +20,7 @@ from ..detect.d3 import OracleDetector, build_detection_windows
 from ..sim.network import SimConfig, simulate
 from ..timebase import SECONDS_PER_DAY
 from .metrics import ErrorSummary, absolute_relative_error, summarize_errors
+from .parallel import TrialRunner, TrialSpec
 
 __all__ = [
     "MODEL_PROTOTYPES",
@@ -81,13 +82,25 @@ class SweepResult:
                 return cell
         raise KeyError(f"no cell for ({value}, {model}, {estimator})")
 
+    def sort(self) -> None:
+        """Canonical cell order: ``(parameter_value, model, estimator)``.
+
+        Makes rendering and aggregation independent of the order trials
+        happened to complete in (e.g. out of a process pool).
+        """
+        self.cells.sort(key=lambda c: (c.parameter_value, c.model, c.estimator))
+
     def series(self, model: str, estimator: str) -> list[tuple[float, ErrorSummary]]:
-        """The (parameter value → summary) series of one curve."""
-        return [
-            (c.parameter_value, c.summary)
-            for c in self.cells
-            if c.model == model and c.estimator == estimator
-        ]
+        """The (parameter value → summary) series of one curve, ordered
+        by parameter value regardless of cell insertion order."""
+        return sorted(
+            (
+                (c.parameter_value, c.summary)
+                for c in self.cells
+                if c.model == model and c.estimator == estimator
+            ),
+            key=lambda point: point[0],
+        )
 
     def render(self) -> str:
         """Paper-style text table: one row per parameter value."""
@@ -162,25 +175,57 @@ def _sweep(
     trial_kwargs: Callable[[float], dict],
     trials: int,
     models: Sequence[str],
+    workers: int = 1,
+    root_seed: int = 0,
+    runner: TrialRunner | None = None,
 ) -> SweepResult:
+    """Run one Figure-6 row through the parallel experiment engine.
+
+    Each trial's seed is derived from its grid coordinates (see
+    :func:`repro.eval.parallel.derive_seed`), so the result is
+    bit-identical for every ``workers`` value and completion order.
+    """
+    if runner is None:
+        runner = TrialRunner(workers=workers, root_seed=root_seed)
+    specs = [
+        TrialSpec.build(
+            row=parameter,
+            model=model,
+            estimator=estimator,
+            parameter_value=value,
+            trial=trial,
+            root_seed=runner.root_seed,
+            kwargs=trial_kwargs(value),
+        )
+        for value in values
+        for model in models
+        for estimator in ESTIMATOR_PROTOCOL[model]
+        for trial in range(trials)
+    ]
+    outcomes = runner.run(specs, label=parameter)
+
+    errors_by_cell: dict[tuple[float, str, str], dict[int, float]] = {}
+    for outcome in outcomes:
+        spec = outcome.spec
+        key = (spec.parameter_value, spec.model, spec.estimator)
+        errors_by_cell.setdefault(key, {})[spec.trial] = outcome.error
+
     result = SweepResult(parameter=parameter, values=tuple(values))
     for value in values:
-        kwargs = trial_kwargs(value)
         for model in models:
             for estimator in ESTIMATOR_PROTOCOL[model]:
-                errors = tuple(
-                    run_trial(model, estimator, seed=trial, **kwargs)
-                    for trial in range(trials)
-                )
+                by_trial = errors_by_cell[(float(value), model, estimator)]
+                errors = tuple(by_trial[trial] for trial in range(trials))
                 result.cells.append(
                     SweepCell(
-                        parameter_value=value,
+                        parameter_value=float(value),
                         model=model,
                         estimator=estimator,
                         summary=summarize_errors(errors),
                         errors=errors,
                     )
                 )
+    result.sort()
     return result
 
 
@@ -191,6 +236,9 @@ def sweep_population(
     values: Sequence[float] = (16, 32, 64, 128, 256),
     trials: int = 5,
     models: Sequence[str] = _ALL_MODELS,
+    workers: int = 1,
+    root_seed: int = 0,
+    runner: "TrialRunner | None" = None,
 ) -> SweepResult:
     """Figure 6(a): ARE vs actual bot population N."""
     return _sweep(
@@ -199,6 +247,9 @@ def sweep_population(
         lambda v: {"n_bots": int(v)},
         trials,
         models,
+        workers=workers,
+        root_seed=root_seed,
+        runner=runner,
     )
 
 
@@ -206,6 +257,9 @@ def sweep_window(
     values: Sequence[float] = (1, 2, 4, 8, 16),
     trials: int = 5,
     models: Sequence[str] = _ALL_MODELS,
+    workers: int = 1,
+    root_seed: int = 0,
+    runner: "TrialRunner | None" = None,
 ) -> SweepResult:
     """Figure 6(b): ARE vs observation-window length in epochs."""
     return _sweep(
@@ -214,6 +268,9 @@ def sweep_window(
         lambda v: {"n_days": int(v)},
         trials,
         models,
+        workers=workers,
+        root_seed=root_seed,
+        runner=runner,
     )
 
 
@@ -221,6 +278,9 @@ def sweep_negative_ttl(
     values: Sequence[float] = (20, 40, 80, 160, 320),
     trials: int = 5,
     models: Sequence[str] = _ALL_MODELS,
+    workers: int = 1,
+    root_seed: int = 0,
+    runner: "TrialRunner | None" = None,
 ) -> SweepResult:
     """Figure 6(c): ARE vs negative-cache TTL in minutes."""
     return _sweep(
@@ -229,6 +289,9 @@ def sweep_negative_ttl(
         lambda v: {"negative_ttl": v * 60.0},
         trials,
         models,
+        workers=workers,
+        root_seed=root_seed,
+        runner=runner,
     )
 
 
@@ -236,6 +299,9 @@ def sweep_dynamics(
     values: Sequence[float] = (0.5, 1.0, 1.5, 2.0, 2.5),
     trials: int = 5,
     models: Sequence[str] = _ALL_MODELS,
+    workers: int = 1,
+    root_seed: int = 0,
+    runner: "TrialRunner | None" = None,
 ) -> SweepResult:
     """Figure 6(d): ARE vs activation-rate dynamics σ."""
     return _sweep(
@@ -244,6 +310,9 @@ def sweep_dynamics(
         lambda v: {"sigma": v},
         trials,
         models,
+        workers=workers,
+        root_seed=root_seed,
+        runner=runner,
     )
 
 
@@ -251,6 +320,9 @@ def sweep_d3_miss(
     values: Sequence[float] = (10, 20, 30, 40, 50),
     trials: int = 5,
     models: Sequence[str] = _ALL_MODELS,
+    workers: int = 1,
+    root_seed: int = 0,
+    runner: "TrialRunner | None" = None,
 ) -> SweepResult:
     """Figure 6(e): ARE vs D3 detection-miss rate in percent."""
     return _sweep(
@@ -259,4 +331,7 @@ def sweep_d3_miss(
         lambda v: {"d3_miss_rate": v / 100.0},
         trials,
         models,
+        workers=workers,
+        root_seed=root_seed,
+        runner=runner,
     )

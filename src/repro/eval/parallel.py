@@ -1,0 +1,271 @@
+"""Parallel experiment engine with deterministic seeding.
+
+The Figure-6 evaluation grid — (DGA model × estimator × parameter value
+× trial) — is embarrassingly parallel: every trial is an independent
+simulation.  This module fans trials out over a
+:class:`concurrent.futures.ProcessPoolExecutor` while keeping results
+**bit-identical** to a serial run:
+
+* :func:`derive_seed` maps the trial's full coordinates to its RNG seed
+  through a stable cryptographic hash, so a trial's randomness depends
+  only on *what* it is, never on *when* or *where* it runs;
+* :meth:`TrialRunner.run` assembles outcomes in submission order, so
+  worker count, chunking and completion order cannot reorder (and
+  thereby renumber) anything.
+
+``TrialRunner`` transparently falls back to in-process serial execution
+when ``workers == 1``, when there is at most one trial, or when the
+trial function / specs cannot be pickled (e.g. a closure injected by a
+test), so callers never need to special-case either path.  Every run is
+timed per trial; :meth:`TrialRunner.perf_summary` aggregates wall-time
+and throughput into a JSON-ready dict (the groundwork for a
+``BENCH_*.json`` performance trajectory).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = [
+    "derive_seed",
+    "TrialSpec",
+    "TrialOutcome",
+    "RunPerf",
+    "TrialRunner",
+    "default_trial_fn",
+]
+
+#: Seeds live in ``[0, 2**63)`` — non-negative and safe for every
+#: consumer (``random.Random``, ``numpy`` legacy and Generator seeding).
+SEED_SPACE = 2**63
+
+
+def _canonical_value(value: float) -> str:
+    """A numeric spelling that is identical for ``16`` and ``16.0``."""
+    number = float(value)
+    return repr(int(number)) if number.is_integer() else repr(number)
+
+
+def derive_seed(
+    root_seed: int,
+    row: str,
+    model: str,
+    estimator: str,
+    param_value: float,
+    trial: int,
+) -> int:
+    """Derive the RNG seed of one trial from its grid coordinates.
+
+    The derivation is a SHA-256 over an unambiguous encoding of the
+    coordinates, so it is
+
+    * stable across processes, interpreter runs and
+      ``PYTHONHASHSEED`` values (no use of :func:`hash`);
+    * independent of dict/iteration order (the coordinates are encoded
+      positionally, and integral floats are canonicalised so ``16`` and
+      ``16.0`` agree);
+    * collision-free in practice (63-bit outputs over a grid of a few
+      hundred cells).
+    """
+    key = "\x1f".join(
+        (
+            str(int(root_seed)),
+            str(row),
+            str(model),
+            str(estimator),
+            _canonical_value(param_value),
+            str(int(trial)),
+        )
+    )
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % SEED_SPACE
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One fully-specified trial of an experiment grid.
+
+    ``kwargs`` is stored as a sorted tuple of pairs so specs are
+    hashable, picklable, and equal regardless of the insertion order of
+    the dict they were built from.
+    """
+
+    row: str
+    model: str
+    estimator: str
+    parameter_value: float
+    trial: int
+    seed: int
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        row: str,
+        model: str,
+        estimator: str,
+        parameter_value: float,
+        trial: int,
+        root_seed: int = 0,
+        kwargs: Mapping[str, Any] | None = None,
+    ) -> "TrialSpec":
+        """Construct a spec, deriving its seed from the coordinates."""
+        return cls(
+            row=row,
+            model=model,
+            estimator=estimator,
+            parameter_value=float(parameter_value),
+            trial=int(trial),
+            seed=derive_seed(
+                root_seed, row, model, estimator, parameter_value, trial
+            ),
+            kwargs=tuple(sorted((kwargs or {}).items())),
+        )
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """A trial's result plus its execution accounting."""
+
+    spec: TrialSpec
+    error: float
+    seconds: float
+    worker: int
+
+
+def default_trial_fn(spec: TrialSpec) -> float:
+    """Execute one spec through :func:`repro.eval.experiments.run_trial`."""
+    from .experiments import run_trial  # deferred: experiments imports us
+
+    return run_trial(
+        spec.model, spec.estimator, seed=spec.seed, **dict(spec.kwargs)
+    )
+
+
+def _timed_call(payload: tuple[Callable[[TrialSpec], float], TrialSpec]):
+    """Worker entry point: run one trial and time it (module-level so it
+    pickles under every multiprocessing start method)."""
+    fn, spec = payload
+    started = time.perf_counter()
+    error = fn(spec)
+    return error, time.perf_counter() - started, os.getpid()
+
+
+@dataclass
+class RunPerf:
+    """Wall-time/throughput accounting of one :meth:`TrialRunner.run`."""
+
+    label: str
+    workers: int
+    n_trials: int
+    wall_seconds: float
+    trial_seconds: float
+
+    @property
+    def throughput(self) -> float:
+        """Completed trials per wall-clock second."""
+        return self.n_trials / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate trial time over wall time — the realised speedup."""
+        return self.trial_seconds / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "workers": self.workers,
+            "n_trials": self.n_trials,
+            "wall_seconds": self.wall_seconds,
+            "trial_seconds": self.trial_seconds,
+            "throughput_trials_per_second": self.throughput,
+            "speedup": self.speedup,
+        }
+
+
+class TrialRunner:
+    """Run batches of :class:`TrialSpec` serially or over a process pool.
+
+    Results are returned in submission order and every trial's seed is
+    already fixed by its spec, so for any given spec list the outcomes
+    are identical for every ``workers`` value.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        root_seed: int = 0,
+        trial_fn: Callable[[TrialSpec], float] | None = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.root_seed = int(root_seed)
+        self.trial_fn = trial_fn if trial_fn is not None else default_trial_fn
+        self.runs: list[RunPerf] = []
+
+    # -- execution ---------------------------------------------------------
+
+    def _can_pickle(self, specs: Sequence[TrialSpec]) -> bool:
+        try:
+            pickle.dumps((self.trial_fn, tuple(specs)))
+            return True
+        except Exception:
+            return False
+
+    def run(
+        self, specs: Sequence[TrialSpec], label: str = "trials"
+    ) -> list[TrialOutcome]:
+        """Execute all specs; outcomes are in the order specs were given."""
+        specs = list(specs)
+        started = time.perf_counter()
+        parallel = self.workers > 1 and len(specs) > 1 and self._can_pickle(specs)
+        if parallel:
+            payloads = [(self.trial_fn, spec) for spec in specs]
+            chunksize = max(1, len(specs) // (self.workers * 4))
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                raws = list(pool.map(_timed_call, payloads, chunksize=chunksize))
+        else:
+            raws = [_timed_call((self.trial_fn, spec)) for spec in specs]
+        wall = time.perf_counter() - started
+        outcomes = [
+            TrialOutcome(spec=spec, error=error, seconds=seconds, worker=worker)
+            for spec, (error, seconds, worker) in zip(specs, raws)
+        ]
+        self.runs.append(
+            RunPerf(
+                label=label,
+                workers=self.workers if parallel else 1,
+                n_trials=len(specs),
+                wall_seconds=wall,
+                trial_seconds=sum(o.seconds for o in outcomes),
+            )
+        )
+        return outcomes
+
+    # -- accounting --------------------------------------------------------
+
+    def perf_summary(self) -> dict[str, Any]:
+        """JSON-ready performance summary across all ``run()`` calls."""
+        wall = sum(r.wall_seconds for r in self.runs)
+        trial_seconds = sum(r.trial_seconds for r in self.runs)
+        n_trials = sum(r.n_trials for r in self.runs)
+        return {
+            "schema": "repro-perf-v1",
+            "workers": self.workers,
+            "root_seed": self.root_seed,
+            "cpu_count": os.cpu_count(),
+            "n_trials": n_trials,
+            "wall_seconds": wall,
+            "trial_seconds": trial_seconds,
+            "throughput_trials_per_second": (
+                n_trials / wall if wall > 0 else 0.0
+            ),
+            "speedup": trial_seconds / wall if wall > 0 else 0.0,
+            "runs": [r.to_dict() for r in self.runs],
+        }

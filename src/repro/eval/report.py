@@ -23,6 +23,7 @@ from .experiments import (
     sweep_population,
     sweep_window,
 )
+from .parallel import TrialRunner
 from .realdata import EnterpriseStudyResult, run_enterprise_study
 from .visual import render_sweep_heatmap
 
@@ -44,6 +45,11 @@ class ReproductionReport:
     sweeps: dict[str, tuple[str, SweepResult]] = field(default_factory=dict)
     enterprise: EnterpriseStudyResult | None = None
     elapsed_seconds: float = 0.0
+    #: JSON-ready wall-time/throughput summary from the trial runner
+    #: (see :meth:`repro.eval.parallel.TrialRunner.perf_summary`).  Kept
+    #: out of :meth:`to_markdown` so rendered reports stay byte-identical
+    #: across worker counts and hosts.
+    perf: dict | None = None
 
     def to_markdown(self) -> str:
         """Render the full report as a Markdown document."""
@@ -82,6 +88,9 @@ def generate_report(
     sweep_keys: Sequence[str] = ("fig6a", "fig6b", "fig6c", "fig6d", "fig6e"),
     enterprise_config: EnterpriseConfig | None = None,
     include_enterprise: bool = True,
+    workers: int = 1,
+    root_seed: int = 0,
+    runner: TrialRunner | None = None,
 ) -> ReproductionReport:
     """Run the selected experiments and collect a report.
 
@@ -92,15 +101,27 @@ def generate_report(
         enterprise_config: study configuration (default: the full §V-B
             activity period).
         include_enterprise: skip the (slow) enterprise study when False.
+        workers: process-pool size for sweep trials (1 = in-process
+            serial; the report content is identical either way).
+        root_seed: root of the per-trial seed derivation.
+        runner: pre-built :class:`TrialRunner` (overrides ``workers`` /
+            ``root_seed``); one runner is shared across all sweeps so
+            :attr:`ReproductionReport.perf` covers the whole grid.
     """
     started = time.monotonic()
+    if runner is None:
+        runner = TrialRunner(workers=workers, root_seed=root_seed)
     report = ReproductionReport()
     for key, title, sweep_fn in _SWEEP_SPECS:
         if key not in sweep_keys:
             continue
-        report.sweeps[key] = (title, sweep_fn(trials=trials, models=tuple(models)))
+        report.sweeps[key] = (
+            title,
+            sweep_fn(trials=trials, models=tuple(models), runner=runner),
+        )
     if include_enterprise:
         config = enterprise_config or EnterpriseConfig(n_days=210)
         report.enterprise = run_enterprise_study(config)
     report.elapsed_seconds = time.monotonic() - started
+    report.perf = runner.perf_summary()
     return report

@@ -70,7 +70,7 @@ class TestCommands:
     def test_sweep_small(self, capsys, monkeypatch):
         import repro.cli as cli
 
-        def tiny_sweep(trials, models):
+        def tiny_sweep(trials, models, **kwargs):
             from repro.eval.experiments import sweep_population
 
             return sweep_population(values=(8,), trials=trials, models=models)

@@ -1,0 +1,101 @@
+"""CLI regression tests for the `--workers` flag: parallel runs must
+render byte-identical output to serial runs, and the perf-summary JSON
+must be written and well-formed."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+_SWEEP_ARGS = [
+    "sweep",
+    "population",
+    "--values", "8", "12",
+    "--trials", "2",
+    "--models", "AR",
+]
+
+
+def _run(capsys, argv):
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+class TestSweepWorkers:
+    @pytest.mark.slow
+    def test_two_workers_render_identical_to_one(self, capsys):
+        serial = _run(capsys, _SWEEP_ARGS + ["--workers", "1"])
+        parallel = _run(capsys, _SWEEP_ARGS + ["--workers", "2"])
+        assert "AR/bernoulli" in serial
+        assert parallel == serial
+
+    def test_values_flag_overrides_row_defaults(self, capsys):
+        out = _run(capsys, _SWEEP_ARGS + ["--workers", "1"])
+        # only the overridden values appear as table rows
+        rows = [line.split()[0] for line in out.splitlines()[2:] if line.strip()]
+        assert rows == ["8", "12"]
+
+    def test_perf_json_written(self, tmp_path, capsys):
+        path = tmp_path / "perf.json"
+        _run(
+            capsys,
+            _SWEEP_ARGS
+            + ["--trials", "1", "--workers", "2", "--perf-json", str(path)],
+        )
+        perf = json.loads(path.read_text())
+        assert perf["schema"] == "repro-perf-v1"
+        assert perf["workers"] == 2
+        assert perf["n_trials"] == 4  # 2 values × 2 AR estimators × 1 trial
+        assert perf["wall_seconds"] > 0
+        assert perf["runs"][0]["label"] == "bot population N"
+
+    def test_seed_flag_changes_results(self, capsys):
+        base = _run(capsys, _SWEEP_ARGS + ["--trials", "1", "--seed", "0"])
+        reseeded = _run(capsys, _SWEEP_ARGS + ["--trials", "1", "--seed", "99"])
+        assert base != reseeded
+
+
+@pytest.mark.slow
+class TestReportWorkers:
+    def _report(self, capsys, workers):
+        out = _run(
+            capsys,
+            [
+                "report",
+                "--trials", "1",
+                "--sweeps", "fig6a",
+                "--models", "AR",
+                "--skip-enterprise",
+                "--workers", str(workers),
+            ],
+        )
+        # drop the only timing-dependent line before comparing
+        return "\n".join(
+            line for line in out.splitlines() if not line.startswith("_Generated in")
+        )
+
+    def test_report_identical_across_worker_counts(self, capsys):
+        serial = self._report(capsys, 1)
+        parallel = self._report(capsys, 2)
+        assert "Figure 6(a)" in serial
+        assert parallel == serial
+
+    def test_report_perf_json(self, tmp_path, capsys):
+        path = tmp_path / "perf.json"
+        _run(
+            capsys,
+            [
+                "report",
+                "--trials", "1",
+                "--sweeps", "fig6a",
+                "--models", "AR",
+                "--skip-enterprise",
+                "--workers", "2",
+                "--perf-json", str(path),
+                "--out", str(tmp_path / "report.md"),
+            ],
+        )
+        perf = json.loads(path.read_text())
+        assert perf["n_trials"] == 10  # 5 values × 2 AR estimators × 1 trial
+        assert perf["workers"] == 2

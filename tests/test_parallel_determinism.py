@@ -1,0 +1,213 @@
+"""Determinism suite for the parallel experiment engine.
+
+For every Figure-6 sweep row (in tiny configurations) the engine must
+produce **exactly** equal ``SweepResult`` cells — error tuples,
+summaries, rendered tables — for
+
+* ``workers=1`` (in-process serial path),
+* ``workers=2`` (process-pool path), and
+* the pre-refactor serial reference: a plain nested
+  value → model → estimator → trial loop calling ``run_trial`` directly.
+
+It also pins the ordering guarantees of :class:`SweepResult`: rendering
+and series extraction are independent of the order cells were appended
+in (i.e. of trial completion order).
+"""
+
+import random
+
+import pytest
+
+from repro.eval.experiments import (
+    ESTIMATOR_PROTOCOL,
+    SweepCell,
+    SweepResult,
+    run_trial,
+    sweep_d3_miss,
+    sweep_dynamics,
+    sweep_negative_ttl,
+    sweep_population,
+    sweep_window,
+)
+from repro.eval.metrics import summarize_errors
+from repro.eval.parallel import TrialRunner, TrialSpec, derive_seed
+
+#: (sweep function, row label, tiny values, per-value run_trial kwargs) —
+#: one entry per Figure-6 row, sized for test speed.
+_ROWS = {
+    "population": (
+        sweep_population,
+        "bot population N",
+        (8, 12),
+        lambda v: {"n_bots": int(v)},
+    ),
+    "window": (
+        sweep_window,
+        "observation window (epochs)",
+        (1, 2),
+        lambda v: {"n_days": int(v)},
+    ),
+    "negative-ttl": (
+        sweep_negative_ttl,
+        "negative cache TTL (min)",
+        (20, 40),
+        lambda v: {"negative_ttl": v * 60.0},
+    ),
+    "dynamics": (
+        sweep_dynamics,
+        "activation dynamics sigma",
+        (0.5, 1.5),
+        lambda v: {"sigma": v},
+    ),
+    "d3-miss": (
+        sweep_d3_miss,
+        "D3 miss rate (%)",
+        (10, 30),
+        lambda v: {"d3_miss_rate": v / 100.0},
+    ),
+}
+
+_TRIALS = 2
+_MODELS = ("AR",)
+
+
+def _reference_serial(row_label, values, kwargs_fn, trials, models, root_seed=0):
+    """The pre-refactor `_sweep` structure: a plain serial loop over the
+    grid calling ``run_trial`` directly — no runner, no pool."""
+    result = SweepResult(parameter=row_label, values=tuple(values))
+    for value in values:
+        kwargs = kwargs_fn(value)
+        for model in models:
+            for estimator in ESTIMATOR_PROTOCOL[model]:
+                errors = tuple(
+                    run_trial(
+                        model,
+                        estimator,
+                        seed=derive_seed(
+                            root_seed, row_label, model, estimator, value, trial
+                        ),
+                        **kwargs,
+                    )
+                    for trial in range(trials)
+                )
+                result.cells.append(
+                    SweepCell(
+                        parameter_value=float(value),
+                        model=model,
+                        estimator=estimator,
+                        summary=summarize_errors(errors),
+                        errors=errors,
+                    )
+                )
+    result.sort()
+    return result
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("row", sorted(_ROWS))
+class TestSerialParallelEquality:
+    def test_workers1_equals_workers2_equals_reference(self, row):
+        sweep_fn, label, values, kwargs_fn = _ROWS[row]
+        serial = sweep_fn(values=values, trials=_TRIALS, models=_MODELS, workers=1)
+        parallel = sweep_fn(values=values, trials=_TRIALS, models=_MODELS, workers=2)
+        reference = _reference_serial(label, values, kwargs_fn, _TRIALS, _MODELS)
+
+        # Exact equality: frozen dataclasses compare error tuples and
+        # summaries field-by-field, so this is bit-identity, not "close".
+        assert serial.cells == parallel.cells
+        assert serial.cells == reference.cells
+        assert serial.render() == parallel.render() == reference.render()
+
+
+@pytest.mark.slow
+class TestWorkerCountInvariance:
+    def test_four_workers_match_one(self):
+        results = [
+            sweep_population(values=(8, 12), trials=2, models=("AR",), workers=w)
+            for w in (1, 2, 4)
+        ]
+        assert results[0].cells == results[1].cells == results[2].cells
+
+
+class TestRunnerFallbacks:
+    def test_non_picklable_trial_fn_falls_back_to_serial(self):
+        captured = []
+
+        def local_fn(spec):  # a closure: not picklable across processes
+            captured.append(spec.trial)
+            return float(spec.trial)
+
+        runner = TrialRunner(workers=4, trial_fn=local_fn)
+        specs = [
+            TrialSpec.build(
+                row="r", model="AR", estimator="timing", parameter_value=1, trial=t
+            )
+            for t in range(3)
+        ]
+        outcomes = runner.run(specs)
+        assert [o.error for o in outcomes] == [0.0, 1.0, 2.0]
+        assert captured == [0, 1, 2]  # ran in-process, in order
+        assert runner.runs[-1].workers == 1  # perf records the fallback
+
+    def test_outcomes_in_submission_order(self):
+        runner = TrialRunner(workers=2)
+        specs = [
+            TrialSpec.build(
+                row="bot population N",
+                model="AR",
+                estimator="bernoulli",
+                parameter_value=8,
+                trial=t,
+                kwargs={"n_bots": 8},
+            )
+            for t in (1, 0)  # deliberately out of trial order
+        ]
+        outcomes = runner.run(specs)
+        assert [o.spec.trial for o in outcomes] == [1, 0]
+
+    def test_perf_summary_accounts_all_trials(self):
+        runner = TrialRunner(workers=1)
+        specs = [
+            TrialSpec.build(
+                row="bot population N",
+                model="AR",
+                estimator="timing",
+                parameter_value=8,
+                trial=t,
+                kwargs={"n_bots": 8},
+            )
+            for t in range(2)
+        ]
+        runner.run(specs, label="a")
+        runner.run(specs, label="b")
+        perf = runner.perf_summary()
+        assert perf["n_trials"] == 4
+        assert perf["wall_seconds"] > 0
+        assert perf["throughput_trials_per_second"] > 0
+        assert [r["label"] for r in perf["runs"]] == ["a", "b"]
+
+
+class TestOrderingIndependence:
+    """Satellite: rendering/aggregation must not depend on the order
+    trials (and hence cells) completed in."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_population(values=(8, 12), trials=2, models=("AR",))
+
+    def test_render_is_shuffle_invariant(self, sweep):
+        shuffled = SweepResult(parameter=sweep.parameter, values=sweep.values)
+        shuffled.cells = list(sweep.cells)
+        random.Random(13).shuffle(shuffled.cells)
+        assert shuffled.render() == sweep.render()
+
+    def test_series_is_shuffle_invariant(self, sweep):
+        shuffled = SweepResult(parameter=sweep.parameter, values=sweep.values)
+        shuffled.cells = list(reversed(sweep.cells))
+        assert shuffled.series("AR", "timing") == sweep.series("AR", "timing")
+        values = [v for v, _ in shuffled.series("AR", "bernoulli")]
+        assert values == sorted(values)
+
+    def test_cells_sorted_canonically(self, sweep):
+        keys = [(c.parameter_value, c.model, c.estimator) for c in sweep.cells]
+        assert keys == sorted(keys)

@@ -64,7 +64,7 @@ class TestReportCli:
         import repro.cli as cli
         import repro.eval.report as report_mod
 
-        def tiny_generate(trials, include_enterprise):
+        def tiny_generate(trials, include_enterprise, **kwargs):
             return generate_report(
                 trials=1, models=("AR",), sweep_keys=(), include_enterprise=False
             )

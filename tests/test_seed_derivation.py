@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for the deterministic per-trial
+seed derivation behind the parallel experiment engine.
+
+``derive_seed`` must be a pure function of a trial's grid coordinates:
+stable across interpreter runs and ``PYTHONHASHSEED`` values,
+independent of dict/iteration order, and collision-free across the full
+Figure-6 evaluation grid.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.experiments import ESTIMATOR_PROTOCOL
+from repro.eval.parallel import SEED_SPACE, TrialSpec, derive_seed
+
+_names = st.text(
+    st.characters(min_codepoint=32, max_codepoint=0x2FF), min_size=1, max_size=24
+)
+_coords = st.tuples(
+    st.integers(0, 2**32),
+    _names,
+    _names,
+    _names,
+    st.floats(-1e9, 1e9, allow_nan=False),
+    st.integers(0, 10_000),
+)
+
+
+class TestDeriveSeedProperties:
+    @given(_coords)
+    @settings(max_examples=200, deadline=None)
+    def test_deterministic_and_in_range(self, coords):
+        a = derive_seed(*coords)
+        b = derive_seed(*coords)
+        assert a == b
+        assert 0 <= a < SEED_SPACE
+
+    @given(_coords)
+    @settings(max_examples=100, deadline=None)
+    def test_trial_index_perturbs_seed(self, coords):
+        root, row, model, estimator, value, trial = coords
+        assert derive_seed(root, row, model, estimator, value, trial) != derive_seed(
+            root, row, model, estimator, value, trial + 1
+        )
+
+    @given(_coords)
+    @settings(max_examples=100, deadline=None)
+    def test_root_seed_perturbs_seed(self, coords):
+        root, row, model, estimator, value, trial = coords
+        assert derive_seed(root, row, model, estimator, value, trial) != derive_seed(
+            root + 1, row, model, estimator, value, trial
+        )
+
+    @given(
+        st.integers(0, 2**16),
+        _names,
+        _names,
+        _names,
+        st.integers(-(10**6), 10**6),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_int_and_float_spellings_agree(self, root, row, model, estimator, value, trial):
+        assert derive_seed(root, row, model, estimator, value, trial) == derive_seed(
+            root, row, model, estimator, float(value), trial
+        )
+
+
+class TestDeriveSeedStability:
+    """The derivation must not depend on interpreter state."""
+
+    def test_golden_values(self):
+        # Pinned outputs: a change here silently invalidates every
+        # recorded experiment, so it must be deliberate.
+        assert derive_seed(0, "bot population N", "AR", "timing", 16, 0) == 6880952337624929782
+        assert derive_seed(0, "bot population N", "AR", "timing", 16.0, 0) == 6880952337624929782
+        assert derive_seed(7, "D3 miss rate (%)", "AU", "poisson", 0.3, 4) == 850482789245059756
+
+    def test_stable_across_processes_and_hash_seeds(self):
+        # A fresh interpreter with a different PYTHONHASHSEED must
+        # reproduce the same seeds (i.e. no use of builtin hash()).
+        code = (
+            "from repro.eval.parallel import derive_seed;"
+            "print(derive_seed(3, 'observation window (epochs)', 'AU', 'timing', 4, 2))"
+        )
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        outs = set()
+        for hash_seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONPATH=src, PYTHONHASHSEED=hash_seed)
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outs.add(proc.stdout.strip())
+        assert len(outs) == 1
+        assert outs == {
+            str(derive_seed(3, "observation window (epochs)", "AU", "timing", 4, 2))
+        }
+
+
+class TestGridCollisionFreedom:
+    def test_full_figure6_grid_is_collision_free(self):
+        """Every trial of every default Figure-6 row gets a unique seed."""
+        rows = {
+            "bot population N": (16, 32, 64, 128, 256),
+            "observation window (epochs)": (1, 2, 4, 8, 16),
+            "negative cache TTL (min)": (20, 40, 80, 160, 320),
+            "activation dynamics sigma": (0.5, 1.0, 1.5, 2.0, 2.5),
+            "D3 miss rate (%)": (10, 20, 30, 40, 50),
+        }
+        seeds = [
+            derive_seed(0, row, model, estimator, value, trial)
+            for row, values in rows.items()
+            for value in values
+            for model, estimators in ESTIMATOR_PROTOCOL.items()
+            for estimator in estimators
+            for trial in range(5)
+        ]
+        assert len(seeds) == len(set(seeds))
+
+
+class TestTrialSpecCanonicalisation:
+    def test_kwargs_dict_order_is_irrelevant(self):
+        common = dict(
+            row="r", model="AR", estimator="timing", parameter_value=8, trial=1
+        )
+        a = TrialSpec.build(kwargs={"n_bots": 8, "sigma": 0.5}, **common)
+        b = TrialSpec.build(kwargs={"sigma": 0.5, "n_bots": 8}, **common)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_integral_float_value_matches_int(self):
+        a = TrialSpec.build(
+            row="r", model="AR", estimator="timing", parameter_value=8, trial=0
+        )
+        b = TrialSpec.build(
+            row="r", model="AR", estimator="timing", parameter_value=8.0, trial=0
+        )
+        assert a == b
