@@ -1,6 +1,6 @@
 # Convenience targets for the BotMeter reproduction.
 
-.PHONY: install test test-fast smoke-sweep bench bench-paper bench-perf examples report clean
+.PHONY: install test test-fast smoke-sweep service-smoke bench bench-paper bench-perf examples report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,6 +18,32 @@ smoke-sweep:
 	python -m repro.cli sweep population --values 8 12 --trials 2 \
 		--models AR --workers 2 --perf-json smoke_perf.json
 	@cat smoke_perf.json
+
+# botmeterd end-to-end: export a synthetic day, replay it streamed vs
+# batch (byte-identical), then SIGKILL a throttled daemon mid-stream and
+# prove the resumed output still matches. Mirrors the CI job.
+service-smoke:
+	rm -rf service-smoke && mkdir -p service-smoke
+	python -m repro.cli export-trace --source sim --family new_goz \
+		--bots 24 --servers 2 --days 2 --seed 7 --out service-smoke/trace.ndjson
+	python -m repro.cli replay service-smoke/trace.ndjson \
+		--out service-smoke/streamed.ndjson
+	python -m repro.cli replay service-smoke/trace.ndjson --engine batch \
+		--out service-smoke/batch.ndjson
+	diff service-smoke/streamed.ndjson service-smoke/batch.ndjson
+	-timeout -s KILL 4 python -m repro.cli serve \
+		--input service-smoke/trace.ndjson --no-follow --throttle 0.001 \
+		--checkpoint service-smoke/ck.json --checkpoint-every 200 \
+		--out service-smoke/served.ndjson 2> /dev/null
+	test -f service-smoke/ck.json
+	python -m repro.cli serve --input service-smoke/trace.ndjson --no-follow \
+		--checkpoint service-smoke/ck.json --checkpoint-every 200 \
+		--out service-smoke/served.ndjson \
+		--metrics-out service-smoke/metrics.prom \
+		--health-out service-smoke/health.json
+	diff service-smoke/served.ndjson service-smoke/streamed.ndjson
+	@echo "service-smoke OK: streamed == batch, SIGKILL resume == uninterrupted"
+	@cat service-smoke/metrics.prom
 
 test-logged:
 	pytest tests/ 2>&1 | tee test_output.txt
@@ -38,5 +64,5 @@ report:
 	python -m repro.cli report --out reproduction_report.md
 
 clean:
-	rm -rf src/repro.egg-info .pytest_cache .benchmarks
+	rm -rf src/repro.egg-info .pytest_cache .benchmarks service-smoke perf-artifacts
 	find . -name __pycache__ -type d -exec rm -rf {} +

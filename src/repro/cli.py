@@ -9,7 +9,13 @@ Gives operators the Figure-2 workflow without writing Python:
 * ``repro taxonomy``  — print the Figure-3 taxonomy grid;
 * ``repro families``  — list implemented DGA families and parameters;
 * ``repro sweep``     — run one Figure-6 sweep row;
-* ``repro enterprise``— run a (shortened) §V-B enterprise study.
+* ``repro enterprise``— run a (shortened) §V-B enterprise study;
+* ``repro export-trace`` — write a synthetic trace in the botmeterd
+  NDJSON wire format;
+* ``repro replay``    — drain a recorded trace through botmeterd (or
+  the batch reference) and print the landscape series;
+* ``repro serve``     — run botmeterd live: follow a file or stdin,
+  with checkpointed recovery and metrics.
 
 Run ``python -m repro.cli <command> --help`` for per-command options.
 """
@@ -108,6 +114,89 @@ def build_parser() -> argparse.ArgumentParser:
     ent.add_argument("--days", type=int, default=210)
     ent.add_argument("--benign-clients", type=int, default=80)
     ent.add_argument("--seed", type=int, default=0)
+
+    _SERVICE_ESTIMATORS = (
+        "auto", "timing", "poisson", "bernoulli", "renewal", "occupancy", "ensemble",
+    )
+
+    def _add_engine_options(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--family", action="append", default=None, metavar="NAME[:SEED]",
+            help="chart this DGA family (repeatable; default: the trace header)",
+        )
+        cmd.add_argument("--estimator", default="auto", choices=_SERVICE_ESTIMATORS)
+        cmd.add_argument(
+            "--grace", type=float, default=900.0,
+            help="seconds past an epoch's end before it is emitted",
+        )
+        cmd.add_argument(
+            "--granularity", type=float, default=None,
+            help="timestamp granularity (default: the trace header, else 0.1)",
+        )
+        cmd.add_argument("--negative-ttl", type=float, default=7_200.0)
+        cmd.add_argument(
+            "--reorder-capacity", type=int, default=1024,
+            help="bounded reorder-buffer size (the backpressure point)",
+        )
+        cmd.add_argument(
+            "--policy", choices=("block", "drop-oldest"), default="block",
+            help="full-buffer backpressure policy",
+        )
+        cmd.add_argument(
+            "--max-corrupt", type=int, default=None,
+            help="corrupt wire-line budget before aborting (default: unlimited)",
+        )
+        cmd.add_argument("--out", default=None, help="landscape NDJSON (default: stdout)")
+        cmd.add_argument(
+            "--metrics-out", default=None, metavar="PATH",
+            help="write the Prometheus text exposition here",
+        )
+        cmd.add_argument(
+            "--health-out", default=None, metavar="PATH",
+            help="write the JSON health snapshot here",
+        )
+
+    export = sub.add_parser(
+        "export-trace", help="write a synthetic trace as botmeterd NDJSON"
+    )
+    export.add_argument("--source", choices=("sim", "enterprise"), default="sim")
+    export.add_argument("--family", default="new_goz", choices=family_names())
+    export.add_argument("--family-seed", type=int, default=7)
+    export.add_argument("--bots", type=int, default=48)
+    export.add_argument("--servers", type=int, default=2)
+    export.add_argument("--days", type=int, default=1)
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument("--sigma", type=float, default=0.0)
+    export.add_argument(
+        "--benign-clients", type=int, default=20,
+        help="enterprise source only: benign client sample size",
+    )
+    export.add_argument("--out", required=True, help="NDJSON output path")
+
+    replay = sub.add_parser(
+        "replay", help="drain a recorded NDJSON trace; print the landscape series"
+    )
+    replay.add_argument("trace", help="NDJSON trace (from `repro export-trace`)")
+    replay.add_argument(
+        "--engine", choices=("streaming", "batch"), default="streaming",
+        help="botmeterd shards, or the per-epoch batch BotMeter reference",
+    )
+    _add_engine_options(replay)
+
+    serve = sub.add_parser("serve", help="run botmeterd: follow a live NDJSON stream")
+    serve.add_argument("--input", required=True, help="trace file, or '-' for stdin")
+    _add_engine_options(serve)
+    serve.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="checkpoint file (enables crash recovery)")
+    serve.add_argument("--checkpoint-every", type=int, default=500, metavar="N",
+                       help="records between checkpoints")
+    serve.add_argument("--follow", action=argparse.BooleanOptionalAction, default=True,
+                       help="keep tailing the input at EOF (--no-follow: drain and exit)")
+    serve.add_argument("--idle-timeout", type=float, default=None,
+                       help="with --follow: exit after this many idle seconds")
+    serve.add_argument("--poll-interval", type=float, default=0.1)
+    serve.add_argument("--throttle", type=float, default=0.0,
+                       help="seconds to sleep per record (crash-drill pacing)")
 
     report = sub.add_parser("report", help="full reproduction report (Markdown)")
     report.add_argument("--trials", type=int, default=3)
@@ -247,6 +336,162 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_family_specs(specs: Sequence[str] | None):
+    """``NAME[:SEED]`` flags -> ``{name: Dga}`` (``None`` defers to header)."""
+    if not specs:
+        return None
+    dgas = {}
+    for spec in specs:
+        name, _, seed = spec.partition(":")
+        dgas[name] = make_family(name, int(seed) if seed else 0)
+    return dgas
+
+
+def _cmd_export_trace(args: argparse.Namespace) -> int:
+    from .service.wire import encode_header, encode_record
+
+    if args.source == "sim":
+        config = SimConfig(
+            family=args.family,
+            family_seed=args.family_seed,
+            n_bots=args.bots,
+            n_local_servers=args.servers,
+            n_days=args.days,
+            seed=args.seed,
+            sigma=args.sigma,
+        )
+        header = {
+            "schema": "botmeter-trace-v1",
+            "source": "sim",
+            "families": [{"name": args.family, "seed": args.family_seed}],
+            "granularity": config.timestamp_granularity,
+            "negative_ttl": config.negative_ttl,
+            "origin": config.origin.isoformat(),
+        }
+        count = 0
+        with open(args.out, "w") as fh:
+            fh.write(encode_header(header) + "\n")
+            for record in simulate(config).observable:
+                fh.write(encode_record(record) + "\n")
+                count += 1
+    else:
+        from .enterprise.trace_gen import EnterpriseTraceGenerator
+
+        config = EnterpriseConfig(
+            n_days=args.days, n_benign_clients=args.benign_clients, seed=args.seed
+        )
+        header = {
+            "schema": "botmeter-trace-v1",
+            "source": "enterprise",
+            "families": [
+                {"name": wave.family, "seed": wave.family_seed}
+                for wave in config.waves
+            ],
+            "granularity": config.timestamp_granularity,
+            "negative_ttl": config.negative_ttl,
+            "origin": config.origin.isoformat(),
+        }
+        count = 0
+        with open(args.out, "w") as fh:
+            fh.write(encode_header(header) + "\n")
+            for day in EnterpriseTraceGenerator(config).days():
+                for record in day.observable:
+                    fh.write(encode_record(record) + "\n")
+                    count += 1
+    print(f"wrote {count} records ({args.source}) to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .service.daemon import BotMeterDaemon, batch_series, families_from_header
+    from .service.wire import NdjsonReader, encode_landscape
+
+    dgas = _parse_family_specs(args.family)
+    if args.engine == "streaming":
+        daemon = BotMeterDaemon(
+            args.trace,
+            out_path=args.out,
+            families=dgas,
+            estimator=args.estimator,
+            grace=args.grace,
+            negative_ttl=args.negative_ttl,
+            timestamp_granularity=args.granularity,
+            reorder_capacity=args.reorder_capacity,
+            policy=args.policy,
+            follow=False,
+            max_corrupt=args.max_corrupt,
+            metrics_path=args.metrics_out,
+            health_path=args.health_out,
+        )
+        return daemon.run()
+
+    reader = NdjsonReader(max_corrupt=args.max_corrupt)
+    with open(args.trace, "rb") as fh:
+        records = list(reader.read(fh))
+    header = reader.header or {}
+    if dgas is None:
+        if reader.header is None:
+            print("no --family given and the trace has no header", file=sys.stderr)
+            return 1
+        dgas = families_from_header(reader.header)
+    granularity = (
+        args.granularity
+        if args.granularity is not None
+        else float(header.get("granularity", 0.1))
+    )
+    timeline = None
+    if "origin" in header:
+        import datetime as _dtmod
+
+        timeline = Timeline(_dtmod.date.fromisoformat(header["origin"]))
+    series = batch_series(
+        records,
+        dgas,
+        estimator=args.estimator,
+        negative_ttl=args.negative_ttl,
+        timestamp_granularity=granularity,
+        timeline=timeline,
+    )
+    lines = [
+        encode_landscape(epoch.family, epoch.day_index, epoch.landscape)
+        for epoch in series
+    ]
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text("".join(line + "\n" for line in lines))
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.daemon import BotMeterDaemon
+
+    daemon = BotMeterDaemon(
+        args.input,
+        out_path=args.out,
+        checkpoint_path=args.checkpoint,
+        families=_parse_family_specs(args.family),
+        estimator=args.estimator,
+        grace=args.grace,
+        negative_ttl=args.negative_ttl,
+        timestamp_granularity=args.granularity,
+        reorder_capacity=args.reorder_capacity,
+        policy=args.policy,
+        checkpoint_every=args.checkpoint_every,
+        follow=args.follow,
+        idle_timeout=args.idle_timeout,
+        poll_interval=args.poll_interval,
+        throttle=args.throttle,
+        max_corrupt=args.max_corrupt,
+        metrics_path=args.metrics_out,
+        health_path=args.health_out,
+    )
+    return daemon.run()
+
+
 _HANDLERS = {
     "simulate": _cmd_simulate,
     "chart": _cmd_chart,
@@ -255,6 +500,9 @@ _HANDLERS = {
     "sweep": _cmd_sweep,
     "enterprise": _cmd_enterprise,
     "report": _cmd_report,
+    "export-trace": _cmd_export_trace,
+    "replay": _cmd_replay,
+    "serve": _cmd_serve,
 }
 
 

@@ -149,16 +149,70 @@ class StreamingBotMeter:
         """Counters: records ingested and records matched so far."""
         return {"ingested": self._ingested, "matched": self._matched}
 
+    @property
+    def watermark(self) -> float:
+        """Highest timestamp seen (``-inf`` before the first record)."""
+        return self._watermark
+
+    @property
+    def next_epoch_to_close(self) -> int:
+        """Day index of the oldest epoch still open."""
+        return self._next_epoch_to_close
+
+    # -- checkpointing -------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-serialisable snapshot of the mutable ingest state.
+
+        Captures everything :meth:`import_state` needs to make a fresh
+        instance (same DGA / estimator / windows configuration) continue
+        the stream exactly where this one stood: watermark, epoch
+        cursor, counters, and the pending matches of open epochs.
+        Already-closed landscapes are *not* included — the caller owns
+        emitted output.
+        """
+        return {
+            "watermark": None if self._watermark == float("-inf") else self._watermark,
+            "next_epoch_to_close": self._next_epoch_to_close,
+            "ingested": self._ingested,
+            "matched": self._matched,
+            "pending": {
+                str(day): [[m.timestamp, m.server, m.domain, m.day_index] for m in matches]
+                for day, matches in sorted(self._pending.items())
+            },
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        watermark = state["watermark"]
+        self._watermark = float("-inf") if watermark is None else float(watermark)
+        self._next_epoch_to_close = int(state["next_epoch_to_close"])
+        self._ingested = int(state["ingested"])
+        self._matched = int(state["matched"])
+        self._pending = {
+            int(day): [
+                MatchedLookup(float(t), server, domain, int(match_day))
+                for t, server, domain, match_day in matches
+            ]
+            for day, matches in state["pending"].items()
+        }
+
     def ingest(self, record: ForwardedLookup) -> list[Landscape]:
         """Consume one record; return the landscapes of any epochs this
         record's watermark just closed (usually empty)."""
         self._ingested += 1
-        self._watermark = max(self._watermark, record.timestamp)
         match = self._match(record)
         if match is not None:
             self._matched += 1
             if match.day_index >= self._next_epoch_to_close:
                 self._pending.setdefault(match.day_index, []).append(match)
+        return self.advance_watermark(record.timestamp)
+
+    def advance_watermark(self, timestamp: float) -> list[Landscape]:
+        """Advance the watermark without a record (e.g. driven by the
+        global clock of a sharded service) and close any epoch the new
+        watermark finalises.  Never moves the watermark backwards."""
+        self._watermark = max(self._watermark, timestamp)
         closed = []
         for day in self._closable_epochs():
             closed.append(self._close_epoch(day))

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 __all__ = ["RCode", "Lookup", "Response", "ForwardedLookup"]
 
@@ -61,3 +62,37 @@ class ForwardedLookup:
     timestamp: float
     server: str
     domain: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form of the record, the wire format's foundation.
+
+        The timestamp is passed through as a ``float`` (never formatted),
+        so ``from_dict(to_dict(r)) == r`` holds exactly for every record.
+        """
+        return {
+            "timestamp": self.timestamp,
+            "server": self.server,
+            "domain": self.domain,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ForwardedLookup":
+        """Rebuild a record from :meth:`to_dict` output.
+
+        Unknown keys are ignored so newer producers (which may add
+        optional fields) stay readable by older consumers.
+
+        Raises:
+            KeyError: if a required field is missing.
+            TypeError: if a field has the wrong type.
+        """
+        timestamp = data["timestamp"]
+        server = data["server"]
+        domain = data["domain"]
+        if isinstance(timestamp, bool) or not isinstance(timestamp, (int, float)):
+            raise TypeError(f"timestamp must be a number, got {timestamp!r}")
+        if not isinstance(server, str):
+            raise TypeError(f"server must be a string, got {server!r}")
+        if not isinstance(domain, str):
+            raise TypeError(f"domain must be a string, got {domain!r}")
+        return cls(float(timestamp), server, domain)

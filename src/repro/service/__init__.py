@@ -1,0 +1,60 @@
+"""repro.service — botmeterd, the live landscape-charting service.
+
+The deployable face of the reproduction (§I, Figure 1): a border-server
+daemon that ingests the forwarded-lookup stream as versioned NDJSON,
+demultiplexes it into per-(family × local-server) streaming shards,
+emits per-epoch landscapes, checkpoints atomically for crash recovery,
+and exposes Prometheus-style metrics.
+
+Modules:
+
+* :mod:`~repro.service.wire` — versioned NDJSON wire format + tolerant
+  streaming reader (counted skip policy);
+* :mod:`~repro.service.reorder` — bounded reorder buffer with explicit
+  backpressure (block vs drop-oldest);
+* :mod:`~repro.service.engine` — the sharded multi-family engine with
+  watermark-based epoch closure;
+* :mod:`~repro.service.checkpoint` — atomic JSON checkpoint store;
+* :mod:`~repro.service.metrics` — counters/gauges, text exposition,
+  JSON health snapshot;
+* :mod:`~repro.service.daemon` — the serve/replay loop plus the batch
+  reference series.
+"""
+
+from .checkpoint import CHECKPOINT_SCHEMA, CheckpointError, CheckpointStore
+from .daemon import BotMeterDaemon, batch_series, families_from_header
+from .engine import EpochLandscape, ShardedLandscapeEngine
+from .metrics import Counter, Gauge, MetricsRegistry
+from .reorder import Backpressure, ReorderBuffer
+from .wire import (
+    WIRE_VERSION,
+    NdjsonReader,
+    WireError,
+    encode_header,
+    encode_landscape,
+    encode_record,
+    landscape_to_dict,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointError",
+    "CheckpointStore",
+    "BotMeterDaemon",
+    "batch_series",
+    "families_from_header",
+    "EpochLandscape",
+    "ShardedLandscapeEngine",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Backpressure",
+    "ReorderBuffer",
+    "WIRE_VERSION",
+    "NdjsonReader",
+    "WireError",
+    "encode_header",
+    "encode_landscape",
+    "encode_record",
+    "landscape_to_dict",
+]

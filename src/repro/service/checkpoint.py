@@ -1,0 +1,68 @@
+"""Durable daemon state: atomic JSON checkpoints.
+
+A checkpoint is one JSON document — schema-tagged, carrying the input
+byte offset, the emitted-landscape count, the engine snapshot and the
+metric values.  Writes are atomic (write to a sibling temp file, flush,
+fsync, :func:`os.replace`), so a crash mid-write leaves the previous
+checkpoint intact and a resumed daemon never sees a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["CHECKPOINT_SCHEMA", "CheckpointError", "CheckpointStore"]
+
+CHECKPOINT_SCHEMA = "botmeterd-checkpoint-v1"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file exists but cannot be trusted."""
+
+
+class CheckpointStore:
+    """Load/save one checkpoint file with write-rename atomicity."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def save(self, state: dict[str, Any]) -> None:
+        """Atomically replace the checkpoint with ``state``."""
+        document = {"schema": CHECKPOINT_SCHEMA, **state}
+        tmp = self.path.with_name(self.path.name + f".tmp.{os.getpid()}")
+        payload = json.dumps(document, sort_keys=True)
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+    def load(self) -> dict[str, Any] | None:
+        """The checkpoint document, or ``None`` if none was ever saved.
+
+        Raises:
+            CheckpointError: on unreadable JSON or a foreign schema.
+        """
+        if not self.path.exists():
+            return None
+        try:
+            document = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"unreadable checkpoint {self.path}: {exc}") from exc
+        if not isinstance(document, dict) or document.get("schema") != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"checkpoint {self.path} has schema "
+                f"{document.get('schema') if isinstance(document, dict) else None!r}; "
+                f"expected {CHECKPOINT_SCHEMA!r}"
+            )
+        return document

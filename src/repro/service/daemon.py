@@ -1,0 +1,396 @@
+"""botmeterd — the long-running landscape-charting daemon.
+
+Ties the subsystem together: a tailing NDJSON reader (file or stdin)
+feeds the sharded engine; closed epochs stream out as NDJSON landscape
+lines plus one structured log line each; counters and gauges are
+exported in Prometheus text and JSON health form; and the whole mutable
+state — input byte offset, emitted-line count, engine, metrics —
+checkpoints atomically every ``checkpoint_every`` records, so a
+``SIGKILL``-ed daemon resumes from its last checkpoint and the combined
+output is byte-identical to an uninterrupted run.
+
+Two entry points: :meth:`BotMeterDaemon.run` (the ``serve``/``replay``
+loop) and :func:`batch_series` (the offline reference — per-epoch batch
+:class:`~repro.core.botmeter.BotMeter` charts in the daemon's emission
+order), whose equality with the streamed series is the subsystem's
+acceptance test.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import sys
+import time
+from pathlib import Path
+from typing import IO, Any, Iterable, Mapping, Sequence
+
+from ..core.botmeter import BotMeter
+from ..core.estimator import Estimator
+from ..dga.base import Dga
+from ..dga.families import make_family
+from ..dns.message import ForwardedLookup
+from ..sim.trace import sort_observable
+from ..timebase import SECONDS_PER_DAY, Timeline
+from .checkpoint import CheckpointError, CheckpointStore
+from .engine import EpochLandscape, ShardedLandscapeEngine
+from .metrics import MetricsRegistry
+from .reorder import Backpressure
+from .wire import NdjsonReader, encode_landscape
+
+__all__ = ["BotMeterDaemon", "batch_series", "families_from_header"]
+
+
+def families_from_header(header: Mapping[str, Any]) -> dict[str, Dga]:
+    """Instantiate the DGA families a trace header declares."""
+    entries = header.get("families")
+    if not entries:
+        raise ValueError("trace header declares no families")
+    dgas: dict[str, Dga] = {}
+    for entry in entries:
+        dgas[entry["name"]] = make_family(entry["name"], int(entry.get("seed", 0)))
+    return dgas
+
+
+def _timeline_from_header(header: Mapping[str, Any] | None) -> Timeline | None:
+    if header and "origin" in header:
+        return Timeline(_dt.date.fromisoformat(header["origin"]))
+    return None
+
+
+def batch_series(
+    records: Iterable[ForwardedLookup],
+    dgas: Mapping[str, Dga],
+    estimator: Estimator | str = "auto",
+    detection_windows: Mapping[str, Mapping[int, frozenset[str]]] | None = None,
+    negative_ttl: float = 7_200.0,
+    timestamp_granularity: float = 0.1,
+    timeline: Timeline | None = None,
+) -> list[EpochLandscape]:
+    """The offline reference series: one batch chart per (day, family).
+
+    Emission order matches the streaming engine — days ascending,
+    families sorted within each day — so two serialized series can be
+    compared line by line.
+    """
+    ordered = sort_observable(records)
+    if not ordered:
+        return []
+    last_day = int(ordered[-1].timestamp // SECONDS_PER_DAY)
+    out: list[EpochLandscape] = []
+    meters = {
+        family: BotMeter(
+            dga,
+            estimator=estimator,
+            detection_windows=(detection_windows or {}).get(family),
+            negative_ttl=negative_ttl,
+            timestamp_granularity=timestamp_granularity,
+            timeline=timeline,
+        )
+        for family, dga in dgas.items()
+    }
+    for day in range(last_day + 1):
+        window = (day * SECONDS_PER_DAY, (day + 1) * SECONDS_PER_DAY)
+        for family in sorted(dgas):
+            landscape = meters[family].chart(ordered, *window)
+            out.append(EpochLandscape(family, day, landscape))
+    return out
+
+
+class BotMeterDaemon:
+    """Follow a vantage-point NDJSON stream and chart landscapes live.
+
+    Args:
+        input_path: NDJSON trace file, or ``"-"`` for stdin.
+        out_path: landscape NDJSON destination (``None`` = stdout).
+        checkpoint_path: enables checkpointed recovery (requires a
+            seekable input to resume).
+        families: ``name -> Dga``; ``None`` reads them from the trace
+            header line.
+        follow: keep tailing the input at EOF instead of finalizing.
+        idle_timeout: in follow mode, finalize after this many seconds
+            with no new data (``None`` = follow forever).
+        checkpoint_every: records between checkpoints.
+        throttle: seconds to sleep per record (crash-drill pacing).
+        max_corrupt: corrupt-line budget of the wire reader.
+        estimator / grace / negative_ttl / timestamp_granularity /
+        reorder_capacity / policy / timeline: forwarded to
+            :class:`ShardedLandscapeEngine` (granularity ``None`` defers
+            to the trace header, falling back to 0.1 s).
+        metrics_path: write the Prometheus text exposition here at every
+            checkpoint and at exit.
+        health_path: same cadence, JSON health snapshot.
+        log_stream: structured (JSON-lines) event log, default stderr.
+    """
+
+    def __init__(
+        self,
+        input_path: str | Path,
+        out_path: str | Path | None = None,
+        checkpoint_path: str | Path | None = None,
+        families: Mapping[str, Dga] | None = None,
+        estimator: Estimator | str = "auto",
+        grace: float = 900.0,
+        negative_ttl: float = 7_200.0,
+        timestamp_granularity: float | None = None,
+        timeline: Timeline | None = None,
+        reorder_capacity: int = 1024,
+        policy: Backpressure | str = Backpressure.BLOCK,
+        checkpoint_every: int = 500,
+        follow: bool = False,
+        idle_timeout: float | None = None,
+        poll_interval: float = 0.1,
+        throttle: float = 0.0,
+        max_corrupt: int | None = None,
+        metrics_path: str | Path | None = None,
+        health_path: str | Path | None = None,
+        log_stream: IO[str] | None = None,
+    ) -> None:
+        self.input_path = str(input_path)
+        self.out_path = Path(out_path) if out_path is not None else None
+        self.store = (
+            CheckpointStore(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self._families = dict(families) if families is not None else None
+        self._estimator = estimator
+        self._grace = grace
+        self._negative_ttl = negative_ttl
+        self._granularity = timestamp_granularity
+        self._timeline = timeline
+        self._reorder_capacity = reorder_capacity
+        self._policy = policy
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.follow = follow
+        self.idle_timeout = idle_timeout
+        self.poll_interval = poll_interval
+        self.throttle = throttle
+        self.metrics = MetricsRegistry()
+        self._c_skipped = self.metrics.counter(
+            "botmeterd_records_skipped_total",
+            "Blank or corrupt wire lines absorbed by the reader.",
+        )
+        self.reader = NdjsonReader(max_corrupt=max_corrupt)
+        self.engine: ShardedLandscapeEngine | None = None
+        self.metrics_path = Path(metrics_path) if metrics_path else None
+        self.health_path = Path(health_path) if health_path else None
+        self._log = log_stream if log_stream is not None else sys.stderr
+        self.landscapes_emitted = 0
+        self.records_consumed = 0
+        self._since_checkpoint = 0
+        self._out_fh: IO[str] | None = None
+        self.resumed = False
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _log_event(self, event: str, **fields: Any) -> None:
+        payload = {"event": event, **fields}
+        print(json.dumps(payload, sort_keys=True), file=self._log, flush=True)
+
+    def _ensure_engine(self) -> ShardedLandscapeEngine:
+        if self.engine is None:
+            if self._families is None:
+                if self.reader.header is None:
+                    raise ValueError(
+                        "no --family given and the trace has no header line"
+                    )
+                self._families = families_from_header(self.reader.header)
+            header = self.reader.header or {}
+            if self._granularity is None:
+                self._granularity = float(header.get("granularity", 0.1))
+            if self._timeline is None:
+                self._timeline = _timeline_from_header(header) or Timeline()
+            self.engine = ShardedLandscapeEngine(
+                self._families,
+                estimator=self._estimator,
+                negative_ttl=self._negative_ttl,
+                timestamp_granularity=self._granularity,
+                timeline=self._timeline,
+                grace=self._grace,
+                reorder_capacity=self._reorder_capacity,
+                policy=self._policy,
+                metrics=self.metrics,
+            )
+        return self.engine
+
+    def _emit(self, epochs: Sequence[EpochLandscape]) -> None:
+        for epoch in epochs:
+            line = encode_landscape(epoch.family, epoch.day_index, epoch.landscape)
+            if self._out_fh is not None:
+                self._out_fh.write(line + "\n")
+                self._out_fh.flush()
+            else:
+                print(line, flush=True)
+            self.landscapes_emitted += 1
+            self._log_event(
+                "epoch_closed",
+                family=epoch.family,
+                epoch=epoch.day_index,
+                estimator=epoch.landscape.estimator_name,
+                total=epoch.landscape.total,
+                servers=len(epoch.landscape.per_server),
+                emitted=self.landscapes_emitted,
+            )
+
+    def _dump_observability(self) -> None:
+        if self.engine is not None:
+            self.engine.refresh_gauges()
+        if self.metrics_path is not None:
+            self.metrics_path.write_text(self.metrics.render_prometheus())
+        if self.health_path is not None:
+            engine = self.engine
+            health = {
+                "schema": "botmeterd-health-v1",
+                "input": self.input_path,
+                "records_consumed": self.records_consumed,
+                "landscapes_emitted": self.landscapes_emitted,
+                "watermark": (
+                    None
+                    if engine is None or engine.watermark == float("-inf")
+                    else engine.watermark
+                ),
+                "next_epoch": None if engine is None else engine.next_epoch_to_emit,
+                "families": [] if engine is None else engine.families,
+                "shards": (
+                    []
+                    if engine is None
+                    else [list(key) for key in engine.shard_keys]
+                ),
+                "metrics": self.metrics.snapshot(),
+            }
+            self.health_path.write_text(json.dumps(health, indent=2, sort_keys=True) + "\n")
+
+    def _checkpoint(self, offset: int) -> None:
+        if self.store is None:
+            return
+        engine = self._ensure_engine()
+        self.store.save(
+            {
+                "input": self.input_path,
+                "input_offset": offset,
+                "landscapes_emitted": self.landscapes_emitted,
+                "records_consumed": self.records_consumed,
+                "reader": {
+                    "records": self.reader.records,
+                    "blank": self.reader.blank,
+                    "corrupt": self.reader.corrupt,
+                },
+                "engine": engine.export_state(),
+                "metrics": self.metrics.export_state(),
+            }
+        )
+        self._since_checkpoint = 0
+        self._dump_observability()
+
+    def _truncate_output(self, keep_lines: int) -> None:
+        """Drop output lines the checkpoint never saw (crash window)."""
+        if self.out_path is None or not self.out_path.exists():
+            return
+        raw = self.out_path.read_bytes().split(b"\n")
+        kept = raw[:keep_lines]
+        self.out_path.write_bytes(b"\n".join(kept) + (b"\n" if kept else b""))
+
+    def _restore(self, checkpoint: Mapping[str, Any]) -> int:
+        engine = self._ensure_engine()
+        engine.import_state(checkpoint["engine"])
+        self.metrics.import_state(checkpoint["metrics"])
+        reader_state = checkpoint["reader"]
+        self.reader.records = int(reader_state["records"])
+        self.reader.blank = int(reader_state["blank"])
+        self.reader.corrupt = int(reader_state["corrupt"])
+        self.landscapes_emitted = int(checkpoint["landscapes_emitted"])
+        self.records_consumed = int(checkpoint["records_consumed"])
+        self._truncate_output(self.landscapes_emitted)
+        self.resumed = True
+        self._log_event(
+            "resumed",
+            input_offset=int(checkpoint["input_offset"]),
+            landscapes_emitted=self.landscapes_emitted,
+            records_consumed=self.records_consumed,
+        )
+        return int(checkpoint["input_offset"])
+
+    # -- the loop ------------------------------------------------------------
+
+    def run(self) -> int:
+        """Serve the stream; returns a process exit code."""
+        use_stdin = self.input_path == "-"
+        fh = sys.stdin.buffer if use_stdin else open(self.input_path, "rb")
+        try:
+            offset = 0
+            checkpoint = self.store.load() if self.store is not None else None
+            if checkpoint is not None:
+                if use_stdin:
+                    raise CheckpointError("cannot resume a checkpoint from stdin")
+                # The header (if any) sits before the resume offset; peek
+                # it so family/granularity configuration is restored too.
+                first = fh.readline()
+                if first:
+                    self.reader.feed(first)
+                    self.reader.records = 0
+                    self.reader.blank = 0
+                    self.reader.corrupt = 0
+                offset = self._restore(checkpoint)
+                fh.seek(offset)
+            else:
+                if self.out_path is not None:
+                    self.out_path.write_text("")
+            idle_since: float | None = None
+            while True:
+                position = offset
+                line = fh.readline()
+                if not line or (self.follow and not line.endswith(b"\n")):
+                    # EOF, or a line still being written by the producer.
+                    if not self.follow:
+                        if line:
+                            offset = position + len(line)
+                            self._consume(line, offset)
+                        break
+                    if not use_stdin:
+                        fh.seek(position)
+                    now = time.monotonic()
+                    if idle_since is None:
+                        idle_since = now
+                    elif (
+                        self.idle_timeout is not None
+                        and now - idle_since >= self.idle_timeout
+                    ):
+                        break
+                    time.sleep(self.poll_interval)
+                    continue
+                idle_since = None
+                offset = position + len(line)
+                self._consume(line, offset)
+                if self.throttle > 0:
+                    time.sleep(self.throttle)
+            # Stream end: close every remaining epoch and persist.
+            if self.engine is not None:
+                self._emit(self.engine.finalize())
+                self._checkpoint(offset)
+            self._dump_observability()
+            self._log_event(
+                "finished",
+                records=self.records_consumed,
+                skipped=self.reader.skipped,
+                landscapes=self.landscapes_emitted,
+            )
+            return 0
+        finally:
+            if not use_stdin:
+                fh.close()
+            if self._out_fh is not None:
+                self._out_fh.close()
+                self._out_fh = None
+
+    def _consume(self, line: bytes, offset: int) -> None:
+        record = self.reader.feed(line)
+        self._c_skipped.set_total(self.reader.skipped)
+        if record is None:
+            return
+        if self._out_fh is None and self.out_path is not None:
+            self._out_fh = open(self.out_path, "a")
+        engine = self._ensure_engine()
+        self._emit(engine.submit(record))
+        self.records_consumed += 1
+        self._since_checkpoint += 1
+        if self._since_checkpoint >= self.checkpoint_every:
+            self._checkpoint(offset)

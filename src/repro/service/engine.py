@@ -1,0 +1,382 @@
+"""Sharded live landscape-charting engine.
+
+One vantage-point stream, many concurrent DGA families: the engine
+demultiplexes each released record into per-``(family × local-server)``
+:class:`~repro.core.streaming.StreamingBotMeter` shards, advances a
+single global watermark, and emits one merged per-family
+:class:`~repro.core.botmeter.Landscape` per closed epoch — exactly what
+the batch :class:`~repro.core.botmeter.BotMeter` would produce over the
+same records, which is the subsystem's correctness anchor.
+
+Records enter through a bounded :class:`~repro.service.reorder.ReorderBuffer`
+(the backpressure point), so a boundedly-shuffled collector stream and a
+sorted batch file drive the shards identically.  Epoch closure is
+watermark-based, like the underlying shards: epoch ``d`` is emitted once
+the global watermark passes ``(d+1)·86400 + grace``.
+
+The engine checkpoints: :meth:`export_state` /
+:meth:`import_state` round-trip the watermark, the epoch cursor, the
+reorder buffer and every shard, so a killed daemon resumes bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..core.botmeter import Landscape, make_estimator
+from ..core.estimator import Estimator
+from ..core.streaming import StreamingBotMeter
+from ..core.taxonomy import recommended_estimator
+from ..dga.base import Dga
+from ..dns.message import ForwardedLookup
+from ..timebase import SECONDS_PER_DAY, Timeline
+from .metrics import MetricsRegistry
+from .reorder import Backpressure, ReorderBuffer
+
+__all__ = ["EpochLandscape", "ShardedLandscapeEngine"]
+
+ENGINE_STATE_SCHEMA = "botmeterd-engine-v1"
+
+
+@dataclass(frozen=True)
+class EpochLandscape:
+    """One closed epoch of one family's landscape."""
+
+    family: str
+    day_index: int
+    landscape: Landscape
+
+
+class _FamilyRouter:
+    """Decides whether a record belongs to a family (and to which epoch).
+
+    Mirrors :meth:`StreamingBotMeter._match` — a domain matches the
+    window of its timestamp's epoch, or the previous day's window
+    (midnight-straddling activations) — so routing and shard matching
+    never disagree.
+    """
+
+    def __init__(
+        self,
+        dga: Dga,
+        timeline: Timeline,
+        detection_windows: Mapping[int, frozenset[str]] | None,
+    ) -> None:
+        self._dga = dga
+        self._timeline = timeline
+        self._detection_windows = detection_windows
+        self._cache: dict[int, frozenset[str]] = {}
+
+    def window_for(self, day: int) -> frozenset[str]:
+        if day < 0:
+            return frozenset()
+        cached = self._cache.get(day)
+        if cached is not None:
+            return cached
+        if self._detection_windows is not None and day in self._detection_windows:
+            window = frozenset(self._detection_windows[day])
+        else:
+            window = frozenset(self._dga.nxdomains(self._timeline.date_for_day(day)))
+        if len(self._cache) > 8:
+            for stale in [d for d in self._cache if d < day - 2]:
+                del self._cache[stale]
+        self._cache[day] = window
+        return window
+
+    def match_day(self, record: ForwardedLookup) -> int | None:
+        day = int(record.timestamp // SECONDS_PER_DAY)
+        if record.domain in self.window_for(day):
+            return day
+        if record.domain in self.window_for(day - 1):
+            return day - 1
+        return None
+
+
+class ShardedLandscapeEngine:
+    """Multi-family streaming landscape charting with sharded state.
+
+    Args:
+        dgas: ``family name -> Dga`` — every family charted concurrently.
+        estimator: ``"auto"`` (per-family paper recommendation), a
+            library name, or an :class:`Estimator` instance shared by
+            all shards.
+        detection_windows: optional ``family -> {day -> detected NXDs}``.
+        grace: seconds past an epoch's end before it is emitted.
+        reorder_capacity / policy: the bounded reorder buffer and its
+            backpressure policy (see :mod:`repro.service.reorder`).
+        metrics: a :class:`MetricsRegistry` to publish into (one is
+            created if omitted; exposed as :attr:`metrics`).
+    """
+
+    def __init__(
+        self,
+        dgas: Mapping[str, Dga],
+        estimator: Estimator | str = "auto",
+        detection_windows: Mapping[str, Mapping[int, frozenset[str]]] | None = None,
+        negative_ttl: float = 7_200.0,
+        timestamp_granularity: float = 0.1,
+        timeline: Timeline | None = None,
+        grace: float = 900.0,
+        reorder_capacity: int = 1024,
+        policy: Backpressure | str = Backpressure.BLOCK,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if not dgas:
+            raise ValueError("need at least one DGA family")
+        self._dgas = dict(dgas)
+        self._families = sorted(self._dgas)
+        self._timeline = timeline or Timeline()
+        self._negative_ttl = negative_ttl
+        self._granularity = timestamp_granularity
+        self._grace = grace
+        self._detection_windows = {
+            family: dict(windows)
+            for family, windows in (detection_windows or {}).items()
+        }
+        self._estimators: dict[str, Estimator] = {}
+        for family, dga in self._dgas.items():
+            if isinstance(estimator, str):
+                self._estimators[family] = (
+                    recommended_estimator(dga)
+                    if estimator == "auto"
+                    else make_estimator(estimator)
+                )
+            else:
+                self._estimators[family] = estimator
+        self._routers = {
+            family: _FamilyRouter(
+                dga, self._timeline, self._detection_windows.get(family)
+            )
+            for family, dga in self._dgas.items()
+        }
+        self._reorder = ReorderBuffer(reorder_capacity, policy)
+        self._shards: dict[tuple[str, str], StreamingBotMeter] = {}
+        self._closed: dict[tuple[str, int], dict[str, Landscape]] = {}
+        self._watermark = float("-inf")
+        self._next_epoch_to_emit = 0
+        self._finalized = False
+
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        m = self.metrics
+        self._c_ingested = m.counter(
+            "botmeterd_records_ingested_total", "Records accepted by the engine."
+        )
+        self._c_matched = m.counter(
+            "botmeterd_records_matched_total", "Records routed to a family shard."
+        )
+        self._c_late = m.counter(
+            "botmeterd_records_late_total",
+            "Matched records that arrived after their epoch was emitted.",
+        )
+        self._c_reordered = m.counter(
+            "botmeterd_records_reordered_total",
+            "Records that arrived behind the highest timestamp seen.",
+        )
+        self._c_dropped = m.counter(
+            "botmeterd_records_dropped_total",
+            "Records shed by the drop-oldest backpressure policy.",
+        )
+        self._c_epochs = m.counter(
+            "botmeterd_epochs_closed_total", "Per-family epochs emitted."
+        )
+        self._g_depth = m.gauge(
+            "botmeterd_reorder_buffer_depth", "Records held in the reorder buffer."
+        )
+        self._g_lag = m.gauge(
+            "botmeterd_watermark_lag_seconds",
+            "Global watermark minus the start of the shard's oldest open epoch.",
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def families(self) -> list[str]:
+        return list(self._families)
+
+    @property
+    def watermark(self) -> float:
+        return self._watermark
+
+    @property
+    def next_epoch_to_emit(self) -> int:
+        return self._next_epoch_to_emit
+
+    @property
+    def shard_keys(self) -> list[tuple[str, str]]:
+        """Existing ``(family, server)`` shards, sorted."""
+        return sorted(self._shards)
+
+    def estimator_name(self, family: str) -> str:
+        return self._estimators[family].name
+
+    # -- sharding ------------------------------------------------------------
+
+    def _shard(self, family: str, server: str) -> StreamingBotMeter:
+        key = (family, server)
+        shard = self._shards.get(key)
+        if shard is None:
+            shard = StreamingBotMeter(
+                self._dgas[family],
+                estimator=self._estimators[family],
+                detection_windows=self._detection_windows.get(family),
+                negative_ttl=self._negative_ttl,
+                timestamp_granularity=self._granularity,
+                timeline=self._timeline,
+                grace=self._grace,
+                on_epoch=lambda day, landscape, _key=key: self._closed.setdefault(
+                    (_key[0], day), {}
+                ).__setitem__(_key[1], landscape),
+            )
+            if self._next_epoch_to_emit:
+                # A shard born mid-stream must not re-close already
+                # emitted epochs.
+                shard.import_state(
+                    {
+                        "watermark": None,
+                        "next_epoch_to_close": self._next_epoch_to_emit,
+                        "ingested": 0,
+                        "matched": 0,
+                        "pending": {},
+                    }
+                )
+            self._shards[key] = shard
+        return shard
+
+    # -- ingest --------------------------------------------------------------
+
+    def submit(self, record: ForwardedLookup) -> list[EpochLandscape]:
+        """Buffer one record; return any epochs its arrival closed."""
+        if self._finalized:
+            raise RuntimeError("engine already finalized")
+        self._c_ingested.inc()
+        released = self._reorder.push(record)
+        out = self._process(released)
+        self._c_reordered.set_total(self._reorder.reordered)
+        self._c_dropped.set_total(self._reorder.dropped)
+        self._g_depth.set(self._reorder.depth)
+        return out
+
+    def _process(self, released: list[ForwardedLookup]) -> list[EpochLandscape]:
+        for record in released:
+            if record.timestamp > self._watermark:
+                self._watermark = record.timestamp
+            for family in self._families:
+                matched_day = self._routers[family].match_day(record)
+                if matched_day is None:
+                    continue
+                self._c_matched.inc(family=family)
+                if matched_day < self._next_epoch_to_emit:
+                    self._c_late.inc()
+                self._shard(family, record.server).ingest(record)
+        return self._emittable()
+
+    def _emittable(self) -> list[EpochLandscape]:
+        out: list[EpochLandscape] = []
+        while (
+            (self._next_epoch_to_emit + 1) * SECONDS_PER_DAY + self._grace
+            <= self._watermark
+        ):
+            for shard in self._shards.values():
+                shard.advance_watermark(self._watermark)
+            out.extend(self._emit_day(self._next_epoch_to_emit))
+            self._next_epoch_to_emit += 1
+        return out
+
+    def _emit_day(self, day: int) -> list[EpochLandscape]:
+        results = []
+        for family in self._families:
+            merged = Landscape(
+                dga_name=self._dgas[family].name,
+                estimator_name=self._estimators[family].name,
+            )
+            closed = self._closed.pop((family, day), {})
+            for server in sorted(closed):
+                merged.per_server.update(closed[server].per_server)
+                merged.matched_counts.update(closed[server].matched_counts)
+            self._c_epochs.inc(family=family)
+            results.append(EpochLandscape(family, day, merged))
+        return results
+
+    def finalize(self) -> list[EpochLandscape]:
+        """Drain the buffer and emit every epoch through the watermark's
+        day (stream end).  Quiet ``(family, day)`` cells emit empty
+        landscapes, so the series is rectangular: families × days."""
+        if self._finalized:
+            return []
+        out = self._process(self._reorder.flush())
+        if self._watermark > float("-inf"):
+            last_day = int(self._watermark // SECONDS_PER_DAY)
+            target = (last_day + 1) * SECONDS_PER_DAY + self._grace
+            for shard in self._shards.values():
+                shard.advance_watermark(target)
+            while self._next_epoch_to_emit <= last_day:
+                out.extend(self._emit_day(self._next_epoch_to_emit))
+                self._next_epoch_to_emit += 1
+        self._finalized = True
+        self.refresh_gauges()
+        return out
+
+    # -- observability -------------------------------------------------------
+
+    def refresh_gauges(self) -> None:
+        """Publish the point-in-time gauges (buffer depth, shard lag)."""
+        self._g_depth.set(self._reorder.depth)
+        for (family, server), shard in sorted(self._shards.items()):
+            if self._watermark == float("-inf"):
+                lag = 0.0
+            else:
+                lag = max(
+                    0.0,
+                    self._watermark
+                    - shard.next_epoch_to_close * SECONDS_PER_DAY,
+                )
+            self._g_lag.set(lag, family=family, server=server)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        """JSON-serialisable snapshot of the whole engine.
+
+        Only legal between :meth:`submit` calls (epoch emission is
+        synchronous, so there is never half-merged state to capture).
+        """
+        if self._closed:
+            raise RuntimeError(
+                "cannot checkpoint with un-emitted shard closures pending"
+            )
+        return {
+            "schema": ENGINE_STATE_SCHEMA,
+            "families": list(self._families),
+            "watermark": None if self._watermark == float("-inf") else self._watermark,
+            "next_epoch_to_emit": self._next_epoch_to_emit,
+            "finalized": self._finalized,
+            "reorder": self._reorder.export_state(),
+            "shards": [
+                [family, server, shard.export_state()]
+                for (family, server), shard in sorted(self._shards.items())
+            ],
+        }
+
+    def import_state(self, state: Mapping[str, Any]) -> None:
+        """Restore :meth:`export_state` output onto a same-config engine."""
+        schema = state.get("schema")
+        if schema != ENGINE_STATE_SCHEMA:
+            raise ValueError(f"unknown engine state schema {schema!r}")
+        if sorted(state["families"]) != self._families:
+            raise ValueError(
+                f"checkpoint families {sorted(state['families'])} do not match "
+                f"engine families {self._families}"
+            )
+        watermark = state["watermark"]
+        self._watermark = float("-inf") if watermark is None else float(watermark)
+        self._next_epoch_to_emit = int(state["next_epoch_to_emit"])
+        self._finalized = bool(state["finalized"])
+        self._reorder.import_state(state["reorder"])
+        self._shards = {}
+        self._closed = {}
+        for family, server, shard_state in state["shards"]:
+            # _shard() pre-skips emitted epochs for newborns; import_state
+            # then overwrites the whole cursor/pending state anyway.
+            self._shard(family, server).import_state(shard_state)
+        self.refresh_gauges()

@@ -1,0 +1,157 @@
+"""botmeterd observability: counters, gauges, and their expositions.
+
+A tiny dependency-free metrics registry shaped after the Prometheus
+client model: named metrics, optional labels, monotonic counters vs
+settable gauges, a ``/metrics``-style text exposition
+(:meth:`MetricsRegistry.render_prometheus`) and a JSON health snapshot
+(:meth:`MetricsRegistry.snapshot`).  Counter and gauge values are part
+of the daemon's checkpoint, so a resumed run reports the same totals an
+uninterrupted one would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry"]
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared storage: one value per label combination ('' = unlabelled)."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help = help_text
+        self._values: dict[_LabelKey, float] = {}
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def series(self) -> Iterable[tuple[_LabelKey, float]]:
+        return sorted(self._values.items())
+
+    def _as_snapshot(self) -> float | dict[str, float]:
+        if set(self._values) <= {()}:
+            return self._values.get((), 0.0)
+        return {
+            ",".join(f"{n}={v}" for n, v in key): value
+            for key, value in self.series()
+        }
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (records, epochs, drops...)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got increment {amount}")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def set_total(self, total: float, **labels: str) -> None:
+        """Jump to an externally tracked total (still monotonic)."""
+        key = _label_key(labels)
+        if total < self._values.get(key, 0.0):
+            raise ValueError(
+                f"counter {self.name} cannot decrease "
+                f"({self._values.get(key, 0.0)} -> {total})"
+            )
+        self._values[key] = float(total)
+
+
+class Gauge(_Metric):
+    """A point-in-time level (buffer depth, watermark lag...)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+
+class MetricsRegistry:
+    """Named metrics with Prometheus-text and JSON expositions."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls: type, name: str, help_text: str) -> _Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, help_text)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)  # type: ignore[return-value]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (one block per metric)."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            series = list(metric.series())
+            if not series:
+                series = [((), 0.0)]
+            for key, value in series:
+                rendered = repr(value) if value != int(value) else str(int(value))
+                lines.append(f"{name}{_render_labels(key)} {rendered}")
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready health snapshot: ``{metric: value | {labels: value}}``."""
+        return {
+            name: metric._as_snapshot()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    # -- checkpointing -------------------------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        """Serialisable metric values (kinds and labels included)."""
+        return {
+            name: {
+                "kind": metric.kind,
+                "help": metric.help,
+                "series": [[list(map(list, key)), value] for key, value in metric.series()],
+            }
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def import_state(self, state: Mapping[str, Any]) -> None:
+        """Restore values exported by :meth:`export_state`."""
+        for name, payload in state.items():
+            cls = Counter if payload["kind"] == "counter" else Gauge
+            metric = self._get_or_create(cls, name, payload.get("help", ""))
+            for key, value in payload["series"]:
+                metric._values[tuple((n, v) for n, v in key)] = float(value)

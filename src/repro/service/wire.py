@@ -1,0 +1,178 @@
+"""botmeterd wire format: versioned NDJSON for vantage-point streams.
+
+One record per line, every line a self-describing JSON object carrying
+the wire version.  Three line types exist:
+
+* ``header`` — optional stream metadata (families, seeds, granularity),
+  written first by ``repro-botmeter export-trace`` so ``serve``/``replay``
+  can configure themselves without flags;
+* ``lookup`` (the default when ``type`` is absent) — one
+  :class:`~repro.dns.message.ForwardedLookup`;
+* ``landscape`` — one closed epoch, emitted by the daemon.
+
+Decoding is defensive: a deployed collector restarts mid-line, ships
+partial buffers, and interleaves garbage.  :class:`NdjsonReader`
+therefore skips blank and corrupt lines, *counts* every skip, and only
+raises once the corrupt count passes a configurable cap — the counted
+skip policy.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..core.botmeter import Landscape
+from ..dns.message import ForwardedLookup
+
+__all__ = [
+    "WIRE_VERSION",
+    "WireError",
+    "encode_record",
+    "decode_record",
+    "encode_header",
+    "encode_landscape",
+    "landscape_to_dict",
+    "NdjsonReader",
+]
+
+#: Version stamped on (and required of) every wire line.
+WIRE_VERSION = 1
+
+_COMPACT = {"sort_keys": True, "separators": (",", ":")}
+
+
+class WireError(ValueError):
+    """A wire-format violation the skip policy refuses to absorb."""
+
+
+def _dumps(obj: Mapping[str, Any]) -> str:
+    return json.dumps(obj, **_COMPACT)
+
+
+def encode_record(record: ForwardedLookup) -> str:
+    """One NDJSON line (no trailing newline) for a lookup record."""
+    return _dumps({"v": WIRE_VERSION, **record.to_dict()})
+
+
+def decode_record(data: Mapping[str, Any]) -> ForwardedLookup:
+    """Decode a parsed lookup object, checking the wire version."""
+    version = data.get("v")
+    if version != WIRE_VERSION:
+        raise WireError(f"unsupported wire version {version!r}")
+    try:
+        return ForwardedLookup.from_dict(data)
+    except (KeyError, TypeError) as exc:
+        raise WireError(str(exc)) from exc
+
+
+def encode_header(meta: Mapping[str, Any]) -> str:
+    """The stream-metadata line (families, seeds, granularity, ...)."""
+    return _dumps({"v": WIRE_VERSION, "type": "header", **meta})
+
+
+def landscape_to_dict(
+    family: str, day_index: int, landscape: Landscape
+) -> dict[str, Any]:
+    """JSON-ready form of one closed epoch.
+
+    Only estimate values and matched counts are carried — enough to
+    ``diff`` two landscape series for exact equality.
+    """
+    return {
+        "v": WIRE_VERSION,
+        "type": "landscape",
+        "family": family,
+        "epoch": day_index,
+        "estimator": landscape.estimator_name,
+        "total": landscape.total,
+        "servers": {
+            server: {
+                "estimate": estimate.value,
+                "matched": landscape.matched_counts.get(server, 0),
+            }
+            for server, estimate in landscape.per_server.items()
+        },
+    }
+
+
+def encode_landscape(family: str, day_index: int, landscape: Landscape) -> str:
+    """One NDJSON line for a closed epoch (deterministic key order)."""
+    return _dumps(landscape_to_dict(family, day_index, landscape))
+
+
+@dataclass
+class NdjsonReader:
+    """Streaming NDJSON decoder with a counted skip policy.
+
+    Feed it raw lines (``bytes`` or ``str``); it returns decoded
+    :class:`ForwardedLookup` records, absorbs blank lines, headers and
+    corrupt lines, and keeps count of everything it absorbed.
+
+    Args:
+        max_corrupt: corrupt-line budget; exceeding it raises
+            :class:`WireError`.  ``None`` (default) tolerates any number
+            — every skip is still counted.
+    """
+
+    max_corrupt: int | None = None
+    records: int = 0
+    blank: int = 0
+    corrupt: int = 0
+    header: dict[str, Any] | None = field(default=None, repr=False)
+
+    @property
+    def skipped(self) -> int:
+        """Total absorbed lines (blank + corrupt)."""
+        return self.blank + self.corrupt
+
+    def _corrupt_line(self, line: str, reason: str) -> None:
+        self.corrupt += 1
+        if self.max_corrupt is not None and self.corrupt > self.max_corrupt:
+            raise WireError(
+                f"corrupt-line budget exceeded ({self.corrupt} > "
+                f"{self.max_corrupt}): {reason}: {line[:120]!r}"
+            )
+
+    def feed(self, line: bytes | str) -> ForwardedLookup | None:
+        """Decode one line; ``None`` for anything that is not a lookup."""
+        if isinstance(line, bytes):
+            try:
+                line = line.decode("utf-8")
+            except UnicodeDecodeError:
+                self._corrupt_line(repr(line[:120]), "undecodable bytes")
+                return None
+        stripped = line.strip()
+        if not stripped:
+            self.blank += 1
+            return None
+        try:
+            data = json.loads(stripped)
+        except json.JSONDecodeError:
+            self._corrupt_line(stripped, "invalid JSON")
+            return None
+        if not isinstance(data, dict):
+            self._corrupt_line(stripped, "not a JSON object")
+            return None
+        kind = data.get("type", "lookup")
+        if kind == "header":
+            self.header = data
+            return None
+        if kind != "lookup":
+            self._corrupt_line(stripped, f"unknown line type {kind!r}")
+            return None
+        try:
+            record = decode_record(data)
+        except WireError as exc:
+            self._corrupt_line(stripped, str(exc))
+            return None
+        self.records += 1
+        return record
+
+    def read(self, lines: Iterable[bytes | str]) -> Iterator[ForwardedLookup]:
+        """Decode a whole line stream, yielding lookup records."""
+        for line in lines:
+            record = self.feed(line)
+            if record is not None:
+                yield record

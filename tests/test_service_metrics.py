@@ -1,0 +1,207 @@
+"""Tests for the metrics registry and counter correctness on a crafted
+stream — every advertised counter is checked against hand-computed
+values from a stream with known blanks, corruption, reordering and
+matches."""
+
+import io
+import json
+
+import pytest
+
+from repro.dga.families import make_family
+from repro.dns.message import ForwardedLookup
+from repro.service.daemon import BotMeterDaemon
+from repro.service.engine import ShardedLandscapeEngine
+from repro.service.metrics import Counter, Gauge, MetricsRegistry
+from repro.service.wire import encode_header, encode_record
+from repro.timebase import SECONDS_PER_DAY, Timeline
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = Counter("c", "")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value() == 3.0
+
+    def test_labels_are_independent_series(self):
+        counter = Counter("c", "")
+        counter.inc(family="a")
+        counter.inc(family="b")
+        counter.inc(family="a")
+        assert counter.value(family="a") == 2.0
+        assert counter.value(family="b") == 1.0
+        assert counter.value() == 0.0
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter("c", "").inc(-1)
+
+    def test_set_total_is_monotonic(self):
+        counter = Counter("c", "")
+        counter.set_total(5)
+        counter.set_total(5)
+        with pytest.raises(ValueError):
+            counter.set_total(4)
+
+
+class TestGauge:
+    def test_set_moves_both_ways(self):
+        gauge = Gauge("g", "")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value() == 2.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+
+    def test_prometheus_exposition_format(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("demo_total", "A demo counter.")
+        counter.inc(3, family="x")
+        registry.gauge("level", "A level.").set(1.5)
+        text = registry.render_prometheus()
+        assert "# HELP demo_total A demo counter.\n" in text
+        assert "# TYPE demo_total counter\n" in text
+        assert 'demo_total{family="x"} 3\n' in text
+        assert "# TYPE level gauge\n" in text
+        assert "level 1.5\n" in text
+
+    def test_unlabelled_empty_metric_renders_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("quiet_total")
+        assert "quiet_total 0" in registry.render_prometheus()
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("plain").inc(2)
+        labelled = registry.counter("labelled")
+        labelled.inc(1, family="a", server="s0")
+        snapshot = registry.snapshot()
+        assert snapshot["plain"] == 2.0
+        assert snapshot["labelled"] == {"family=a,server=s0": 1.0}
+
+    def test_export_import_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help me").inc(4, family="x")
+        registry.gauge("g").set(7)
+        state = json.loads(json.dumps(registry.export_state()))
+        restored = MetricsRegistry()
+        restored.import_state(state)
+        assert restored.counter("c").value(family="x") == 4.0
+        assert restored.gauge("g").value() == 7.0
+        assert restored.render_prometheus() == registry.render_prometheus()
+
+
+# ---------------------------------------------------------------------------
+# Counter correctness on a crafted stream (acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+class TestCraftedStreamCounters:
+    @pytest.fixture()
+    def crafted(self, tmp_path):
+        """A stream with 2 skips, 1 reordering, 4 matches, 1 benign."""
+        timeline = Timeline()
+        dga = make_family("murofet", 0)
+        day0 = sorted(dga.nxdomains(timeline.date_for_day(0)))
+        day1 = sorted(dga.nxdomains(timeline.date_for_day(1)))
+        lines = [
+            encode_header(
+                {
+                    "families": [{"name": "murofet", "seed": 0}],
+                    "granularity": 0.1,
+                    "origin": "2014-05-01",
+                }
+            ),
+            encode_record(ForwardedLookup(100.0, "s0", day0[0])),
+            "",  # blank
+            encode_record(ForwardedLookup(50.0, "s1", day0[1])),  # reordered
+            "{torn garbage",  # corrupt
+            encode_record(ForwardedLookup(200.0, "s0", "benign.example")),
+            encode_record(ForwardedLookup(250.0, "s1", day0[2])),
+            encode_record(ForwardedLookup(SECONDS_PER_DAY + 1000.0, "s0", day1[0])),
+        ]
+        trace = tmp_path / "crafted.ndjson"
+        trace.write_text("\n".join(lines) + "\n")
+        return trace
+
+    def test_every_counter_matches_hand_count(self, crafted, tmp_path):
+        out = tmp_path / "landscapes.ndjson"
+        metrics_path = tmp_path / "metrics.prom"
+        health_path = tmp_path / "health.json"
+        daemon = BotMeterDaemon(
+            crafted,
+            out_path=out,
+            metrics_path=metrics_path,
+            health_path=health_path,
+            log_stream=io.StringIO(),
+        )
+        assert daemon.run() == 0
+
+        snapshot = daemon.metrics.snapshot()
+        assert snapshot["botmeterd_records_ingested_total"] == 5.0
+        assert snapshot["botmeterd_records_skipped_total"] == 2.0
+        assert snapshot["botmeterd_records_matched_total"] == {"family=murofet": 4.0}
+        assert snapshot["botmeterd_records_reordered_total"] == 1.0
+        assert snapshot["botmeterd_records_dropped_total"] == 0.0
+        assert snapshot["botmeterd_records_late_total"] == 0.0
+        assert snapshot["botmeterd_epochs_closed_total"] == {"family=murofet": 2.0}
+        assert snapshot["botmeterd_reorder_buffer_depth"] == 0.0
+
+        # Two epochs (day 0, day 1) were written out.
+        assert len(out.read_text().splitlines()) == 2
+
+        # The text exposition carries the same numbers.
+        text = metrics_path.read_text()
+        assert "botmeterd_records_ingested_total 5\n" in text
+        assert 'botmeterd_records_matched_total{family="murofet"} 4\n' in text
+        assert "# TYPE botmeterd_records_ingested_total counter" in text
+
+        health = json.loads(health_path.read_text())
+        assert health["schema"] == "botmeterd-health-v1"
+        assert health["records_consumed"] == 5
+        assert health["landscapes_emitted"] == 2
+        assert health["families"] == ["murofet"]
+        assert health["shards"] == [["murofet", "s0"], ["murofet", "s1"]]
+        assert health["metrics"]["botmeterd_records_ingested_total"] == 5.0
+
+    def test_watermark_lag_gauge(self):
+        windows = {"murofet": {0: frozenset({"a.example"}), 1: frozenset()}}
+        engine = ShardedLandscapeEngine(
+            {"murofet": make_family("murofet", 0)},
+            estimator="timing",
+            detection_windows=windows,
+            reorder_capacity=1,
+        )
+        engine.submit(ForwardedLookup(10.0, "s", "a.example"))
+        engine.submit(ForwardedLookup(50.0, "s", "a.example"))  # releases t=10
+        engine.refresh_gauges()
+        gauge = engine.metrics.gauge("botmeterd_watermark_lag_seconds")
+        # Watermark sits at 10 s; the shard's oldest open epoch starts
+        # at 0, so the lag is the full 10 s.
+        assert gauge.value(family="murofet", server="s") == 10.0
+        assert engine.metrics.gauge("botmeterd_reorder_buffer_depth").value() == 1.0
+
+    def test_drop_policy_counts_drops(self):
+        windows = {"murofet": {0: frozenset({"a.example"}), 1: frozenset()}}
+        engine = ShardedLandscapeEngine(
+            {"murofet": make_family("murofet", 0)},
+            estimator="timing",
+            detection_windows=windows,
+            reorder_capacity=1,
+            policy="drop-oldest",
+        )
+        for t in (10.0, 20.0, 30.0):
+            engine.submit(ForwardedLookup(t, "s", "a.example"))
+        counter = engine.metrics.counter("botmeterd_records_dropped_total")
+        assert counter.value() == 2.0

@@ -1,0 +1,199 @@
+"""Tests for the botmeterd NDJSON wire format and the tolerant reader."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.botmeter import Landscape
+from repro.core.estimator import PopulationEstimate
+from repro.dns.message import ForwardedLookup
+from repro.service.wire import (
+    WIRE_VERSION,
+    NdjsonReader,
+    WireError,
+    decode_record,
+    encode_header,
+    encode_landscape,
+    encode_record,
+    landscape_to_dict,
+)
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+names = st.text(min_size=1, max_size=40)
+lookups = st.builds(ForwardedLookup, finite_floats, names, names)
+
+
+# ---------------------------------------------------------------------------
+# ForwardedLookup dict round trip (the satellite property test)
+# ---------------------------------------------------------------------------
+
+
+class TestForwardedLookupDict:
+    @given(lookups)
+    @settings(max_examples=200, deadline=None)
+    def test_dict_round_trip_is_exact(self, record):
+        assert ForwardedLookup.from_dict(record.to_dict()) == record
+
+    @given(lookups)
+    @settings(max_examples=200, deadline=None)
+    def test_wire_round_trip_is_exact(self, record):
+        """to_dict → JSON text → from_dict is still an exact identity."""
+        line = encode_record(record)
+        assert decode_record(json.loads(line)) == record
+
+    def test_to_dict_shape(self):
+        record = ForwardedLookup(12.5, "s0", "a.example")
+        assert record.to_dict() == {
+            "timestamp": 12.5,
+            "server": "s0",
+            "domain": "a.example",
+        }
+
+    def test_from_dict_ignores_unknown_keys(self):
+        record = ForwardedLookup.from_dict(
+            {"timestamp": 1.0, "server": "s", "domain": "d", "extra": "x"}
+        )
+        assert record == ForwardedLookup(1.0, "s", "d")
+
+    def test_from_dict_accepts_int_timestamp(self):
+        record = ForwardedLookup.from_dict(
+            {"timestamp": 3, "server": "s", "domain": "d"}
+        )
+        assert record.timestamp == 3.0 and isinstance(record.timestamp, float)
+
+    @pytest.mark.parametrize("missing", ["timestamp", "server", "domain"])
+    def test_from_dict_missing_field(self, missing):
+        data = {"timestamp": 1.0, "server": "s", "domain": "d"}
+        del data[missing]
+        with pytest.raises(KeyError):
+            ForwardedLookup.from_dict(data)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"timestamp": "1.0", "server": "s", "domain": "d"},
+            {"timestamp": True, "server": "s", "domain": "d"},
+            {"timestamp": 1.0, "server": 5, "domain": "d"},
+            {"timestamp": 1.0, "server": "s", "domain": None},
+        ],
+    )
+    def test_from_dict_wrong_types(self, bad):
+        with pytest.raises(TypeError):
+            ForwardedLookup.from_dict(bad)
+
+
+# ---------------------------------------------------------------------------
+# Line encoders
+# ---------------------------------------------------------------------------
+
+
+class TestEncoders:
+    def test_record_line_is_versioned_and_compact(self):
+        line = encode_record(ForwardedLookup(1.0, "s", "d"))
+        assert "\n" not in line and " " not in line
+        assert json.loads(line)["v"] == WIRE_VERSION
+
+    def test_decode_rejects_foreign_version(self):
+        data = json.loads(encode_record(ForwardedLookup(1.0, "s", "d")))
+        data["v"] = 99
+        with pytest.raises(WireError):
+            decode_record(data)
+
+    def test_header_line(self):
+        data = json.loads(encode_header({"families": [{"name": "murofet"}]}))
+        assert data["type"] == "header"
+        assert data["v"] == WIRE_VERSION
+        assert data["families"] == [{"name": "murofet"}]
+
+    def test_landscape_line_carries_estimates_and_counts(self):
+        landscape = Landscape(dga_name="murofet", estimator_name="timing")
+        landscape.per_server["s1"] = PopulationEstimate(3.0, estimator="timing")
+        landscape.matched_counts["s1"] = 17
+        data = landscape_to_dict("murofet", 2, landscape)
+        assert data["type"] == "landscape"
+        assert data["family"] == "murofet"
+        assert data["epoch"] == 2
+        assert data["servers"]["s1"] == {"estimate": 3.0, "matched": 17}
+        assert data["total"] == 3.0
+
+    def test_landscape_line_is_deterministic(self):
+        landscape = Landscape(dga_name="m", estimator_name="timing")
+        landscape.per_server["b"] = PopulationEstimate(1.0, estimator="timing")
+        landscape.per_server["a"] = PopulationEstimate(2.0, estimator="timing")
+        # sort_keys makes insertion order irrelevant on the wire.
+        other = Landscape(dga_name="m", estimator_name="timing")
+        other.per_server["a"] = PopulationEstimate(2.0, estimator="timing")
+        other.per_server["b"] = PopulationEstimate(1.0, estimator="timing")
+        assert encode_landscape("m", 0, landscape) == encode_landscape("m", 0, other)
+
+
+# ---------------------------------------------------------------------------
+# NdjsonReader: the counted skip policy
+# ---------------------------------------------------------------------------
+
+
+class TestNdjsonReader:
+    def test_reads_records_and_counts_skips(self):
+        lines = [
+            encode_header({"note": "meta"}),
+            "",
+            "   ",
+            encode_record(ForwardedLookup(1.0, "s", "a")),
+            "{not json",
+            encode_record(ForwardedLookup(2.0, "s", "b")),
+            '"a bare string"',
+        ]
+        reader = NdjsonReader()
+        records = list(reader.read(lines))
+        assert [r.domain for r in records] == ["a", "b"]
+        assert reader.records == 2
+        assert reader.blank == 2
+        assert reader.corrupt == 2
+        assert reader.skipped == 4
+        assert reader.header == {"note": "meta", "type": "header", "v": 1}
+
+    def test_accepts_bytes_lines(self):
+        reader = NdjsonReader()
+        record = reader.feed(encode_record(ForwardedLookup(1.0, "s", "a")).encode())
+        assert record == ForwardedLookup(1.0, "s", "a")
+
+    def test_undecodable_bytes_are_corrupt(self):
+        reader = NdjsonReader()
+        assert reader.feed(b"\xff\xfe\x01") is None
+        assert reader.corrupt == 1
+
+    def test_wrong_version_is_corrupt(self):
+        reader = NdjsonReader()
+        assert reader.feed('{"v":2,"timestamp":1.0,"server":"s","domain":"d"}') is None
+        assert reader.corrupt == 1
+
+    def test_unknown_type_is_corrupt(self):
+        reader = NdjsonReader()
+        assert reader.feed('{"v":1,"type":"mystery"}') is None
+        assert reader.corrupt == 1
+
+    def test_missing_field_is_corrupt(self):
+        reader = NdjsonReader()
+        assert reader.feed('{"v":1,"timestamp":1.0,"server":"s"}') is None
+        assert reader.corrupt == 1
+
+    def test_corrupt_budget_raises_once_exceeded(self):
+        reader = NdjsonReader(max_corrupt=2)
+        reader.feed("{bad")
+        reader.feed("{worse")
+        with pytest.raises(WireError):
+            reader.feed("{worst")
+
+    def test_unlimited_budget_never_raises(self):
+        reader = NdjsonReader()
+        for _ in range(100):
+            reader.feed("{bad")
+        assert reader.corrupt == 100
+
+    def test_blank_lines_do_not_consume_budget(self):
+        reader = NdjsonReader(max_corrupt=0)
+        reader.feed("")
+        reader.feed("\n")
+        assert reader.blank == 2 and reader.corrupt == 0

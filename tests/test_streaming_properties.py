@@ -1,0 +1,192 @@
+"""Property tests for StreamingBotMeter watermark semantics and state
+round-tripping.
+
+The watermark contract (the reason botmeterd can sit behind a reorder
+buffer at all): any bounded shuffle of a stream in which every record
+still arrives before its epoch's close — i.e. while the running max
+timestamp is below ``epoch_end + grace`` — yields *identical* epoch
+landscapes to the fully sorted stream.
+"""
+
+import json
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.streaming import StreamingBotMeter
+from repro.core.timing import TimingEstimator
+from repro.dga.families import make_family
+from repro.dns.message import ForwardedLookup
+from repro.timebase import SECONDS_PER_DAY as DAY
+
+GRACE = 600.0
+W0 = frozenset(f"w0-{i}.example" for i in range(5))
+W1 = frozenset(f"w1-{i}.example" for i in range(5))
+WINDOWS = {0: W0, 1: W1, 2: frozenset(), 3: frozenset()}
+SERVERS = ["s0", "s1"]
+
+
+def make_meter():
+    # Synthetic windows keep matching cheap; the timing estimator only
+    # reads the family's parameters, so examples stay fast.
+    return StreamingBotMeter(
+        make_family("murofet", 0),
+        estimator=TimingEstimator(),
+        detection_windows=WINDOWS,
+        grace=GRACE,
+    )
+
+
+def matched_day(record):
+    if record.domain in W0:
+        return 0
+    if record.domain in W1:
+        return 1
+    return None
+
+
+def run_stream(records):
+    meter = make_meter()
+    meter.ingest_many(records)
+    meter.finalize()
+    return [
+        (
+            day,
+            {s: e.value for s, e in landscape.per_server.items()},
+            dict(landscape.matched_counts),
+        )
+        for day, landscape in meter.landscapes
+    ]
+
+
+def arrives_in_time(records):
+    """Every matched record lands while its epoch is still open."""
+    watermark = float("-inf")
+    for record in records:
+        day = matched_day(record)
+        if day is not None and watermark >= (day + 1) * DAY + GRACE:
+            return False
+        watermark = max(watermark, record.timestamp)
+    return True
+
+
+@st.composite
+def shuffled_two_day_stream(draw):
+    """A sorted two-day stream plus a bounded (≤2 positions) shuffle."""
+    n0 = draw(st.integers(1, 10))
+    n1 = draw(st.integers(0, 10))
+    t0 = draw(
+        st.lists(
+            st.floats(0, DAY - 1, allow_nan=False),
+            min_size=n0, max_size=n0, unique=True,
+        )
+    )
+    t1 = draw(
+        st.lists(
+            st.floats(DAY, 2 * DAY - 1, allow_nan=False),
+            min_size=n1, max_size=n1, unique=True,
+        )
+    )
+    domains0 = sorted(W0) + ["benign.example"]
+    domains1 = sorted(W1) + ["benign.example"]
+    records = [
+        ForwardedLookup(
+            t, draw(st.sampled_from(SERVERS)), draw(st.sampled_from(domains0))
+        )
+        for t in sorted(t0)
+    ] + [
+        ForwardedLookup(
+            t, draw(st.sampled_from(SERVERS)), draw(st.sampled_from(domains1))
+        )
+        for t in sorted(t1)
+    ]
+    pool = list(records)
+    shuffled = []
+    while pool:
+        k = draw(st.integers(0, min(2, len(pool) - 1)))
+        shuffled.append(pool.pop(k))
+    return records, shuffled
+
+
+class TestWatermarkSemantics:
+    @given(shuffled_two_day_stream())
+    @settings(max_examples=120, deadline=None)
+    def test_bounded_shuffle_yields_identical_landscapes(self, streams):
+        ordered, shuffled = streams
+        assume(arrives_in_time(shuffled))
+        assert run_stream(shuffled) == run_stream(ordered)
+
+    @given(shuffled_two_day_stream(), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_checkpoint_split_yields_identical_landscapes(self, streams, raw_cut):
+        """Export/import through real JSON at any split point changes
+        nothing about the emitted series."""
+        ordered, _ = streams
+        cut = raw_cut % (len(ordered) + 1)
+
+        first = make_meter()
+        collected = []
+        for record in ordered[:cut]:
+            collected.extend(first.ingest(record))
+        state = json.loads(json.dumps(first.export_state()))
+
+        second = make_meter()
+        second.import_state(state)
+        for record in ordered[cut:]:
+            collected.extend(second.ingest(record))
+        collected.extend(second.finalize())
+
+        reference = make_meter()
+        reference.ingest_many(ordered)
+        reference.finalize()
+        assert len(collected) == len(reference.landscapes)
+        resumed_summary = [
+            (day, {s: e.value for s, e in l.per_server.items()})
+            for day, l in (first.landscapes + second.landscapes)
+        ]
+        reference_summary = [
+            (day, {s: e.value for s, e in l.per_server.items()})
+            for day, l in reference.landscapes
+        ]
+        assert resumed_summary == reference_summary
+
+
+class TestStateExport:
+    def test_export_is_json_serialisable_and_complete(self):
+        meter = make_meter()
+        meter.ingest(ForwardedLookup(10.0, "s0", "w0-1.example"))
+        meter.ingest(ForwardedLookup(20.0, "s1", "benign.example"))
+        state = json.loads(json.dumps(meter.export_state()))
+        assert state["watermark"] == 20.0
+        assert state["next_epoch_to_close"] == 0
+        assert state["ingested"] == 2
+        assert state["matched"] == 1
+        assert state["pending"] == {"0": [[10.0, "s0", "w0-1.example", 0]]}
+
+    def test_fresh_meter_exports_null_watermark(self):
+        state = make_meter().export_state()
+        assert state["watermark"] is None
+        fresh = make_meter()
+        fresh.import_state(json.loads(json.dumps(state)))
+        assert fresh.watermark == float("-inf")
+
+    def test_import_restores_counters(self):
+        meter = make_meter()
+        meter.ingest(ForwardedLookup(10.0, "s0", "w0-1.example"))
+        restored = make_meter()
+        restored.import_state(meter.export_state())
+        assert restored.stats == meter.stats
+        assert restored.next_epoch_to_close == meter.next_epoch_to_close
+
+    def test_advance_watermark_never_regresses(self):
+        meter = make_meter()
+        meter.advance_watermark(100.0)
+        meter.advance_watermark(50.0)
+        assert meter.watermark == 100.0
+
+    def test_advance_watermark_closes_epochs_without_records(self):
+        meter = make_meter()
+        meter.ingest(ForwardedLookup(10.0, "s0", "w0-1.example"))
+        closed = meter.advance_watermark(DAY + GRACE)
+        assert len(closed) == 1
+        assert meter.next_epoch_to_close == 1
