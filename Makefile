@@ -1,6 +1,6 @@
 # Convenience targets for the BotMeter reproduction.
 
-.PHONY: install test test-fast smoke-sweep service-smoke bench bench-paper bench-perf examples report clean
+.PHONY: install test test-fast smoke-sweep service-smoke soak bench bench-paper bench-perf examples report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -45,6 +45,15 @@ service-smoke:
 	@echo "service-smoke OK: streamed == batch, SIGKILL resume == uninterrupted"
 	@cat service-smoke/metrics.prom
 
+# Faultline soak: a multi-family trace through the full seeded fault
+# schedule under supervision — survival, exact dead-letter/ledger
+# reconciliation, loss-bounded degradation, byte-identical determinism.
+soak:
+	rm -rf service-soak && mkdir -p service-soak
+	python -m repro.cli faults-soak --workdir service-soak \
+		--bots 16 --days 2 --report service-soak/report.json
+	@cat service-soak/report.json
+
 test-logged:
 	pytest tests/ 2>&1 | tee test_output.txt
 
@@ -64,5 +73,5 @@ report:
 	python -m repro.cli report --out reproduction_report.md
 
 clean:
-	rm -rf src/repro.egg-info .pytest_cache .benchmarks service-smoke perf-artifacts
+	rm -rf src/repro.egg-info .pytest_cache .benchmarks service-smoke service-soak perf-artifacts
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,169 @@
+"""Faultline overhead: what the injection wrapper and the supervision
+layer cost on the daemon's hot ingest path.
+
+The fault wrapper spends one RNG draw plus a couple of branches per
+record line, and a zero-restart supervised run adds only the factory
+call and health bookkeeping — the design target is under 10% combined
+overhead against the ~115k records/s plain-daemon baseline.  The CI
+assertions below are deliberately lenient multiples of that target so
+they flag pathology (accidental per-line JSON reparse, quadratic held
+buffers), not scheduler jitter; the measured ratios land in the
+``repro-perf-v1`` artifacts for trend tracking.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.service.daemon import BotMeterDaemon
+from repro.service.faults import FaultInjector
+from repro.service.supervisor import BackoffPolicy, Supervisor
+from repro.service.wire import encode_header, encode_record
+from repro.sim import SimConfig, simulate
+
+import pytest
+
+#: The soak's default soft-fault mix (hard faults excluded so the
+#: supervised measurement stays a zero-restart run).
+SOFT_FAULTS = (
+    "seed=11,corrupt=0.01,truncate=0.004,dup=0.02,drop=0.008:3,"
+    "reorder=0.004:256,skew=0.006:2000"
+)
+
+
+@pytest.fixture(scope="module")
+def faults_run():
+    return simulate(
+        SimConfig(family="murofet", n_bots=12, n_local_servers=2, n_days=1, seed=5)
+    )
+
+
+@pytest.fixture(scope="module")
+def trace(faults_run, tmp_path_factory):
+    path = tmp_path_factory.mktemp("perf_faults") / "trace.ndjson"
+    with open(path, "w") as fh:
+        fh.write(
+            encode_header(
+                {
+                    "families": [{"name": "murofet", "seed": 0}],
+                    "granularity": 0.1,
+                    "origin": faults_run.timeline.origin.isoformat(),
+                }
+            )
+            + "\n"
+        )
+        for record in faults_run.observable:
+            fh.write(encode_record(record) + "\n")
+    return path
+
+
+def artifact_path(tmp_path: Path, name: str) -> Path:
+    root = os.environ.get("REPRO_PERF_DIR")
+    directory = Path(root) if root else tmp_path
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory / name
+
+
+def write_artifact(path: Path, payload: dict) -> None:
+    payload = {"schema": "repro-perf-v1", "cpu_count": os.cpu_count(), **payload}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nperf artifact: {path}")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def time_daemon(build, rounds=2):
+    """Best-of-N wall time of `build()` runs (first call warms caches)."""
+    build().run()
+    best = float("inf")
+    for _ in range(rounds):
+        daemon = build()
+        start = time.perf_counter()
+        assert daemon.run() == 0
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_perf_fault_wrapper_and_supervisor_overhead(faults_run, trace, tmp_path):
+    n_records = len(faults_run.observable)
+    families = {"murofet": faults_run.dga}
+
+    def plain():
+        return BotMeterDaemon(
+            trace,
+            out_path=tmp_path / "out.ndjson",
+            families=families,
+            log_stream=open(os.devnull, "w"),
+        )
+
+    def faulted():
+        return BotMeterDaemon(
+            trace,
+            out_path=tmp_path / "out.ndjson",
+            families=families,
+            fault_injector=FaultInjector(SOFT_FAULTS),
+            deadletter_path=tmp_path / "dlq.ndjson",
+            log_stream=open(os.devnull, "w"),
+        )
+
+    plain_seconds = time_daemon(plain)
+    faulted_seconds = time_daemon(faulted)
+
+    def supervised_run():
+        supervisor = Supervisor(
+            lambda disarmed: faulted(),
+            backoff=BackoffPolicy(jitter=0.0),
+            sleep=lambda _delay: None,
+            log_stream=open(os.devnull, "w"),
+        )
+        start = time.perf_counter()
+        assert supervisor.run() == 0
+        assert supervisor.restarts == 0
+        return time.perf_counter() - start
+
+    supervised_seconds = min(supervised_run() for _ in range(2))
+
+    wrapper_overhead = faulted_seconds / plain_seconds - 1.0
+    supervised_overhead = supervised_seconds / plain_seconds - 1.0
+    write_artifact(
+        artifact_path(tmp_path, "perf_faults_overhead.json"),
+        {
+            "component": "service.faults.overhead",
+            "n_records": n_records,
+            "faults": SOFT_FAULTS,
+            "wall_seconds_plain": plain_seconds,
+            "wall_seconds_faulted": faulted_seconds,
+            "wall_seconds_supervised": supervised_seconds,
+            "records_per_second_plain": n_records / plain_seconds,
+            "records_per_second_faulted": n_records / faulted_seconds,
+            "wrapper_overhead_fraction": wrapper_overhead,
+            "supervised_overhead_fraction": supervised_overhead,
+            "target_overhead_fraction": 0.10,
+        },
+    )
+    # Design target: <10% combined. CI asserts a lenient multiple of it
+    # so only structural regressions (not jitter) fail the job.
+    assert faulted_seconds < plain_seconds * 1.5 + 0.5
+    assert supervised_seconds < plain_seconds * 1.5 + 0.5
+
+
+def test_perf_injector_feed_rate(faults_run, benchmark):
+    """The wrapper's own feed loop, isolated from the daemon."""
+    lines = [encode_record(record) for record in faults_run.observable]
+
+    def feed_all():
+        injector = FaultInjector(SOFT_FAULTS)
+        delivered = 0
+        for line in lines:
+            delivered += len(injector.feed(line))
+        delivered += len(injector.flush())
+        return delivered
+
+    delivered = benchmark.pedantic(feed_all, rounds=3, iterations=1, warmup_rounds=1)
+    assert delivered > 0
+    seconds = benchmark.stats.stats.mean
+    rate = len(lines) / seconds
+    print(f"\ninjector feed: {rate:,.0f} lines/s")
+    # One RNG draw and a few branches per line: anything below 100k
+    # lines/s means the wrapper grew per-line parsing it should not have.
+    assert rate > 100_000

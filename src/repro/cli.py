@@ -15,7 +15,12 @@ Gives operators the Figure-2 workflow without writing Python:
 * ``repro replay``    — drain a recorded trace through botmeterd (or
   the batch reference) and print the landscape series;
 * ``repro serve``     — run botmeterd live: follow a file or stdin,
-  with checkpointed recovery and metrics.
+  with checkpointed recovery, metrics, optional fault injection
+  (``--faults``) and restart supervision (``--supervise``);
+* ``repro faults-soak`` — the Faultline soak: replay a multi-family
+  trace through a seeded fault schedule under supervision and verify
+  survival, exact dead-letter accounting, bounded degradation and
+  determinism.
 
 Run ``python -m repro.cli <command> --help`` for per-command options.
 """
@@ -146,6 +151,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--max-corrupt", type=int, default=None,
             help="corrupt wire-line budget before aborting (default: unlimited)",
         )
+        cmd.add_argument(
+            "--faults", default=None, metavar="SPEC",
+            help="seeded fault-injection schedule, e.g. "
+                 "'seed=11,corrupt=0.01,dup=0.02,drop=0.008:3' "
+                 "(see repro.service.faults.parse_fault_spec)",
+        )
+        cmd.add_argument(
+            "--deadletter", default=None, metavar="PATH",
+            help="NDJSON dead-letter sidecar for corrupt/late records",
+        )
         cmd.add_argument("--out", default=None, help="landscape NDJSON (default: stdout)")
         cmd.add_argument(
             "--metrics-out", default=None, metavar="PATH",
@@ -197,6 +212,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--poll-interval", type=float, default=0.1)
     serve.add_argument("--throttle", type=float, default=0.0,
                        help="seconds to sleep per record (crash-drill pacing)")
+    serve.add_argument("--supervise", action="store_true",
+                       help="restart the daemon on failures (bounded backoff, "
+                            "injected hard faults disarmed on restart)")
+    serve.add_argument("--max-restarts", type=int, default=5,
+                       help="with --supervise: restart budget before giving up")
+    serve.add_argument("--watchdog-deadline", type=float, default=None,
+                       help="with --follow: seconds of ingest silence before "
+                            "checkpointing and raising a restartable stall")
+
+    soak = sub.add_parser(
+        "faults-soak",
+        help="replay a multi-family trace through a seeded fault schedule "
+             "under supervision and verify recovery, accounting and bounds",
+    )
+    soak.add_argument("--workdir", required=True, help="scratch directory")
+    soak.add_argument(
+        "--family", action="append", default=None, metavar="NAME[:SEED]",
+        help="soak family (repeatable; default: murofet:3 and new_goz:7)",
+    )
+    soak.add_argument("--bots", type=int, default=32)
+    soak.add_argument("--days", type=int, default=2)
+    soak.add_argument("--servers", type=int, default=2)
+    soak.add_argument("--seed", type=int, default=5, help="simulation seed")
+    soak.add_argument("--faults", default=None, metavar="SPEC",
+                      help="fault schedule (default: the built-in soak mix)")
+    soak.add_argument("--runs", type=int, default=2,
+                      help="same-seed supervised runs (determinism check)")
+    soak.add_argument("--bound-factor", type=float, default=0.5)
+    soak.add_argument("--bound-slack", type=float, default=3.0)
+    soak.add_argument("--max-restarts", type=int, default=25)
+    soak.add_argument("--report", default=None, metavar="PATH",
+                      help="write the JSON soak report here (default: stdout)")
 
     report = sub.add_parser("report", help="full reproduction report (Markdown)")
     report.add_argument("--trials", type=int, default=3)
@@ -422,12 +469,27 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             max_corrupt=args.max_corrupt,
             metrics_path=args.metrics_out,
             health_path=args.health_out,
+            fault_injector=_make_injector(args),
+            deadletter_path=args.deadletter,
         )
         return daemon.run()
 
     reader = NdjsonReader(max_corrupt=args.max_corrupt)
-    with open(args.trace, "rb") as fh:
-        records = list(reader.read(fh))
+    if args.deadletter:
+        from .service.deadletter import MAX_LINE_SNIPPET, DeadLetterQueue
+
+        dlq = DeadLetterQueue(args.deadletter)
+        dlq.reset()
+        reader.on_corrupt = lambda line, why: dlq.quarantine(
+            "corrupt", line=line[:MAX_LINE_SNIPPET], why=why
+        )
+    injector = _make_injector(args)
+    if injector is not None:
+        with open(args.trace, "r") as fh:
+            records = list(reader.read(injector.wrap(iter(fh))))
+    else:
+        with open(args.trace, "rb") as fh:
+            records = list(reader.read(fh))
     header = reader.header or {}
     if dgas is None:
         if reader.header is None:
@@ -466,30 +528,91 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_injector(args: argparse.Namespace, disarmed=None):
+    if getattr(args, "faults", None) is None:
+        return None
+    from .service.faults import FaultInjector
+
+    return FaultInjector(args.faults, disarmed=disarmed)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.daemon import BotMeterDaemon
 
-    daemon = BotMeterDaemon(
-        args.input,
-        out_path=args.out,
-        checkpoint_path=args.checkpoint,
-        families=_parse_family_specs(args.family),
-        estimator=args.estimator,
-        grace=args.grace,
-        negative_ttl=args.negative_ttl,
-        timestamp_granularity=args.granularity,
-        reorder_capacity=args.reorder_capacity,
-        policy=args.policy,
-        checkpoint_every=args.checkpoint_every,
-        follow=args.follow,
-        idle_timeout=args.idle_timeout,
-        poll_interval=args.poll_interval,
-        throttle=args.throttle,
-        max_corrupt=args.max_corrupt,
-        metrics_path=args.metrics_out,
-        health_path=args.health_out,
+    def build_daemon(disarmed=None) -> BotMeterDaemon:
+        return BotMeterDaemon(
+            args.input,
+            out_path=args.out,
+            checkpoint_path=args.checkpoint,
+            families=_parse_family_specs(args.family),
+            estimator=args.estimator,
+            grace=args.grace,
+            negative_ttl=args.negative_ttl,
+            timestamp_granularity=args.granularity,
+            reorder_capacity=args.reorder_capacity,
+            policy=args.policy,
+            checkpoint_every=args.checkpoint_every,
+            follow=args.follow,
+            idle_timeout=args.idle_timeout,
+            poll_interval=args.poll_interval,
+            throttle=args.throttle,
+            max_corrupt=args.max_corrupt,
+            metrics_path=args.metrics_out,
+            health_path=args.health_out,
+            fault_injector=_make_injector(args, disarmed),
+            deadletter_path=args.deadletter,
+            watchdog_deadline=args.watchdog_deadline,
+        )
+
+    if not args.supervise:
+        return build_daemon().run()
+
+    from .service.supervisor import Supervisor, SupervisorGaveUp
+
+    supervisor = Supervisor(build_daemon, max_restarts=args.max_restarts)
+    try:
+        return supervisor.run()
+    except SupervisorGaveUp as exc:
+        print(f"supervisor gave up: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_faults_soak(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .service.soak import SoakConfig, SoakFailure, run_soak
+
+    kwargs = dict(
+        workdir=Path(args.workdir),
+        bots=args.bots,
+        days=args.days,
+        servers=args.servers,
+        sim_seed=args.seed,
+        runs=args.runs,
+        bound_factor=args.bound_factor,
+        bound_slack=args.bound_slack,
+        max_restarts=args.max_restarts,
     )
-    return daemon.run()
+    if args.family:
+        kwargs["families"] = tuple(
+            (name, int(seed) if seed else 0)
+            for name, _, seed in (spec.partition(":") for spec in args.family)
+        )
+    if args.faults:
+        kwargs["faults"] = args.faults
+    try:
+        report = run_soak(SoakConfig(**kwargs), log_stream=sys.stderr)
+    except SoakFailure as exc:
+        print(f"SOAK FAILED: {exc}", file=sys.stderr)
+        return 1
+    payload = _json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+    if args.report:
+        Path(args.report).write_text(payload)
+        print(f"soak passed; report written to {args.report}", file=sys.stderr)
+    else:
+        print(payload, end="")
+    return 0
 
 
 _HANDLERS = {
@@ -503,6 +626,7 @@ _HANDLERS = {
     "export-trace": _cmd_export_trace,
     "replay": _cmd_replay,
     "serve": _cmd_serve,
+    "faults-soak": _cmd_faults_soak,
 }
 
 

@@ -23,7 +23,12 @@ from typing import Sequence
 import numpy as np
 from scipy.stats import chi2, gamma
 
-__all__ = ["ConfidenceInterval", "poisson_interval", "coverage_profile_interval"]
+__all__ = [
+    "ConfidenceInterval",
+    "poisson_interval",
+    "coverage_profile_interval",
+    "widen_for_loss",
+]
 
 
 @dataclass(frozen=True)
@@ -81,6 +86,32 @@ def poisson_interval(
     high_rate = gamma.ppf(1 - alpha / 2, n_visible + 1, scale=1.0 / exposure)
     point = n_visible / exposure * window
     return ConfidenceInterval(low_rate * window, point, high_rate * window, level)
+
+
+def widen_for_loss(
+    interval: ConfidenceInterval, loss_fraction: float
+) -> ConfidenceInterval:
+    """Widen an interval for degraded-channel observation loss.
+
+    The service's per-epoch quality annotation reports an estimated loss
+    fraction ``l`` (records dropped, quarantined or late relative to the
+    records charted).  Under the random-thinning model — each lookup is
+    independently lost with probability ``l`` — the effective number of
+    observations behind the estimate shrinks by ``(1 - l)``, so both
+    interval arms are stretched by ``1 / (1 - l)`` around the point
+    estimate.  ``l`` is clamped to 0.95 so a catastrophic epoch yields a
+    very wide interval rather than an infinite one; the lower arm is
+    floored at zero (populations are non-negative).
+    """
+    if loss_fraction < 0:
+        raise ValueError(f"loss_fraction must be >= 0, got {loss_fraction}")
+    clamped = min(loss_fraction, 0.95)
+    if clamped == 0.0:
+        return interval
+    scale = 1.0 / (1.0 - clamped)
+    low = max(0.0, interval.point - (interval.point - interval.low) * scale)
+    high = interval.point + (interval.high - interval.point) * scale
+    return ConfidenceInterval(low, interval.point, high, interval.level)
 
 
 def _coverage_log_likelihood(

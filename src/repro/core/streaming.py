@@ -22,7 +22,7 @@ from ..dga.base import Dga
 from ..dns.message import ForwardedLookup
 from ..timebase import SECONDS_PER_DAY, Timeline
 from .botmeter import Landscape, make_estimator
-from .estimator import EstimationContext, Estimator, MatchedLookup
+from .estimator import EstimationContext, Estimator, MatchedLookup, PopulationEstimate
 from .matcher import group_by_server
 from .taxonomy import recommended_estimator
 
@@ -77,6 +77,7 @@ class StreamingBotMeter:
         self._next_epoch_to_close = 0
         self._ingested = 0
         self._matched = 0
+        self._estimate_failures = 0
         self.landscapes: list[tuple[int, Landscape]] = []
 
     # -- matching ----------------------------------------------------------
@@ -127,7 +128,17 @@ class StreamingBotMeter:
         )
         for server, server_matches in sorted(group_by_server(matches).items()):
             ordered = sorted(server_matches, key=lambda m: m.timestamp)
-            landscape.per_server[server] = self._estimator.estimate(ordered, context)
+            try:
+                estimate = self._estimator.estimate(ordered, context)
+            except Exception:
+                # Degenerate epochs (all-duplicate timestamps, skewed
+                # out-of-window residue...) must degrade, not crash: fall
+                # back to the raw matched count as a floor estimate.
+                self._estimate_failures += 1
+                estimate = PopulationEstimate(
+                    float(len(ordered)), estimator=self._estimator.name
+                )
+            landscape.per_server[server] = estimate
             landscape.matched_counts[server] = len(ordered)
         self.landscapes.append((day, landscape))
         if self._on_epoch is not None:
@@ -146,8 +157,12 @@ class StreamingBotMeter:
 
     @property
     def stats(self) -> dict[str, int]:
-        """Counters: records ingested and records matched so far."""
-        return {"ingested": self._ingested, "matched": self._matched}
+        """Counters: records ingested/matched, estimator fallbacks."""
+        return {
+            "ingested": self._ingested,
+            "matched": self._matched,
+            "estimate_failures": self._estimate_failures,
+        }
 
     @property
     def watermark(self) -> float:
@@ -176,6 +191,7 @@ class StreamingBotMeter:
             "next_epoch_to_close": self._next_epoch_to_close,
             "ingested": self._ingested,
             "matched": self._matched,
+            "estimate_failures": self._estimate_failures,
             "pending": {
                 str(day): [[m.timestamp, m.server, m.domain, m.day_index] for m in matches]
                 for day, matches in sorted(self._pending.items())
@@ -189,6 +205,7 @@ class StreamingBotMeter:
         self._next_epoch_to_close = int(state["next_epoch_to_close"])
         self._ingested = int(state["ingested"])
         self._matched = int(state["matched"])
+        self._estimate_failures = int(state.get("estimate_failures", 0))
         self._pending = {
             int(day): [
                 MatchedLookup(float(t), server, domain, int(match_day))

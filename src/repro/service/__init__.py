@@ -9,23 +9,48 @@ and exposes Prometheus-style metrics.
 Modules:
 
 * :mod:`~repro.service.wire` — versioned NDJSON wire format + tolerant
-  streaming reader (counted skip policy);
+  streaming reader (counted skip policy, truncated-tail detection);
 * :mod:`~repro.service.reorder` — bounded reorder buffer with explicit
   backpressure (block vs drop-oldest);
 * :mod:`~repro.service.engine` — the sharded multi-family engine with
-  watermark-based epoch closure;
-* :mod:`~repro.service.checkpoint` — atomic JSON checkpoint store;
+  watermark-based epoch closure and per-epoch quality annotations;
+* :mod:`~repro.service.checkpoint` — atomic JSON checkpoint store with
+  a previous-generation fallback;
 * :mod:`~repro.service.metrics` — counters/gauges, text exposition,
   JSON health snapshot;
 * :mod:`~repro.service.daemon` — the serve/replay loop plus the batch
-  reference series.
+  reference series;
+* :mod:`~repro.service.faults` — deterministic seeded fault injection
+  (the Faultline layer);
+* :mod:`~repro.service.deadletter` — NDJSON quarantine sidecar with
+  reason codes;
+* :mod:`~repro.service.supervisor` — health state machine, bounded
+  backoff, restart supervision;
+* :mod:`~repro.service.soak` — the end-to-end fault soak harness.
 """
 
 from .checkpoint import CHECKPOINT_SCHEMA, CheckpointError, CheckpointStore
 from .daemon import BotMeterDaemon, batch_series, families_from_header
+from .deadletter import DEADLETTER_SCHEMA, DeadLetterQueue, read_deadletters
 from .engine import EpochLandscape, ShardedLandscapeEngine
+from .faults import (
+    FaultInjector,
+    FaultLedger,
+    FaultSpec,
+    InjectedCrashError,
+    InjectedFault,
+    UpstreamStallError,
+    parse_fault_spec,
+)
 from .metrics import Counter, Gauge, MetricsRegistry
 from .reorder import Backpressure, ReorderBuffer
+from .supervisor import (
+    BackoffPolicy,
+    HealthMonitor,
+    HealthState,
+    Supervisor,
+    SupervisorGaveUp,
+)
 from .wire import (
     WIRE_VERSION,
     NdjsonReader,
@@ -33,6 +58,7 @@ from .wire import (
     encode_header,
     encode_landscape,
     encode_record,
+    finalize_quality,
     landscape_to_dict,
 )
 
@@ -43,18 +69,34 @@ __all__ = [
     "BotMeterDaemon",
     "batch_series",
     "families_from_header",
+    "DEADLETTER_SCHEMA",
+    "DeadLetterQueue",
+    "read_deadletters",
     "EpochLandscape",
     "ShardedLandscapeEngine",
+    "FaultInjector",
+    "FaultLedger",
+    "FaultSpec",
+    "InjectedCrashError",
+    "InjectedFault",
+    "UpstreamStallError",
+    "parse_fault_spec",
     "Counter",
     "Gauge",
     "MetricsRegistry",
     "Backpressure",
     "ReorderBuffer",
+    "BackoffPolicy",
+    "HealthMonitor",
+    "HealthState",
+    "Supervisor",
+    "SupervisorGaveUp",
     "WIRE_VERSION",
     "NdjsonReader",
     "WireError",
     "encode_header",
     "encode_landscape",
     "encode_record",
+    "finalize_quality",
     "landscape_to_dict",
 ]

@@ -1,10 +1,20 @@
-"""Durable daemon state: atomic JSON checkpoints.
+"""Durable daemon state: atomic JSON checkpoints with one spare generation.
 
 A checkpoint is one JSON document — schema-tagged, carrying the input
 byte offset, the emitted-landscape count, the engine snapshot and the
 metric values.  Writes are atomic (write to a sibling temp file, flush,
 fsync, :func:`os.replace`), so a crash mid-write leaves the previous
 checkpoint intact and a resumed daemon never sees a torn file.
+
+Atomicity protects against *our* crashes; it cannot protect against a
+filesystem that lies (power loss after ``os.replace`` but before the
+directory entry hits the platter leaves a torn or empty file).  The
+store therefore keeps the **last two generations**: every save first
+rotates the current checkpoint to a ``.1`` sibling, and :meth:`~
+CheckpointStore.load` falls back to that previous generation when the
+newest one is torn or empty.  A checkpoint with a *foreign schema* is
+never silently skipped — that is a configuration error, not corruption,
+and it still raises.
 """
 
 from __future__ import annotations
@@ -24,19 +34,30 @@ class CheckpointError(RuntimeError):
 
 
 class CheckpointStore:
-    """Load/save one checkpoint file with write-rename atomicity."""
+    """Load/save a checkpoint with write-rename atomicity and rotation."""
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
 
+    @property
+    def previous_path(self) -> Path:
+        """The rotated previous-generation sibling (``<name>.1``)."""
+        return self.path.with_name(self.path.name + ".1")
+
     def exists(self) -> bool:
-        return self.path.exists()
+        return self.path.exists() or self.previous_path.exists()
 
     def save(self, state: dict[str, Any]) -> None:
-        """Atomically replace the checkpoint with ``state``."""
+        """Atomically replace the checkpoint with ``state``.
+
+        The outgoing checkpoint is rotated to :attr:`previous_path`
+        first, so the two newest generations are always on disk.
+        """
         document = {"schema": CHECKPOINT_SCHEMA, **state}
         tmp = self.path.with_name(self.path.name + f".tmp.{os.getpid()}")
         payload = json.dumps(document, sort_keys=True)
+        if self.path.exists():
+            os.replace(self.path, self.previous_path)
         try:
             with open(tmp, "w") as fh:
                 fh.write(payload)
@@ -47,22 +68,43 @@ class CheckpointStore:
             if tmp.exists():
                 tmp.unlink()
 
-    def load(self) -> dict[str, Any] | None:
-        """The checkpoint document, or ``None`` if none was ever saved.
-
-        Raises:
-            CheckpointError: on unreadable JSON or a foreign schema.
-        """
-        if not self.path.exists():
-            return None
+    def _read(self, path: Path) -> dict[str, Any]:
         try:
-            document = json.loads(self.path.read_text())
+            document = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
-            raise CheckpointError(f"unreadable checkpoint {self.path}: {exc}") from exc
+            error = CheckpointError(f"unreadable checkpoint {path}: {exc}")
+            error.torn = True
+            raise error from exc
         if not isinstance(document, dict) or document.get("schema") != CHECKPOINT_SCHEMA:
             raise CheckpointError(
-                f"checkpoint {self.path} has schema "
+                f"checkpoint {path} has schema "
                 f"{document.get('schema') if isinstance(document, dict) else None!r}; "
                 f"expected {CHECKPOINT_SCHEMA!r}"
             )
         return document
+
+    def load(self) -> dict[str, Any] | None:
+        """The newest trustworthy checkpoint, or ``None`` if none exists.
+
+        A torn or empty newest generation falls back to the previous
+        one; a *foreign schema* raises either way (misconfiguration is
+        not recoverable by rotation).
+
+        Raises:
+            CheckpointError: on a foreign schema, or when every
+                generation on disk is unreadable.
+        """
+        if not self.path.exists():
+            if self.previous_path.exists():
+                return self._read(self.previous_path)
+            return None
+        try:
+            return self._read(self.path)
+        except CheckpointError as exc:
+            if not getattr(exc, "torn", False):
+                raise  # foreign schema: never silently skipped
+            if not self.previous_path.exists():
+                raise
+            document = self._read(self.previous_path)
+            document["recovered_from_previous_generation"] = True
+            return document

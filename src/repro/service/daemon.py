@@ -33,9 +33,12 @@ from ..dns.message import ForwardedLookup
 from ..sim.trace import sort_observable
 from ..timebase import SECONDS_PER_DAY, Timeline
 from .checkpoint import CheckpointError, CheckpointStore
+from .deadletter import MAX_LINE_SNIPPET, DeadLetterQueue
 from .engine import EpochLandscape, ShardedLandscapeEngine
+from .faults import FaultInjector, InjectedFault, UpstreamStallError
 from .metrics import MetricsRegistry
 from .reorder import Backpressure
+from .supervisor import HealthMonitor
 from .wire import NdjsonReader, encode_landscape
 
 __all__ = ["BotMeterDaemon", "batch_series", "families_from_header"]
@@ -121,6 +124,16 @@ class BotMeterDaemon:
             checkpoint and at exit.
         health_path: same cadence, JSON health snapshot.
         log_stream: structured (JSON-lines) event log, default stderr.
+        fault_injector: optional seeded :class:`FaultInjector` the raw
+            input lines are pushed through before the wire reader (fault
+            drills and the soak test); its state rides the checkpoint.
+        deadletter_path: NDJSON sidecar quarantining every corrupt and
+            late record with a reason code.
+        health: optional :class:`HealthMonitor` publishing the pipeline
+            health state machine through :attr:`metrics`.
+        watchdog_deadline: in follow mode, seconds of ingest silence
+            before the daemon checkpoints and raises
+            :class:`UpstreamStallError` for the supervisor to restart it.
     """
 
     def __init__(
@@ -145,6 +158,10 @@ class BotMeterDaemon:
         metrics_path: str | Path | None = None,
         health_path: str | Path | None = None,
         log_stream: IO[str] | None = None,
+        fault_injector: FaultInjector | None = None,
+        deadletter_path: str | Path | None = None,
+        health: HealthMonitor | None = None,
+        watchdog_deadline: float | None = None,
     ) -> None:
         self.input_path = str(input_path)
         self.out_path = Path(out_path) if out_path is not None else None
@@ -169,7 +186,17 @@ class BotMeterDaemon:
             "botmeterd_records_skipped_total",
             "Blank or corrupt wire lines absorbed by the reader.",
         )
-        self.reader = NdjsonReader(max_corrupt=max_corrupt)
+        self.injector = fault_injector
+        self.deadletter = (
+            DeadLetterQueue(deadletter_path) if deadletter_path is not None else None
+        )
+        self.health = health
+        if self.health is not None:
+            self.health.bind(self.metrics)
+        self.watchdog_deadline = watchdog_deadline
+        self.reader = NdjsonReader(
+            max_corrupt=max_corrupt, on_corrupt=self._quarantine_corrupt
+        )
         self.engine: ShardedLandscapeEngine | None = None
         self.metrics_path = Path(metrics_path) if metrics_path else None
         self.health_path = Path(health_path) if health_path else None
@@ -177,6 +204,7 @@ class BotMeterDaemon:
         self.landscapes_emitted = 0
         self.records_consumed = 0
         self._since_checkpoint = 0
+        self._quarantined_mark = 0
         self._out_fh: IO[str] | None = None
         self.resumed = False
 
@@ -185,6 +213,26 @@ class BotMeterDaemon:
     def _log_event(self, event: str, **fields: Any) -> None:
         payload = {"event": event, **fields}
         print(json.dumps(payload, sort_keys=True), file=self._log, flush=True)
+
+    def _quarantine_corrupt(self, line: str, reason: str) -> None:
+        if self.deadletter is not None:
+            self.deadletter.quarantine(
+                "corrupt", line=line[:MAX_LINE_SNIPPET], why=reason
+            )
+        if self.health is not None:
+            self.health.record_quarantined()
+
+    def _quarantine_late(self, record: ForwardedLookup, matched_day: int) -> None:
+        if self.deadletter is not None:
+            self.deadletter.quarantine(
+                "late",
+                timestamp=record.timestamp,
+                server=record.server,
+                domain=record.domain,
+                epoch=matched_day,
+            )
+        if self.health is not None:
+            self.health.record_quarantined()
 
     def _ensure_engine(self) -> ShardedLandscapeEngine:
         if self.engine is None:
@@ -209,12 +257,25 @@ class BotMeterDaemon:
                 reorder_capacity=self._reorder_capacity,
                 policy=self._policy,
                 metrics=self.metrics,
+                on_late=self._quarantine_late,
             )
         return self.engine
 
     def _emit(self, epochs: Sequence[EpochLandscape]) -> None:
-        for epoch in epochs:
-            line = encode_landscape(epoch.family, epoch.day_index, epoch.landscape)
+        if not epochs:
+            return
+        # Reader-level quarantines since the last emission, charged once
+        # (to the batch's first row, like the engine's late/dropped
+        # deltas) so series-wide sums stay exact.  Zero on a clean
+        # stream — the byte-identity anchor.
+        quarantined_delta = self.reader.corrupt - self._quarantined_mark
+        self._quarantined_mark = self.reader.corrupt
+        for index, epoch in enumerate(epochs):
+            quality = dict(epoch.quality or {})
+            quality["quarantined"] = quarantined_delta if index == 0 else 0
+            line = encode_landscape(
+                epoch.family, epoch.day_index, epoch.landscape, quality
+            )
             if self._out_fh is not None:
                 self._out_fh.write(line + "\n")
                 self._out_fh.flush()
@@ -263,21 +324,26 @@ class BotMeterDaemon:
         if self.store is None:
             return
         engine = self._ensure_engine()
-        self.store.save(
-            {
-                "input": self.input_path,
-                "input_offset": offset,
-                "landscapes_emitted": self.landscapes_emitted,
-                "records_consumed": self.records_consumed,
-                "reader": {
-                    "records": self.reader.records,
-                    "blank": self.reader.blank,
-                    "corrupt": self.reader.corrupt,
-                },
-                "engine": engine.export_state(),
-                "metrics": self.metrics.export_state(),
-            }
-        )
+        state = {
+            "input": self.input_path,
+            "input_offset": offset,
+            "landscapes_emitted": self.landscapes_emitted,
+            "records_consumed": self.records_consumed,
+            "quarantined_mark": self._quarantined_mark,
+            "reader": {
+                "records": self.reader.records,
+                "blank": self.reader.blank,
+                "corrupt": self.reader.corrupt,
+                "truncated_tail": self.reader.truncated_tail,
+            },
+            "engine": engine.export_state(),
+            "metrics": self.metrics.export_state(),
+        }
+        if self.injector is not None:
+            state["injector"] = self.injector.export_state()
+        if self.deadletter is not None:
+            state["deadletter"] = self.deadletter.export_state()
+        self.store.save(state)
         self._since_checkpoint = 0
         self._dump_observability()
 
@@ -297,8 +363,15 @@ class BotMeterDaemon:
         self.reader.records = int(reader_state["records"])
         self.reader.blank = int(reader_state["blank"])
         self.reader.corrupt = int(reader_state["corrupt"])
+        self.reader.truncated_tail = int(reader_state.get("truncated_tail", 0))
         self.landscapes_emitted = int(checkpoint["landscapes_emitted"])
         self.records_consumed = int(checkpoint["records_consumed"])
+        self._quarantined_mark = int(checkpoint.get("quarantined_mark", 0))
+        if self.injector is not None and "injector" in checkpoint:
+            self.injector.import_state(checkpoint["injector"])
+        if self.deadletter is not None:
+            dl_state = checkpoint.get("deadletter", {"entries": 0, "counts": {}})
+            self.deadletter.truncate_to(dl_state["entries"], dl_state["counts"])
         self._truncate_output(self.landscapes_emitted)
         self.resumed = True
         self._log_event(
@@ -334,10 +407,15 @@ class BotMeterDaemon:
             else:
                 if self.out_path is not None:
                     self.out_path.write_text("")
+                if self.deadletter is not None:
+                    self.deadletter.reset()
             idle_since: float | None = None
+            pending = b""  # stdin-follow: a partial tail we cannot seek back to
             while True:
                 position = offset
                 line = fh.readline()
+                if pending:
+                    line, pending = pending + line, b""
                 if not line or (self.follow and not line.endswith(b"\n")):
                     # EOF, or a line still being written by the producer.
                     if not self.follow:
@@ -345,16 +423,44 @@ class BotMeterDaemon:
                             offset = position + len(line)
                             self._consume(line, offset)
                         break
-                    if not use_stdin:
-                        fh.seek(position)
                     now = time.monotonic()
                     if idle_since is None:
                         idle_since = now
-                    elif (
-                        self.idle_timeout is not None
-                        and now - idle_since >= self.idle_timeout
-                    ):
-                        break
+                    else:
+                        idle = now - idle_since
+                        if (
+                            self.watchdog_deadline is not None
+                            and idle >= self.watchdog_deadline
+                        ):
+                            # Durable stop-point first, then hand the stall
+                            # to the supervisor as a restartable failure.
+                            if self.engine is not None:
+                                self._checkpoint(position)
+                            self._log_event(
+                                "watchdog_stall",
+                                idle_seconds=idle,
+                                input_offset=position,
+                            )
+                            if self.health is not None:
+                                self.health.on_stall()
+                            raise UpstreamStallError(
+                                None, "ingest stalled past the watchdog deadline"
+                            )
+                        if (
+                            self.idle_timeout is not None
+                            and idle >= self.idle_timeout
+                        ):
+                            if line:
+                                # The tail never got its newline: consume it
+                                # as possibly-truncated (not budgeted corrupt).
+                                offset = position + len(line)
+                                self._consume(line, offset, complete=False)
+                            break
+                    if line:
+                        if use_stdin:
+                            pending = line
+                        else:
+                            fh.seek(position)
                     time.sleep(self.poll_interval)
                     continue
                 idle_since = None
@@ -362,7 +468,10 @@ class BotMeterDaemon:
                 self._consume(line, offset)
                 if self.throttle > 0:
                     time.sleep(self.throttle)
-            # Stream end: close every remaining epoch and persist.
+            # Stream end: release held lines, close every epoch, persist.
+            if self.injector is not None:
+                for delivered in self.injector.flush():
+                    self._consume_one(delivered)
             if self.engine is not None:
                 self._emit(self.engine.finalize())
                 self._checkpoint(offset)
@@ -380,9 +489,27 @@ class BotMeterDaemon:
             if self._out_fh is not None:
                 self._out_fh.close()
                 self._out_fh = None
+            if self.deadletter is not None:
+                self.deadletter.close()
 
-    def _consume(self, line: bytes, offset: int) -> None:
-        record = self.reader.feed(line)
+    def _consume(self, line: bytes, offset: int, complete: bool = True) -> None:
+        if self.injector is not None and complete:
+            text = (
+                line.decode("utf-8", errors="replace")
+                if isinstance(line, bytes)
+                else line
+            )
+            for delivered in self.injector.feed(text):
+                self._consume_one(delivered)
+        else:
+            self._consume_one(line, complete=complete)
+        # Checkpoints only land on raw-input-line boundaries, so the
+        # injector's state and the engine's never straddle one line.
+        if self._since_checkpoint >= self.checkpoint_every:
+            self._checkpoint(offset)
+
+    def _consume_one(self, line: bytes | str, complete: bool = True) -> None:
+        record = self.reader.feed(line, complete=complete)
         self._c_skipped.set_total(self.reader.skipped)
         if record is None:
             return
@@ -392,5 +519,5 @@ class BotMeterDaemon:
         self._emit(engine.submit(record))
         self.records_consumed += 1
         self._since_checkpoint += 1
-        if self._since_checkpoint >= self.checkpoint_every:
-            self._checkpoint(offset)
+        if self.health is not None:
+            self.health.record_ok()

@@ -21,8 +21,8 @@ reorder buffer and every shard, so a killed daemon resumes bit-exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Mapping
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
 
 from ..core.botmeter import Landscape, make_estimator
 from ..core.estimator import Estimator
@@ -41,11 +41,22 @@ ENGINE_STATE_SCHEMA = "botmeterd-engine-v1"
 
 @dataclass(frozen=True)
 class EpochLandscape:
-    """One closed epoch of one family's landscape."""
+    """One closed epoch of one family's landscape.
+
+    ``quality`` carries the degradation deltas attributed to this
+    emission (``late`` and ``dropped`` records since the previous one);
+    the daemon folds in its reader-level ``quarantined`` delta before
+    the row hits the wire.  Deltas are charged exactly once — to the
+    *first* row of each emission — so summing the annotations over a
+    whole series reconstructs the stream totals exactly (the soak
+    test's reconciliation).  ``None`` and all-zero mean the same thing —
+    a clean epoch — so batch emissions stay byte-identical.
+    """
 
     family: str
     day_index: int
     landscape: Landscape
+    quality: dict[str, int] | None = field(default=None, compare=False)
 
 
 class _FamilyRouter:
@@ -107,6 +118,9 @@ class ShardedLandscapeEngine:
             backpressure policy (see :mod:`repro.service.reorder`).
         metrics: a :class:`MetricsRegistry` to publish into (one is
             created if omitted; exposed as :attr:`metrics`).
+        on_late: optional sink ``(record, matched_day) -> None`` called
+            for every matched record that arrived after its epoch was
+            emitted (the daemon wires this to the dead-letter queue).
     """
 
     def __init__(
@@ -121,6 +135,7 @@ class ShardedLandscapeEngine:
         reorder_capacity: int = 1024,
         policy: Backpressure | str = Backpressure.BLOCK,
         metrics: MetricsRegistry | None = None,
+        on_late: Callable[[ForwardedLookup, int], None] | None = None,
     ) -> None:
         if not dgas:
             raise ValueError("need at least one DGA family")
@@ -156,6 +171,10 @@ class ShardedLandscapeEngine:
         self._watermark = float("-inf")
         self._next_epoch_to_emit = 0
         self._finalized = False
+        self._on_late = on_late
+        self._late_total = 0
+        self._late_mark = 0
+        self._dropped_mark = 0
 
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         m = self.metrics
@@ -179,6 +198,11 @@ class ShardedLandscapeEngine:
         )
         self._c_epochs = m.counter(
             "botmeterd_epochs_closed_total", "Per-family epochs emitted."
+        )
+        self._c_fallbacks = m.counter(
+            "botmeterd_estimate_fallbacks_total",
+            "Epoch closures where the estimator failed and the matched "
+            "count was emitted as a floor estimate.",
         )
         self._g_depth = m.gauge(
             "botmeterd_reorder_buffer_depth", "Records held in the reorder buffer."
@@ -268,6 +292,9 @@ class ShardedLandscapeEngine:
                 self._c_matched.inc(family=family)
                 if matched_day < self._next_epoch_to_emit:
                     self._c_late.inc()
+                    self._late_total += 1
+                    if self._on_late is not None:
+                        self._on_late(record, matched_day)
                 self._shard(family, record.server).ingest(record)
         return self._emittable()
 
@@ -284,8 +311,24 @@ class ShardedLandscapeEngine:
         return out
 
     def _emit_day(self, day: int) -> list[EpochLandscape]:
+        # Degradation deltas since the previous emission, charged once
+        # (to the day's first family row) so series-wide sums stay
+        # exact.  Zero on a clean stream, so the annotation stays
+        # byte-identical to a batch emission.
+        late_delta = self._late_total - self._late_mark
+        dropped_delta = self._reorder.dropped - self._dropped_mark
+        self._late_mark = self._late_total
+        self._dropped_mark = self._reorder.dropped
+        self._c_fallbacks.set_total(
+            sum(shard.stats["estimate_failures"] for shard in self._shards.values())
+        )
         results = []
-        for family in self._families:
+        for index, family in enumerate(self._families):
+            quality = (
+                {"late": late_delta, "dropped": dropped_delta}
+                if index == 0
+                else {"late": 0, "dropped": 0}
+            )
             merged = Landscape(
                 dga_name=self._dgas[family].name,
                 estimator_name=self._estimators[family].name,
@@ -295,7 +338,7 @@ class ShardedLandscapeEngine:
                 merged.per_server.update(closed[server].per_server)
                 merged.matched_counts.update(closed[server].matched_counts)
             self._c_epochs.inc(family=family)
-            results.append(EpochLandscape(family, day, merged))
+            results.append(EpochLandscape(family, day, merged, quality))
         return results
 
     def finalize(self) -> list[EpochLandscape]:
@@ -351,6 +394,9 @@ class ShardedLandscapeEngine:
             "watermark": None if self._watermark == float("-inf") else self._watermark,
             "next_epoch_to_emit": self._next_epoch_to_emit,
             "finalized": self._finalized,
+            "late_total": self._late_total,
+            "late_mark": self._late_mark,
+            "dropped_mark": self._dropped_mark,
             "reorder": self._reorder.export_state(),
             "shards": [
                 [family, server, shard.export_state()]
@@ -372,6 +418,9 @@ class ShardedLandscapeEngine:
         self._watermark = float("-inf") if watermark is None else float(watermark)
         self._next_epoch_to_emit = int(state["next_epoch_to_emit"])
         self._finalized = bool(state["finalized"])
+        self._late_total = int(state.get("late_total", 0))
+        self._late_mark = int(state.get("late_mark", 0))
+        self._dropped_mark = int(state.get("dropped_mark", 0))
         self._reorder.import_state(state["reorder"])
         self._shards = {}
         self._closed = {}

@@ -1,0 +1,386 @@
+"""Deterministic, seeded fault injection for botmeterd streams.
+
+BotMeter inverts a lossy observation channel; a deployed collector is
+lossier still — truncated feeds, duplicated and late records, burst
+loss, hung upstreams, clock skew.  :class:`FaultInjector` wraps any wire
+line iterator (the daemon's tail loop, a replayed trace) and applies a
+*scheduled* mix of those faults, driven entirely by one seeded RNG so
+the same spec over the same stream injects the same faults, byte for
+byte — the property the soak test's determinism assertions rest on.
+
+Design rules that make the schedule exact and resumable:
+
+* **one dispatch draw per record line** — a single uniform is mapped
+  onto cumulative rate segments (at most one fault per line), and any
+  extra parameter draws (burst length, cut point, skew) happen lazily
+  inside the chosen segment, so the RNG stream is a pure function of
+  position in the input;
+* **checkpointable** — :meth:`export_state` / :meth:`import_state`
+  round-trip the RNG state, the held (reordered) lines, the burst
+  cursor and the ledger, so a supervised restart replays the identical
+  fault schedule from the last checkpoint;
+* **a ledger, not a guess** — every applied fault is counted in
+  :attr:`ledger`, which the soak test reconciles exactly against the
+  daemon's dead-letter queue.
+
+Hard faults (``stall``, ``crash``) raise :class:`UpstreamStallError` /
+:class:`InjectedCrashError` carrying the record sequence number; the
+supervisor catches them, *disarms* that sequence number (the upstream
+"recovered"), and restarts the daemon from its checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..sim.noise import geometric_burst_length
+
+__all__ = [
+    "FaultSpec",
+    "FaultLedger",
+    "FaultInjector",
+    "InjectedFault",
+    "UpstreamStallError",
+    "InjectedCrashError",
+    "parse_fault_spec",
+]
+
+_COMPACT = {"sort_keys": True, "separators": (",", ":")}
+
+#: Dispatch order of the cumulative rate segments (fixed: part of the
+#: deterministic schedule's definition).
+FAULT_ORDER = (
+    "crash",
+    "stall",
+    "drop",
+    "corrupt",
+    "truncate",
+    "duplicate",
+    "reorder",
+    "skew",
+)
+
+
+class InjectedFault(RuntimeError):
+    """A hard injected failure; ``seq`` is the record that triggered it."""
+
+    kind = "fault"
+
+    def __init__(self, seq: int | None, message: str | None = None) -> None:
+        super().__init__(message or f"injected {self.kind} at record {seq}")
+        self.seq = seq
+
+
+class UpstreamStallError(InjectedFault):
+    """The upstream feed hung past the watchdog deadline."""
+
+    kind = "stall"
+
+
+class InjectedCrashError(InjectedFault):
+    """A simulated hard daemon failure (poison record, OOM kill...)."""
+
+    kind = "crash"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Rates (per record line) and parameters of the fault schedule.
+
+    Rates are probabilities in ``[0, 1]``; their sum must stay <= 1
+    because the dispatch draw selects *at most one* fault per line.
+    """
+
+    seed: int = 0
+    corrupt: float = 0.0  # line replaced by a garbled prefix
+    truncate: float = 0.0  # line cut mid-way (torn producer write)
+    duplicate: float = 0.0  # line delivered twice
+    drop: float = 0.0  # burst loss starts at this line
+    drop_burst: float = 1.0  # mean burst length (geometric)
+    reorder: float = 0.0  # line held and re-injected later
+    reorder_gap: int = 256  # lines a held record is delayed by
+    skew: float = 0.0  # timestamp shifted by +-skew_seconds
+    skew_seconds: float = 1800.0
+    stall: float = 0.0  # upstream hang (raises UpstreamStallError)
+    crash: float = 0.0  # hard failure (raises InjectedCrashError)
+
+    def __post_init__(self) -> None:
+        for name in FAULT_ORDER:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1], got {rate}")
+        if sum(getattr(self, name) for name in FAULT_ORDER) > 1.0:
+            raise ValueError("fault rates must sum to <= 1 (one fault per line)")
+        if self.drop_burst < 1.0:
+            raise ValueError("drop_burst must be >= 1")
+        if self.reorder_gap < 1:
+            raise ValueError("reorder_gap must be >= 1")
+        if self.skew_seconds < 0:
+            raise ValueError("skew_seconds must be >= 0")
+
+    @property
+    def total_rate(self) -> float:
+        return sum(getattr(self, name) for name in FAULT_ORDER)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            **{name: getattr(self, name) for name in FAULT_ORDER},
+            "drop_burst": self.drop_burst,
+            "reorder_gap": self.reorder_gap,
+            "skew_seconds": self.skew_seconds,
+        }
+
+
+_SPEC_KEYS = {
+    "seed": "seed",
+    "corrupt": "corrupt",
+    "truncate": "truncate",
+    "dup": "duplicate",
+    "duplicate": "duplicate",
+    "drop": "drop",
+    "reorder": "reorder",
+    "skew": "skew",
+    "stall": "stall",
+    "crash": "crash",
+}
+
+
+def parse_fault_spec(spec: str) -> FaultSpec:
+    """Parse a ``--faults`` string into a :class:`FaultSpec`.
+
+    Format: comma-separated ``key=value`` entries; ``drop``, ``reorder``
+    and ``skew`` accept an optional ``:param`` suffix for the burst
+    length, reorder gap and skew magnitude respectively::
+
+        seed=11,corrupt=0.01,dup=0.02,drop=0.008:3,reorder=0.004:256,
+        skew=0.006:2000,stall=0.0005,crash=0.0005
+    """
+    kwargs: dict[str, Any] = {}
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        key, sep, value = entry.partition("=")
+        if not sep:
+            raise ValueError(f"fault spec entry {entry!r} is not key=value")
+        key = key.strip()
+        if key not in _SPEC_KEYS:
+            raise ValueError(
+                f"unknown fault spec key {key!r}; options: "
+                + ", ".join(sorted(set(_SPEC_KEYS)))
+            )
+        value, _, param = value.partition(":")
+        name = _SPEC_KEYS[key]
+        if name == "seed":
+            kwargs["seed"] = int(value)
+        else:
+            kwargs[name] = float(value)
+        if param:
+            if name == "drop":
+                kwargs["drop_burst"] = float(param)
+            elif name == "reorder":
+                kwargs["reorder_gap"] = int(param)
+            elif name == "skew":
+                kwargs["skew_seconds"] = float(param)
+            else:
+                raise ValueError(f"fault {key!r} takes no :param suffix")
+    return FaultSpec(**kwargs)
+
+
+class FaultLedger:
+    """Exact counts of every fault the injector applied."""
+
+    FIELDS = (
+        "lines_in",
+        "records_in",
+        "emitted",
+        "dropped",
+        "corrupted",
+        "truncated",
+        "duplicated",
+        "reordered",
+        "skewed",
+        "stalls",
+        "crashes",
+        "disarmed",
+    )
+
+    def __init__(self) -> None:
+        for name in self.FIELDS:
+            setattr(self, name, 0)
+
+    def to_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def update(self, state: Mapping[str, int]) -> None:
+        for name in self.FIELDS:
+            setattr(self, name, int(state.get(name, 0)))
+
+
+class FaultInjector:
+    """Apply a seeded fault schedule to a stream of wire lines.
+
+    Args:
+        spec: the schedule (:class:`FaultSpec` or a ``--faults`` string).
+        disarmed: record sequence numbers whose hard faults (stall or
+            crash) have already fired and been survived — the supervisor
+            passes these to a restarted daemon so the replayed schedule
+            does not re-raise them.  Deliberately *not* part of the
+            exported state: it models external recovery, owned by the
+            supervision layer.
+    """
+
+    def __init__(
+        self, spec: FaultSpec | str, disarmed: Iterable[int] | None = None
+    ) -> None:
+        self.spec = parse_fault_spec(spec) if isinstance(spec, str) else spec
+        self._rng = random.Random(self.spec.seed)
+        self._held: list[tuple[int, int, str]] = []  # (release_seq, order, line)
+        self._hold_order = 0
+        self._burst_left = 0
+        self.seq = 0  # record lines consumed so far
+        self.ledger = FaultLedger()
+        self._disarmed = set(disarmed or ())
+        # Cumulative dispatch thresholds, precomputed once.
+        self._segments: list[tuple[str, float]] = []
+        acc = 0.0
+        for name in FAULT_ORDER:
+            rate = getattr(self.spec, name)
+            if rate > 0.0:
+                acc += rate
+                self._segments.append((name, acc))
+
+    # -- the schedule --------------------------------------------------------
+
+    def _release_due(self, out: list[str]) -> None:
+        if not self._held:
+            return
+        due = [item for item in self._held if item[0] <= self.seq]
+        if due:
+            self._held = [item for item in self._held if item[0] > self.seq]
+            for _, _, line in sorted(due):
+                out.append(line)
+                self.ledger.emitted += 1
+
+    def _skew_line(self, line: str) -> str:
+        try:
+            data = json.loads(line)
+            timestamp = float(data["timestamp"])
+        except (ValueError, KeyError, TypeError):
+            return line  # not a parseable lookup; leave it alone
+        sign = 1.0 if self._rng.random() < 0.5 else -1.0
+        magnitude = self._rng.random() * self.spec.skew_seconds
+        data["timestamp"] = max(0.0, timestamp + sign * magnitude)
+        return json.dumps(data, **_COMPACT)
+
+    def feed(self, line: str) -> list[str]:
+        """Apply the schedule to one wire line; return the lines to
+        deliver downstream (held lines that came due are prepended).
+
+        Raises:
+            UpstreamStallError / InjectedCrashError: when a hard fault
+                fires at a sequence number that has not been disarmed.
+        """
+        self.ledger.lines_in += 1
+        stripped = line.strip()
+        if not stripped or '"type":"header"' in stripped:
+            return [line]  # metadata and blanks pass through unfaulted
+        seq = self.seq
+        self.seq += 1
+        self.ledger.records_in += 1
+        out: list[str] = []
+        self._release_due(out)
+        if self._burst_left > 0:
+            self._burst_left -= 1
+            self.ledger.dropped += 1
+            return out
+        u = self._rng.random()
+        fault = None
+        for name, threshold in self._segments:
+            if u < threshold:
+                fault = name
+                break
+        if fault == "crash" or fault == "stall":
+            if seq in self._disarmed:
+                self.ledger.disarmed += 1
+                fault = None  # the upstream "recovered"; pass through
+            elif fault == "crash":
+                self.ledger.crashes += 1
+                raise InjectedCrashError(seq)
+            else:
+                self.ledger.stalls += 1
+                raise UpstreamStallError(seq)
+        if fault is None:
+            out.append(line)
+            self.ledger.emitted += 1
+        elif fault == "drop":
+            burst = geometric_burst_length(self._rng.random(), self.spec.drop_burst)
+            self._burst_left = burst - 1
+            self.ledger.dropped += 1
+        elif fault == "corrupt":
+            cut = 1 + int(self._rng.random() * max(1, len(stripped) - 2))
+            out.append(stripped[:cut] + "\x7f#GARBLE")
+            self.ledger.corrupted += 1
+        elif fault == "truncate":
+            cut = 1 + int(self._rng.random() * max(1, len(stripped) - 2))
+            out.append(stripped[:cut])
+            self.ledger.truncated += 1
+        elif fault == "duplicate":
+            out.extend([line, line])
+            self.ledger.emitted += 2
+            self.ledger.duplicated += 1
+        elif fault == "reorder":
+            self._held.append((seq + self.spec.reorder_gap, self._hold_order, line))
+            self._hold_order += 1
+            self.ledger.reordered += 1
+        elif fault == "skew":
+            out.append(self._skew_line(stripped))
+            self.ledger.skewed += 1
+            self.ledger.emitted += 1
+        return out
+
+    def flush(self) -> list[str]:
+        """Release every still-held (reordered) line, in hold order."""
+        out = [line for _, _, line in sorted(self._held)]
+        self._held = []
+        self.ledger.emitted += len(out)
+        return out
+
+    def wrap(self, lines: Iterable[str]) -> Iterator[str]:
+        """Pull-style adapter: fault a whole line iterator, flushing at
+        stream end (offline replays and trace pre-fault tooling)."""
+        for line in lines:
+            yield from self.feed(line)
+        yield from self.flush()
+
+    # -- checkpointing -------------------------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        """JSON-serialisable snapshot (RNG, held lines, cursor, ledger)."""
+        version, internal, gauss = self._rng.getstate()
+        return {
+            "spec": self.spec.to_dict(),
+            "rng": [version, list(internal), gauss],
+            "held": [list(item) for item in sorted(self._held)],
+            "hold_order": self._hold_order,
+            "burst_left": self._burst_left,
+            "seq": self.seq,
+            "ledger": self.ledger.to_dict(),
+        }
+
+    def import_state(self, state: Mapping[str, Any]) -> None:
+        """Restore an :meth:`export_state` snapshot (disarmed set is
+        intentionally preserved — it belongs to the supervisor)."""
+        version, internal, gauss = state["rng"]
+        self._rng.setstate((version, tuple(internal), gauss))
+        self._held = [
+            (int(release), int(order), line) for release, order, line in state["held"]
+        ]
+        self._hold_order = int(state["hold_order"])
+        self._burst_left = int(state["burst_left"])
+        self.seq = int(state["seq"])
+        self.ledger.update(state["ledger"])

@@ -14,14 +14,24 @@ Decoding is defensive: a deployed collector restarts mid-line, ships
 partial buffers, and interleaves garbage.  :class:`NdjsonReader`
 therefore skips blank and corrupt lines, *counts* every skip, and only
 raises once the corrupt count passes a configurable cap — the counted
-skip policy.
+skip policy.  A *truncated* line is different from a corrupt one: the
+final line of a live tail may simply still be in flight, so callers
+flag it with ``complete=False`` and the reader counts it separately
+(``truncated_tail``) without charging the corrupt budget — the caller
+retries it once more bytes (or stream end) arrive.
+
+Every landscape line carries a ``quality`` annotation — records charted
+(matched) plus the late/dropped/quarantined deltas attributed to that
+epoch and the resulting estimated loss fraction — so downstream
+consumers can widen confidence intervals for degraded input
+(:func:`repro.core.confidence.widen_for_loss`).
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Mapping
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from ..core.botmeter import Landscape
 from ..dns.message import ForwardedLookup
@@ -34,6 +44,7 @@ __all__ = [
     "encode_header",
     "encode_landscape",
     "landscape_to_dict",
+    "finalize_quality",
     "NdjsonReader",
 ]
 
@@ -72,13 +83,42 @@ def encode_header(meta: Mapping[str, Any]) -> str:
     return _dumps({"v": WIRE_VERSION, "type": "header", **meta})
 
 
+def finalize_quality(
+    landscape: Landscape, quality: Mapping[str, Any] | None = None
+) -> dict[str, Any]:
+    """The per-epoch quality annotation, with the loss fraction derived.
+
+    ``quality`` carries whatever degradation deltas the emitter tracked
+    (``late``, ``dropped``, ``quarantined``); missing keys default to 0,
+    so a clean batch emission and a clean streamed emission produce the
+    identical annotation — preserving the byte-equality anchor.
+    """
+    annotation = {
+        "matched": int(sum(landscape.matched_counts.values())),
+        "late": 0,
+        "dropped": 0,
+        "quarantined": 0,
+    }
+    for key in ("matched", "late", "dropped", "quarantined"):
+        if quality is not None and key in quality:
+            annotation[key] = int(quality[key])
+    lost = annotation["late"] + annotation["dropped"] + annotation["quarantined"]
+    denominator = annotation["matched"] + lost
+    annotation["loss"] = round(lost / denominator, 6) if denominator else 0.0
+    return annotation
+
+
 def landscape_to_dict(
-    family: str, day_index: int, landscape: Landscape
+    family: str,
+    day_index: int,
+    landscape: Landscape,
+    quality: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """JSON-ready form of one closed epoch.
 
-    Only estimate values and matched counts are carried — enough to
-    ``diff`` two landscape series for exact equality.
+    Estimate values, matched counts and the quality annotation are
+    carried — enough to ``diff`` two landscape series for exact
+    equality and to judge how degraded each epoch's input was.
     """
     return {
         "v": WIRE_VERSION,
@@ -87,6 +127,7 @@ def landscape_to_dict(
         "epoch": day_index,
         "estimator": landscape.estimator_name,
         "total": landscape.total,
+        "quality": finalize_quality(landscape, quality),
         "servers": {
             server: {
                 "estimate": estimate.value,
@@ -97,9 +138,14 @@ def landscape_to_dict(
     }
 
 
-def encode_landscape(family: str, day_index: int, landscape: Landscape) -> str:
+def encode_landscape(
+    family: str,
+    day_index: int,
+    landscape: Landscape,
+    quality: Mapping[str, Any] | None = None,
+) -> str:
     """One NDJSON line for a closed epoch (deterministic key order)."""
-    return _dumps(landscape_to_dict(family, day_index, landscape))
+    return _dumps(landscape_to_dict(family, day_index, landscape, quality))
 
 
 @dataclass
@@ -114,13 +160,20 @@ class NdjsonReader:
         max_corrupt: corrupt-line budget; exceeding it raises
             :class:`WireError`.  ``None`` (default) tolerates any number
             — every skip is still counted.
+        on_corrupt: optional quarantine sink ``(line, reason) -> None``,
+            called for every corrupt line (the daemon wires this to the
+            dead-letter queue).
     """
 
     max_corrupt: int | None = None
     records: int = 0
     blank: int = 0
     corrupt: int = 0
+    truncated_tail: int = 0
     header: dict[str, Any] | None = field(default=None, repr=False)
+    on_corrupt: Callable[[str, str], None] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def skipped(self) -> int:
@@ -129,18 +182,31 @@ class NdjsonReader:
 
     def _corrupt_line(self, line: str, reason: str) -> None:
         self.corrupt += 1
+        if self.on_corrupt is not None:
+            self.on_corrupt(line, reason)
         if self.max_corrupt is not None and self.corrupt > self.max_corrupt:
             raise WireError(
                 f"corrupt-line budget exceeded ({self.corrupt} > "
                 f"{self.max_corrupt}): {reason}: {line[:120]!r}"
             )
 
-    def feed(self, line: bytes | str) -> ForwardedLookup | None:
-        """Decode one line; ``None`` for anything that is not a lookup."""
+    def feed(
+        self, line: bytes | str, *, complete: bool = True
+    ) -> ForwardedLookup | None:
+        """Decode one line; ``None`` for anything that is not a lookup.
+
+        ``complete=False`` marks the final, newline-less line of a live
+        tail: if it fails to decode it is counted as ``truncated_tail``
+        — a retriable in-flight write, not budgeted corruption — and
+        the caller re-feeds it once the producer finishes the line.
+        """
         if isinstance(line, bytes):
             try:
                 line = line.decode("utf-8")
             except UnicodeDecodeError:
+                if not complete:
+                    self.truncated_tail += 1
+                    return None
                 self._corrupt_line(repr(line[:120]), "undecodable bytes")
                 return None
         stripped = line.strip()
@@ -150,6 +216,9 @@ class NdjsonReader:
         try:
             data = json.loads(stripped)
         except json.JSONDecodeError:
+            if not complete:
+                self.truncated_tail += 1
+                return None
             self._corrupt_line(stripped, "invalid JSON")
             return None
         if not isinstance(data, dict):

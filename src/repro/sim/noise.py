@@ -4,16 +4,49 @@ BotMeter claims resilience against noisy and missing observations; these
 helpers degrade an observable trace in controlled ways so the claim can
 be tested: random record loss (collector drops), spurious non-DGA NXD
 records (noise), and timestamp jitter (clock skew between collectors).
+
+The same fault *distributions* also drive the live-service fault
+injector (:mod:`repro.service.faults`): burst lengths are geometric
+(:func:`geometric_burst_length`), and the batch-trace analogues of the
+streaming faults — :func:`burst_drop_records`,
+:func:`duplicate_records` — live here so offline robustness sweeps and
+the service soak degrade traces the same way.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
 from ..dns.message import ForwardedLookup
 from .trace import sort_observable
 
-__all__ = ["drop_records", "inject_spurious_nxds", "jitter_timestamps"]
+__all__ = [
+    "drop_records",
+    "inject_spurious_nxds",
+    "jitter_timestamps",
+    "geometric_burst_length",
+    "burst_drop_records",
+    "duplicate_records",
+]
+
+
+def geometric_burst_length(u: float, mean_length: float) -> int:
+    """Map a uniform draw onto a geometric burst length with the given
+    mean — the shared loss-burst distribution of the batch helpers and
+    the streaming fault injector.
+
+    Pure function of the draw, so it works with any RNG (``numpy`` or
+    ``random``) and keeps seeded schedules position-deterministic.
+    """
+    if mean_length < 1:
+        raise ValueError(f"mean_length must be >= 1, got {mean_length}")
+    if mean_length == 1:
+        return 1
+    p = 1.0 / mean_length
+    u = min(max(u, 0.0), 1.0 - 1e-12)
+    return 1 + int(math.log1p(-u) / math.log1p(-p))
 
 
 def drop_records(
@@ -26,6 +59,53 @@ def drop_records(
         return list(records)
     keep = rng.random(len(records)) >= miss_rate
     return [r for r, k in zip(records, keep) if k]
+
+
+def burst_drop_records(
+    records: list[ForwardedLookup],
+    rate: float,
+    mean_burst: float,
+    rng: np.random.Generator,
+) -> list[ForwardedLookup]:
+    """Drop *bursts* of consecutive records (upstream hiccups).
+
+    A burst starts at each record with probability ``rate`` and runs for
+    a geometric number of records with mean ``mean_burst`` — correlated
+    loss, unlike the independent thinning of :func:`drop_records`.
+    """
+    if not 0 <= rate <= 1:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    if rate == 0 or not records:
+        return list(records)
+    kept: list[ForwardedLookup] = []
+    burst_left = 0
+    for record in records:
+        if burst_left > 0:
+            burst_left -= 1
+            continue
+        if rng.random() < rate:
+            burst_left = geometric_burst_length(float(rng.random()), mean_burst) - 1
+            continue
+        kept.append(record)
+    return kept
+
+
+def duplicate_records(
+    records: list[ForwardedLookup], rate: float, rng: np.random.Generator
+) -> list[ForwardedLookup]:
+    """Deliver a ``rate`` fraction of records twice (retransmissions,
+    at-least-once collectors).  Duplicates are adjacent in trace order."""
+    if rate < 0:
+        raise ValueError(f"rate must be >= 0, got {rate}")
+    if rate == 0 or not records:
+        return list(records)
+    doubled = rng.random(len(records)) < rate
+    out: list[ForwardedLookup] = []
+    for record, twice in zip(records, doubled):
+        out.append(record)
+        if twice:
+            out.append(record)
+    return out
 
 
 def inject_spurious_nxds(

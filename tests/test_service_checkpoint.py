@@ -37,8 +37,11 @@ class TestCheckpointStore:
         store.save({"n": 1})
         store.save({"n": 2})
         assert store.load()["n"] == 2
-        # No temp files left behind.
-        assert [p.name for p in tmp_path.iterdir()] == ["ck.json"]
+        # No temp files left behind — just the two newest generations.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "ck.json",
+            "ck.json.1",
+        ]
 
     def test_corrupt_json_raises(self, tmp_path):
         path = tmp_path / "ck.json"
@@ -57,6 +60,62 @@ class TestCheckpointStore:
         path.write_text("[1, 2, 3]")
         with pytest.raises(CheckpointError):
             CheckpointStore(path).load()
+
+    def test_keeps_exactly_two_generations(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck.json")
+        for n in range(5):
+            store.save({"n": n})
+        assert store.load()["n"] == 4
+        assert json.loads(store.previous_path.read_text())["n"] == 3
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "ck.json",
+            "ck.json.1",
+        ]
+
+    def test_torn_main_falls_back_to_previous_generation(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck.json")
+        store.save({"n": 1})
+        store.save({"n": 2})
+        store.path.write_text("{torn mid-wr")  # power loss after replace
+        loaded = store.load()
+        assert loaded["n"] == 1
+        assert loaded["recovered_from_previous_generation"] is True
+
+    def test_empty_main_falls_back_to_previous_generation(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck.json")
+        store.save({"n": 7})
+        store.save({"n": 8})
+        store.path.write_text("")
+        assert store.load()["n"] == 7
+
+    def test_torn_main_without_previous_still_raises(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(path).load()
+
+    def test_foreign_schema_never_falls_back(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck.json")
+        store.save({"n": 1})
+        store.save({"n": 2})
+        store.path.write_text(json.dumps({"schema": "somebody-else-v9"}))
+        with pytest.raises(CheckpointError):
+            store.load()
+
+    def test_main_missing_loads_previous_generation(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck.json")
+        store.save({"n": 1})
+        store.save({"n": 2})
+        store.path.unlink()  # crash between rotation and the new write
+        assert store.exists()
+        assert store.load()["n"] == 1
+
+    def test_torn_previous_generation_raises_when_main_torn(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck.json")
+        store.path.write_text("{torn")
+        store.previous_path.write_text("{also torn")
+        with pytest.raises(CheckpointError):
+            store.load()
 
 
 def run_engine(run, records, cut=None):

@@ -103,6 +103,77 @@ class TestBackpressure:
         assert Backpressure.parse(Backpressure.DROP_OLDEST) is Backpressure.DROP_OLDEST
 
 
+class TestHorizonBoundary:
+    """Displacement exactly at the buffer's capacity is the edge the
+    fault injector's reorder gap leans on: a record displaced by at most
+    `capacity` positions is restored, one position further is not."""
+
+    def displaced(self, capacity, gap):
+        """Move record 0 `gap` positions later in a sorted stream."""
+        times = list(range(12))
+        stream = times[1 : 1 + gap] + [times[0]] + times[1 + gap :]
+        buffer = ReorderBuffer(capacity=capacity)
+        return [r.timestamp for r in drain(buffer, [rec(t) for t in stream])]
+
+    def test_displacement_equal_to_capacity_is_restored(self):
+        assert self.displaced(capacity=4, gap=4) == sorted(range(12))
+
+    def test_displacement_past_capacity_is_not_restored(self):
+        released = self.displaced(capacity=4, gap=5)
+        assert released != sorted(range(12))
+        assert sorted(released) == sorted(range(12))  # still nothing lost
+
+    def test_full_buffer_release_is_deterministic_at_the_boundary(self):
+        # Exactly at capacity the release order must not depend on how
+        # pushes interleave with releases: run twice, byte-equal.
+        stream = [rec(t) for t in (5, 6, 7, 8, 1, 9, 2, 10, 3)]
+        a = drain(ReorderBuffer(capacity=4), list(stream))
+        b = drain(ReorderBuffer(capacity=4), list(stream))
+        assert a == b
+
+
+class TestDropOldestTies:
+    """DROP_OLDEST with equal (timestamp, server, domain) keys: the seq
+    tie-break makes the *earliest-pushed* duplicate the sacrificial one,
+    deterministically."""
+
+    def test_equal_key_tie_drops_first_pushed(self):
+        buffer = ReorderBuffer(capacity=2, policy="drop-oldest")
+        first, second = rec(1), rec(1)
+        buffer.push(first)
+        buffer.push(second)
+        buffer.push(rec(2))  # over capacity: oldest (first) is shed
+        released = buffer.flush()
+        assert released[0] is second
+        assert buffer.dropped == 1
+
+    def test_all_equal_keys_keep_newest_pushes(self):
+        buffer = ReorderBuffer(capacity=3, policy="drop-oldest")
+        records = [rec(7) for _ in range(6)]
+        for record in records:
+            assert buffer.push(record) == []
+        kept = buffer.flush()
+        assert [id(r) for r in kept] == [id(r) for r in records[3:]]
+        assert buffer.dropped == 3
+
+    def test_equal_keys_never_count_as_reordered(self):
+        buffer = ReorderBuffer(capacity=2, policy="drop-oldest")
+        for _ in range(5):
+            buffer.push(rec(3))
+        assert buffer.reordered == 0
+
+    def test_tie_handling_survives_checkpoint(self):
+        buffer = ReorderBuffer(capacity=2, policy="drop-oldest")
+        buffer.push(rec(1, domain="a"))
+        buffer.push(rec(1, domain="a"))
+        state = json.loads(json.dumps(buffer.export_state()))
+        resumed = ReorderBuffer(capacity=2)
+        resumed.import_state(state)
+        resumed.push(rec(2))
+        assert resumed.dropped == 1
+        assert [r.timestamp for r in resumed.flush()] == [1.0, 2.0]
+
+
 class TestCheckpointing:
     def test_export_import_round_trip_equals_uninterrupted(self):
         records = [rec(t, f"s{t % 2:.0f}") for t in (8, 2, 9, 1, 7, 3, 6, 4, 5)]

@@ -197,3 +197,68 @@ class TestNdjsonReader:
         reader.feed("")
         reader.feed("\n")
         assert reader.blank == 2 and reader.corrupt == 0
+
+    def test_corrupt_sink_sees_line_and_reason(self):
+        seen = []
+        reader = NdjsonReader(on_corrupt=lambda line, why: seen.append((line, why)))
+        reader.feed("{bad")
+        reader.feed('{"v":99,"timestamp":1.0,"server":"s","domain":"d"}')
+        assert len(seen) == 2
+        assert seen[0][0] == "{bad"
+        assert all(why for _line, why in seen)
+
+    def test_corrupt_sink_fires_before_budget_raises(self):
+        seen = []
+        reader = NdjsonReader(
+            max_corrupt=1, on_corrupt=lambda line, why: seen.append(line)
+        )
+        reader.feed("{bad")
+        with pytest.raises(WireError):
+            reader.feed("{worse")
+        assert seen == ["{bad", "{worse"]
+
+
+class TestTruncatedTail:
+    """A partial final line of a live tail is retried, not quarantined."""
+
+    def test_incomplete_invalid_json_is_truncated_tail(self):
+        reader = NdjsonReader(max_corrupt=0)  # would raise if charged
+        half = encode_record(ForwardedLookup(1.0, "s", "a"))[:13]
+        assert reader.feed(half, complete=False) is None
+        assert reader.truncated_tail == 1
+        assert reader.corrupt == 0
+
+    def test_incomplete_undecodable_bytes_are_truncated_tail(self):
+        reader = NdjsonReader(max_corrupt=0)
+        # A UTF-8 sequence cut mid-codepoint: invalid now, fine once the
+        # rest of the bytes arrive.
+        assert reader.feed("é".encode()[:1], complete=False) is None
+        assert reader.truncated_tail == 1 and reader.corrupt == 0
+
+    def test_incomplete_line_does_not_call_corrupt_sink(self):
+        seen = []
+        reader = NdjsonReader(on_corrupt=lambda line, why: seen.append(line))
+        reader.feed("{half", complete=False)
+        assert seen == []
+
+    def test_complete_line_with_same_bytes_is_corrupt(self):
+        reader = NdjsonReader()
+        reader.feed("{half", complete=False)
+        assert reader.feed("{half") is None  # EOF made it final
+        assert reader.truncated_tail == 1 and reader.corrupt == 1
+
+    def test_valid_json_with_missing_fields_is_corrupt_even_incomplete(self):
+        # Only *undecodable* partial lines get the benefit of the doubt:
+        # a line that parses as JSON but is not a valid record is corrupt
+        # no matter how it arrived.
+        reader = NdjsonReader()
+        assert reader.feed('{"v":1,"timestamp":1.0}', complete=False) is None
+        assert reader.corrupt == 1 and reader.truncated_tail == 0
+
+    def test_retried_tail_parses_on_completion(self):
+        reader = NdjsonReader(max_corrupt=0)
+        line = encode_record(ForwardedLookup(2.0, "s", "b"))
+        assert reader.feed(line[: len(line) // 2], complete=False) is None
+        record = reader.feed(line)
+        assert record == ForwardedLookup(2.0, "s", "b")
+        assert reader.records == 1 and reader.truncated_tail == 1
