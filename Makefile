@@ -31,6 +31,10 @@ service-smoke:
 	python -m repro.cli replay service-smoke/trace.ndjson --engine batch \
 		--out service-smoke/batch.ndjson
 	diff service-smoke/streamed.ndjson service-smoke/batch.ndjson
+	python -m repro.cli replay service-smoke/trace.ndjson \
+		--ingest-workers 2 --batch-lines 256 \
+		--out service-smoke/parallel.ndjson
+	diff service-smoke/parallel.ndjson service-smoke/streamed.ndjson
 	-timeout -s KILL 4 python -m repro.cli serve \
 		--input service-smoke/trace.ndjson --no-follow --throttle 0.001 \
 		--checkpoint service-smoke/ck.json --checkpoint-every 200 \
@@ -42,7 +46,7 @@ service-smoke:
 		--metrics-out service-smoke/metrics.prom \
 		--health-out service-smoke/health.json
 	diff service-smoke/served.ndjson service-smoke/streamed.ndjson
-	@echo "service-smoke OK: streamed == batch, SIGKILL resume == uninterrupted"
+	@echo "service-smoke OK: streamed == batch == 2-worker, SIGKILL resume == uninterrupted"
 	@cat service-smoke/metrics.prom
 
 # Faultline soak: a multi-family trace through the full seeded fault

@@ -7,6 +7,7 @@ latency — so regressions are visible across commits.
 """
 
 import datetime as dt
+import time
 
 import numpy as np
 
@@ -76,6 +77,36 @@ def test_perf_eqn2_pmf(benchmark):
 
 def test_perf_segment_validity_curve(benchmark):
     benchmark(segment_validity_curve, 700, 500, 60, True)
+
+
+def test_perf_kernel_cache_warm_path():
+    """A second same-family estimator build must hit the shared kernel
+    cache: the warm pass has to be at least 10x faster than the cold one."""
+    from repro.core.kernels import reset_shared_cache
+
+    dga = make_family("new_goz", 7)
+    p = dga.params
+
+    def build_kernels():
+        barrel_consumption_pmf(p.n_registered, p.n_nxd, p.barrel_size)
+        segment_validity_curve(700, p.barrel_size, 60, True)
+        segment_validity_curve(350, p.barrel_size, 60, False)
+
+    reset_shared_cache()
+    start = time.perf_counter()
+    build_kernels()
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(10):
+        build_kernels()
+    warm = (time.perf_counter() - start) / 10
+
+    print(f"\nkernel warm path: cold={cold * 1e3:.2f}ms warm={warm * 1e6:.1f}us")
+    assert warm * 10 < cold, (
+        f"warm kernel path only {cold / warm:.1f}x faster than cold "
+        f"({cold * 1e3:.2f}ms vs {warm * 1e3:.4f}ms)"
+    )
 
 
 def _observable(seed=77):

@@ -170,6 +170,20 @@ def build_parser() -> argparse.ArgumentParser:
             "--health-out", default=None, metavar="PATH",
             help="write the JSON health snapshot here",
         )
+        cmd.add_argument(
+            "--ingest-workers", type=int, default=1, metavar="N",
+            help="shard-worker processes (1 = in-process; the emitted "
+                 "series is byte-identical at any worker count)",
+        )
+        cmd.add_argument(
+            "--batch-lines", type=int, default=256, metavar="N",
+            help="decode/submit records in batches of this many input "
+                 "lines (1 = line-at-a-time; output bytes never change)",
+        )
+        cmd.add_argument(
+            "--profile", default=None, metavar="PATH",
+            help="run under cProfile and dump pstats data here on exit",
+        )
 
     export = sub.add_parser(
         "export-trace", help="write a synthetic trace as botmeterd NDJSON"
@@ -449,6 +463,26 @@ def _cmd_export_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_profiled(args: argparse.Namespace, fn):
+    """Run ``fn`` — under cProfile when ``--profile PATH`` was given."""
+    if getattr(args, "profile", None) is None:
+        return fn()
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn()
+    finally:
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        print(
+            f"profile written to {args.profile} "
+            f"(inspect with `python -m pstats {args.profile}`)",
+            file=sys.stderr,
+        )
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from .service.daemon import BotMeterDaemon, batch_series, families_from_header
     from .service.wire import NdjsonReader, encode_landscape
@@ -471,8 +505,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             health_path=args.health_out,
             fault_injector=_make_injector(args),
             deadletter_path=args.deadletter,
+            batch_lines=args.batch_lines,
+            ingest_workers=args.ingest_workers,
         )
-        return daemon.run()
+        return _run_profiled(args, daemon.run)
 
     reader = NdjsonReader(max_corrupt=args.max_corrupt)
     if args.deadletter:
@@ -506,13 +542,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         import datetime as _dtmod
 
         timeline = Timeline(_dtmod.date.fromisoformat(header["origin"]))
-    series = batch_series(
-        records,
-        dgas,
-        estimator=args.estimator,
-        negative_ttl=args.negative_ttl,
-        timestamp_granularity=granularity,
-        timeline=timeline,
+    series = _run_profiled(
+        args,
+        lambda: batch_series(
+            records,
+            dgas,
+            estimator=args.estimator,
+            negative_ttl=args.negative_ttl,
+            timestamp_granularity=granularity,
+            timeline=timeline,
+        ),
     )
     lines = [
         encode_landscape(epoch.family, epoch.day_index, epoch.landscape)
@@ -562,16 +601,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fault_injector=_make_injector(args, disarmed),
             deadletter_path=args.deadletter,
             watchdog_deadline=args.watchdog_deadline,
+            batch_lines=args.batch_lines,
+            ingest_workers=args.ingest_workers,
         )
 
     if not args.supervise:
-        return build_daemon().run()
+        return _run_profiled(args, lambda: build_daemon().run())
 
     from .service.supervisor import Supervisor, SupervisorGaveUp
 
     supervisor = Supervisor(build_daemon, max_restarts=args.max_restarts)
     try:
-        return supervisor.run()
+        return _run_profiled(args, supervisor.run)
     except SupervisorGaveUp as exc:
         print(f"supervisor gave up: {exc}", file=sys.stderr)
         return 1

@@ -46,6 +46,19 @@ def barrel_consumption_pmf(
 ) -> np.ndarray:
     """``Pr(q = i)`` for ``i = 0..θq`` — Eqn (2) of the paper.
 
+    Served through the process-local :mod:`repro.core.kernels` cache
+    (bit-exact memoisation); the returned array is read-only.
+    """
+    from .kernels import shared_cache
+
+    return shared_cache().barrel_pmf(n_registered, n_nxd, barrel_size)
+
+
+def _barrel_consumption_pmf_impl(
+    n_registered: int, n_nxd: int, barrel_size: int
+) -> np.ndarray:
+    """Uncached Eqn (2).
+
     ``q`` is the number of NXDs a bot queries: it stops after ``i`` NXDs
     by hitting a valid domain (case a) or aborts with ``q = θq`` having
     seen no valid domain (case b).  Computed in log space from binomial
@@ -134,6 +147,19 @@ def log_gap_subset_table(max_last: int, m_max: int, gap: int) -> np.ndarray:
     ``A(j, m)`` counts ``m``-subsets of ``{1..j}`` with minimum 1,
     maximum ``j``, and consecutive gaps at most ``gap``.
 
+    Served through the :mod:`repro.core.kernels` cache under the exact
+    argument tuple (the peak-rescaling below makes entries depend on the
+    table extents, so unlike the occupancy table it is never sliced from
+    a superset); the returned array is read-only.
+    """
+    from .kernels import shared_cache
+
+    return shared_cache().gap_subsets(max_last, m_max, gap)
+
+
+def _log_gap_subset_table_impl(max_last: int, m_max: int, gap: int) -> np.ndarray:
+    """Uncached gap-subset table.
+
     Returned array has shape ``(m_max + 1, max_last + 1)`` (index 0 rows/
     columns unused, ``-inf`` for impossible combinations).  Computed by a
     sliding-window prefix-sum recurrence with floating-point rescaling —
@@ -170,6 +196,20 @@ def log_gap_subset_table(max_last: int, m_max: int, gap: int) -> np.ndarray:
 
 
 def segment_validity_curve(
+    observed_len: int,
+    gap: int,
+    n_max: int,
+    ends_at_boundary: bool,
+) -> tuple[int, np.ndarray]:
+    """``(slots, V)`` for one observed segment — the Bernoulli
+    estimator's hot path, served through the :mod:`repro.core.kernels`
+    cache under the exact argument tuple (read-only curve)."""
+    from .kernels import shared_cache
+
+    return shared_cache().segment_curve(observed_len, gap, n_max, ends_at_boundary)
+
+
+def _segment_validity_curve_impl(
     observed_len: int,
     gap: int,
     n_max: int,
@@ -226,6 +266,19 @@ def segment_validity_curve(
 def log_occupancy_table(n_boxes: int, n_max: int, m_max: int) -> np.ndarray:
     """``log P(n uniform balls land onto exactly one given m-subset and
     cover it)`` for ``n = 0..n_max``, ``m = 0..m_max``.
+
+    Served through the :mod:`repro.core.kernels` cache: entry ``(n, m)``
+    of the recurrence depends only on smaller indices, so a larger
+    cached table is sliced bit-exactly down to the request.  The
+    returned array is a read-only view.
+    """
+    from .kernels import shared_cache
+
+    return shared_cache().occupancy(n_boxes, n_max, m_max)
+
+
+def _log_occupancy_table_impl(n_boxes: int, n_max: int, m_max: int) -> np.ndarray:
+    """Uncached occupancy table.
 
     This is ``log(T(n, m) / n_boxes^n)`` with ``T`` the surjection count
     ``m!·S(n, m)``; computed via the positive recurrence

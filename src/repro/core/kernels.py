@@ -1,0 +1,307 @@
+"""Shared estimator-kernel cache (§IV-D hot tables).
+
+Every ``(family × server)`` shard of the sharded engine runs the same
+Bernoulli machinery over the same family parameters, so the expensive
+Theorem-1 ingredients — :func:`~repro.core.combinatorics.log_occupancy_table`,
+:func:`~repro.core.combinatorics.log_gap_subset_table`,
+:func:`~repro.core.combinatorics.barrel_consumption_pmf` and the composed
+:func:`~repro.core.combinatorics.segment_validity_curve` — are recomputed
+with identical arguments over and over.  :class:`KernelCache` memoises
+them process-locally and can spill to / warm from an ``.npz`` sidecar
+next to the daemon's checkpoint, so a restarted (or freshly forked
+ingest-worker) process skips the warm-up.
+
+Exactness is non-negotiable: the streamed series must stay byte-identical
+to the uncached engine, so the cache only ever returns bit-exact values.
+
+* The occupancy table's log recurrence computes entry ``(n, m)`` from
+  entries with smaller indices only, independent of the table extents —
+  so a larger cached table can be *sliced* to serve a smaller request
+  bit-exactly.  Requests grow the stored table to the running maximum
+  extent.
+* The gap-subset table uses peak-rescaling (values depend on the extent
+  through the renormalisation points), and the validity curve inherits
+  that — both are cached under their **exact** argument tuple only.
+
+All returned arrays are read-only views; callers that need to mutate
+must copy.  The cache is process-local and not thread-safe — the
+sharded service gives each worker process its own instance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["KERNEL_CACHE_SCHEMA", "KernelCache", "shared_cache", "reset_shared_cache"]
+
+KERNEL_CACHE_SCHEMA = "botmeter-kernels-v1"
+
+#: Per-kind LRU capacity; generous for any realistic family mix while
+#: bounding memory in adversarial workloads.
+_MAX_ENTRIES = 512
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+class KernelCache:
+    """Memoised estimator kernels with optional ``.npz`` persistence.
+
+    Four kinds of entries, keyed as in :mod:`repro.core.combinatorics`:
+
+    * ``occ``  — ``log_occupancy_table(n_boxes, n_max, m_max)``, stored
+      per ``n_boxes`` at the largest extents requested so far (slice-safe);
+    * ``gap``  — ``log_gap_subset_table(max_last, m_max, gap)``, exact key;
+    * ``pmf``  — ``barrel_consumption_pmf(θ∃, θ∅, θq)``, exact key;
+    * ``seg``  — ``segment_validity_curve(len, θq, n_max, boundary)``,
+      exact key, value ``(slots, curve)``.
+    """
+
+    def __init__(self, max_entries: int = _MAX_ENTRIES) -> None:
+        self.max_entries = max(1, int(max_entries))
+        # n_boxes -> (n_max, m_max, table)
+        self._occ: OrderedDict[int, tuple[int, int, np.ndarray]] = OrderedDict()
+        self._gap: OrderedDict[tuple[int, int, int], np.ndarray] = OrderedDict()
+        self._pmf: OrderedDict[tuple[int, int, int], np.ndarray] = OrderedDict()
+        self._seg: OrderedDict[tuple[int, int, int, bool], tuple[int, np.ndarray]] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _touch(self, store: OrderedDict, key: Any) -> None:
+        store.move_to_end(key)
+        self.hits += 1
+
+    def _admit(self, store: OrderedDict, key: Any, value: Any) -> None:
+        store[key] = value
+        store.move_to_end(key)
+        while len(store) > self.max_entries:
+            store.popitem(last=False)
+        self.misses += 1
+        self._dirty = True
+
+    @property
+    def dirty(self) -> bool:
+        """Entries were added since the last :meth:`save`."""
+        return self._dirty
+
+    def __len__(self) -> int:
+        return len(self._occ) + len(self._gap) + len(self._pmf) + len(self._seg)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> None:
+        self._occ.clear()
+        self._gap.clear()
+        self._pmf.clear()
+        self._seg.clear()
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+
+    # -- kernels -------------------------------------------------------------
+
+    def occupancy(self, n_boxes: int, n_max: int, m_max: int) -> np.ndarray:
+        """``log_occupancy_table``, served from the per-``n_boxes`` superset.
+
+        The recurrence is extent-independent, so slicing a larger stored
+        table yields bit-exactly the array a direct call would build.
+        """
+        from . import combinatorics as _comb
+
+        stored = self._occ.get(n_boxes)
+        if stored is not None:
+            stored_n, stored_m, table = stored
+            if n_max <= stored_n and m_max <= stored_m:
+                self._touch(self._occ, n_boxes)
+                return table[: n_max + 1, : m_max + 1]
+            n_max, m_max = max(n_max, stored_n), max(m_max, stored_m)
+        table = _readonly(_comb._log_occupancy_table_impl(n_boxes, n_max, m_max))
+        self._admit(self._occ, n_boxes, (n_max, m_max, table))
+        return table
+
+    def gap_subsets(self, max_last: int, m_max: int, gap: int) -> np.ndarray:
+        """``log_gap_subset_table`` under its exact key (the peak-rescaled
+        recurrence makes values extent-dependent, so no slicing)."""
+        from . import combinatorics as _comb
+
+        key = (max_last, m_max, gap)
+        cached = self._gap.get(key)
+        if cached is not None:
+            self._touch(self._gap, key)
+            return cached
+        table = _readonly(_comb._log_gap_subset_table_impl(max_last, m_max, gap))
+        self._admit(self._gap, key, table)
+        return table
+
+    def barrel_pmf(self, n_registered: int, n_nxd: int, barrel_size: int) -> np.ndarray:
+        """``barrel_consumption_pmf`` under its exact key."""
+        from . import combinatorics as _comb
+
+        key = (n_registered, n_nxd, barrel_size)
+        cached = self._pmf.get(key)
+        if cached is not None:
+            self._touch(self._pmf, key)
+            return cached
+        pmf = _readonly(_comb._barrel_consumption_pmf_impl(n_registered, n_nxd, barrel_size))
+        self._admit(self._pmf, key, pmf)
+        return pmf
+
+    def segment_curve(
+        self, observed_len: int, gap: int, n_max: int, ends_at_boundary: bool
+    ) -> tuple[int, np.ndarray]:
+        """``segment_validity_curve`` under its exact key."""
+        from . import combinatorics as _comb
+
+        key = (observed_len, gap, n_max, bool(ends_at_boundary))
+        cached = self._seg.get(key)
+        if cached is not None:
+            self._touch(self._seg, key)
+            return cached
+        slots, curve = _comb._segment_validity_curve_impl(
+            observed_len, gap, n_max, ends_at_boundary
+        )
+        value = (slots, _readonly(curve))
+        self._admit(self._seg, key, value)
+        return value
+
+    def warm_family(self, params: Any) -> None:
+        """Precompute the per-family constants every shard shares.
+
+        ``params`` is a :class:`~repro.dga.base.DgaParams`-shaped object
+        (``n_registered`` / ``n_nxd`` / ``barrel_size``).  Called once per
+        family at engine (and ingest-worker) construction, so the second
+        same-family estimator build starts from a warm cache.
+        """
+        self.barrel_pmf(params.n_registered, params.n_nxd, params.barrel_size)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Atomically persist every entry to an ``.npz`` sidecar."""
+        path = Path(path)
+        arrays: dict[str, np.ndarray] = {}
+        meta: dict[str, Any] = {"schema": KERNEL_CACHE_SCHEMA, "seg_slots": {}}
+        for n_boxes, (n_max, m_max, table) in self._occ.items():
+            arrays[f"occ|{n_boxes}|{n_max}|{m_max}"] = table
+        for (max_last, m_max, gap), table in self._gap.items():
+            arrays[f"gap|{max_last}|{m_max}|{gap}"] = table
+        for (n_reg, n_nxd, barrel), pmf in self._pmf.items():
+            arrays[f"pmf|{n_reg}|{n_nxd}|{barrel}"] = pmf
+        for (length, gap, n_max, boundary), (slots, curve) in self._seg.items():
+            name = f"seg|{length}|{gap}|{n_max}|{int(boundary)}"
+            arrays[name] = curve
+            meta["seg_slots"][name] = slots
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(fh, **arrays)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        self._dirty = False
+
+    def load(self, path: str | Path) -> int:
+        """Merge a :meth:`save`d sidecar; returns entries added.
+
+        Tolerant by design: a missing, torn or foreign file warms
+        nothing (the kernels are recomputed deterministically), it never
+        fails the daemon.  Existing in-memory entries win — by
+        construction both sides hold bit-identical values.
+        """
+        path = Path(path)
+        if not path.exists():
+            return 0
+        try:
+            with np.load(path) as data:
+                meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
+                if meta.get("schema") != KERNEL_CACHE_SCHEMA:
+                    return 0
+                seg_slots = meta.get("seg_slots", {})
+                added = 0
+                for name in data.files:
+                    if name == "__meta__":
+                        continue
+                    kind, *parts = name.split("|")
+                    if kind == "occ":
+                        n_boxes, n_max, m_max = map(int, parts)
+                        stored = self._occ.get(n_boxes)
+                        if stored is not None and (
+                            stored[0] >= n_max and stored[1] >= m_max
+                        ):
+                            continue
+                        self._occ[n_boxes] = (n_max, m_max, _readonly(data[name]))
+                    elif kind == "gap":
+                        key = tuple(map(int, parts))
+                        if key in self._gap:
+                            continue
+                        self._gap[key] = _readonly(data[name])
+                    elif kind == "pmf":
+                        key = tuple(map(int, parts))
+                        if key in self._pmf:
+                            continue
+                        self._pmf[key] = _readonly(data[name])
+                    elif kind == "seg":
+                        length, gap, n_max, boundary = map(int, parts)
+                        key = (length, gap, n_max, bool(boundary))
+                        if key in self._seg or name not in seg_slots:
+                            continue
+                        self._seg[key] = (int(seg_slots[name]), _readonly(data[name]))
+                    else:
+                        continue
+                    added += 1
+                return added
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile, json.JSONDecodeError):
+            return 0
+
+    def spill(self, path: str | Path) -> None:
+        """Merge whatever a concurrent writer already spilled, then save.
+
+        Multiple ingest workers share one sidecar path; each spills at
+        shutdown.  Load-then-save keeps the file a (best-effort) union —
+        and because every entry is a deterministic function of its key,
+        any interleaving still leaves only bit-exact values on disk.
+        """
+        if not self._dirty:
+            return
+        self.load(path)
+        self.save(path)
+
+
+_shared = KernelCache()
+
+
+def shared_cache() -> KernelCache:
+    """The process-local cache the combinatorics wrappers consult."""
+    return _shared
+
+
+def reset_shared_cache() -> KernelCache:
+    """Swap in a fresh shared cache (tests, cold-path benchmarks)."""
+    global _shared
+    _shared = KernelCache()
+    return _shared

@@ -214,6 +214,14 @@ class StreamingBotMeter:
             for day, matches in state["pending"].items()
         }
 
+    def skip_to_epoch(self, day: int) -> None:
+        """Start the epoch cursor at ``day`` (a shard born mid-stream in
+        a sharded service must not re-close epochs the service already
+        emitted).  Only legal before any record was ingested."""
+        if self._ingested or self._pending:
+            raise RuntimeError("skip_to_epoch is only legal on a fresh shard")
+        self._next_epoch_to_close = max(self._next_epoch_to_close, int(day))
+
     def ingest(self, record: ForwardedLookup) -> list[Landscape]:
         """Consume one record; return the landscapes of any epochs this
         record's watermark just closed (usually empty)."""

@@ -36,15 +36,22 @@ class DnsCache:
     the asymmetric TTLs the paper assumes.
     """
 
-    #: Sweep the whole table when it grows past this many entries beyond
-    #: the last sweep; keeps memory bounded in year-long simulations.
+    #: Sweep the whole table every this-many insertions; keeps memory
+    #: bounded in year-long simulations.
     _SWEEP_GROWTH = 50_000
 
-    def __init__(self) -> None:
+    def __init__(self, sweep_growth: int | None = None) -> None:
         self._entries: dict[str, CacheEntry] = {}
         self._hits = 0
         self._misses = 0
-        self._last_sweep_size = 0
+        # Cadence is counted in puts, not table growth: lazy expiry in
+        # get() shrinks the table between sweeps, and a growth-based
+        # trigger would let never-revisited dead entries defer the sweep
+        # far past the promised bound.
+        self._sweep_growth = (
+            self._SWEEP_GROWTH if sweep_growth is None else max(1, int(sweep_growth))
+        )
+        self._puts_since_sweep = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -88,7 +95,8 @@ class DnsCache:
         if ttl <= 0:
             return
         self._entries[domain] = CacheEntry(rcode, now + ttl)
-        if len(self._entries) - self._last_sweep_size > self._SWEEP_GROWTH:
+        self._puts_since_sweep += 1
+        if self._puts_since_sweep >= self._sweep_growth:
             self.sweep(now)
 
     def sweep(self, now: float) -> int:
@@ -96,10 +104,10 @@ class DnsCache:
         dead = [d for d, e in self._entries.items() if not e.is_live(now)]
         for domain in dead:
             del self._entries[domain]
-        self._last_sweep_size = len(self._entries)
+        self._puts_since_sweep = 0
         return len(dead)
 
     def flush(self) -> None:
         """Drop all entries (e.g. at a server restart)."""
         self._entries.clear()
-        self._last_sweep_size = 0
+        self._puts_since_sweep = 0

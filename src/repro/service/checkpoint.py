@@ -44,6 +44,11 @@ class CheckpointStore:
         """The rotated previous-generation sibling (``<name>.1``)."""
         return self.path.with_name(self.path.name + ".1")
 
+    def sidecar_path(self, suffix: str) -> Path:
+        """A sibling file that travels with the checkpoint (e.g. the
+        estimator-kernel cache ``<name>.kernels.npz``)."""
+        return self.path.with_name(self.path.name + "." + suffix)
+
     def exists(self) -> bool:
         return self.path.exists() or self.previous_path.exists()
 

@@ -39,7 +39,7 @@ from .faults import FaultInjector, InjectedFault, UpstreamStallError
 from .metrics import MetricsRegistry
 from .reorder import Backpressure
 from .supervisor import HealthMonitor
-from .wire import NdjsonReader, encode_landscape
+from .wire import NdjsonBatchDecoder, NdjsonReader, encode_landscape
 
 __all__ = ["BotMeterDaemon", "batch_series", "families_from_header"]
 
@@ -134,6 +134,13 @@ class BotMeterDaemon:
         watchdog_deadline: in follow mode, seconds of ingest silence
             before the daemon checkpoints and raises
             :class:`UpstreamStallError` for the supervisor to restart it.
+        batch_lines: decode/submit records in batches of this many input
+            lines (``1`` = the classic line-at-a-time loop).  Replay
+            (non-follow, no injector) additionally switches to a chunked
+            reader.  Emission, checkpoint and quarantine attribution are
+            batch-framing-independent — output bytes never change.
+        ingest_workers: shard-worker processes for the engine (``1`` =
+            in-process).  Output bytes never change with worker count.
     """
 
     def __init__(
@@ -162,6 +169,8 @@ class BotMeterDaemon:
         deadletter_path: str | Path | None = None,
         health: HealthMonitor | None = None,
         watchdog_deadline: float | None = None,
+        batch_lines: int = 1,
+        ingest_workers: int = 1,
     ) -> None:
         self.input_path = str(input_path)
         self.out_path = Path(out_path) if out_path is not None else None
@@ -207,6 +216,10 @@ class BotMeterDaemon:
         self._quarantined_mark = 0
         self._out_fh: IO[str] | None = None
         self.resumed = False
+        self.batch_lines = max(1, int(batch_lines))
+        self.ingest_workers = max(1, int(ingest_workers))
+        self._pending_records: list[ForwardedLookup] = []
+        self._pending_marks: list[int] = []
 
     # -- plumbing ------------------------------------------------------------
 
@@ -258,18 +271,33 @@ class BotMeterDaemon:
                 policy=self._policy,
                 metrics=self.metrics,
                 on_late=self._quarantine_late,
+                ingest_workers=self.ingest_workers,
+                kernel_spill=(
+                    str(self.store.sidecar_path("kernels.npz"))
+                    if self.store is not None
+                    else None
+                ),
             )
         return self.engine
 
-    def _emit(self, epochs: Sequence[EpochLandscape]) -> None:
+    def _emit(
+        self,
+        epochs: Sequence[EpochLandscape],
+        corrupt_snapshot: int | None = None,
+    ) -> None:
         if not epochs:
             return
         # Reader-level quarantines since the last emission, charged once
         # (to the batch's first row, like the engine's late/dropped
         # deltas) so series-wide sums stay exact.  Zero on a clean
-        # stream — the byte-identity anchor.
-        quarantined_delta = self.reader.corrupt - self._quarantined_mark
-        self._quarantined_mark = self.reader.corrupt
+        # stream — the byte-identity anchor.  ``corrupt_snapshot``
+        # pins the reader's corrupt count as it stood when the emitting
+        # record was *decoded*: batched decoding runs ahead of
+        # submission, and a corrupt line later in the batch must charge
+        # the next emission, exactly as line-at-a-time consumption would.
+        snapshot = self.reader.corrupt if corrupt_snapshot is None else corrupt_snapshot
+        quarantined_delta = snapshot - self._quarantined_mark
+        self._quarantined_mark = snapshot
         for index, epoch in enumerate(epochs):
             quality = dict(epoch.quality or {})
             quality["quarantined"] = quarantined_delta if index == 0 else 0
@@ -323,6 +351,9 @@ class BotMeterDaemon:
     def _checkpoint(self, offset: int) -> None:
         if self.store is None:
             return
+        # Decoded-but-unsubmitted records would sit behind the saved
+        # offset with no engine state to show for them: flush first.
+        self._flush_batch()
         engine = self._ensure_engine()
         state = {
             "input": self.input_path,
@@ -382,7 +413,60 @@ class BotMeterDaemon:
         )
         return int(checkpoint["input_offset"])
 
+    # -- batched submission ---------------------------------------------------
+
+    def _enqueue(self, record: ForwardedLookup) -> None:
+        """Hold a decoded record for the next batched submission."""
+        self._pending_records.append(record)
+        self._pending_marks.append(self.reader.corrupt)
+        self.records_consumed += 1
+        self._since_checkpoint += 1
+        if self.health is not None:
+            self.health.record_ok()
+        if len(self._pending_records) >= self.batch_lines:
+            self._flush_batch()
+
+    def _flush_batch(self) -> None:
+        if not self._pending_records:
+            return
+        records = self._pending_records
+        marks = self._pending_marks
+        self._pending_records = []
+        self._pending_marks = []
+        if self._out_fh is None and self.out_path is not None:
+            self._out_fh = open(self.out_path, "a")
+        engine = self._ensure_engine()
+        engine.submit_batch(
+            records,
+            on_emit=lambda index, epochs: self._emit(
+                epochs, corrupt_snapshot=marks[index]
+            ),
+        )
+
     # -- the loop ------------------------------------------------------------
+
+    def _run_chunked(self, fh: IO[bytes], offset: int) -> int:
+        """Replay fast path: chunked reads + batched decode/submit.
+
+        Byte-stream semantics are identical to the line loop (the
+        decoder property test pins the decode; emission and checkpoint
+        attribution are pinned by the service equality tests) — only the
+        per-line Python overhead goes away.  Returns the final offset.
+        """
+        decoder = NdjsonBatchDecoder(self.reader)
+        while True:
+            chunk = fh.read(1 << 18)
+            if not chunk:
+                break
+            for record in decoder.iter_push(chunk):
+                self._enqueue(record)
+            self._c_skipped.set_total(self.reader.skipped)
+            if self._since_checkpoint >= self.checkpoint_every:
+                self._checkpoint(offset + decoder.consumed)
+        for record in decoder.flush(complete=True):
+            self._enqueue(record)
+        self._c_skipped.set_total(self.reader.skipped)
+        return offset + decoder.consumed
 
     def run(self) -> int:
         """Serve the stream; returns a process exit code."""
@@ -411,7 +495,17 @@ class BotMeterDaemon:
                     self.deadletter.reset()
             idle_since: float | None = None
             pending = b""  # stdin-follow: a partial tail we cannot seek back to
-            while True:
+            # Replay fast path: no tailing, no injector, no pacing —
+            # the stream is just bytes to decode as fast as possible.
+            chunked = (
+                self.batch_lines > 1
+                and not self.follow
+                and self.injector is None
+                and self.throttle <= 0
+            )
+            if chunked:
+                offset = self._run_chunked(fh, offset)
+            while not chunked:
                 position = offset
                 line = fh.readline()
                 if pending:
@@ -423,6 +517,9 @@ class BotMeterDaemon:
                             offset = position + len(line)
                             self._consume(line, offset)
                         break
+                    # Idle: don't sit on decoded records waiting for a
+                    # full batch the producer may never complete.
+                    self._flush_batch()
                     now = time.monotonic()
                     if idle_since is None:
                         idle_since = now
@@ -472,6 +569,7 @@ class BotMeterDaemon:
             if self.injector is not None:
                 for delivered in self.injector.flush():
                     self._consume_one(delivered)
+            self._flush_batch()
             if self.engine is not None:
                 self._emit(self.engine.finalize())
                 self._checkpoint(offset)
@@ -486,6 +584,9 @@ class BotMeterDaemon:
         finally:
             if not use_stdin:
                 fh.close()
+            if self.engine is not None:
+                # Stops ingest workers; spills the kernel-cache sidecar.
+                self.engine.close()
             if self._out_fh is not None:
                 self._out_fh.close()
                 self._out_fh = None
@@ -512,6 +613,9 @@ class BotMeterDaemon:
         record = self.reader.feed(line, complete=complete)
         self._c_skipped.set_total(self.reader.skipped)
         if record is None:
+            return
+        if self.batch_lines > 1:
+            self._enqueue(record)
             return
         if self._out_fh is None and self.out_path is not None:
             self._out_fh = open(self.out_path, "a")

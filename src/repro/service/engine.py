@@ -26,6 +26,7 @@ from typing import Any, Callable, Mapping
 
 from ..core.botmeter import Landscape, make_estimator
 from ..core.estimator import Estimator
+from ..core.kernels import shared_cache
 from ..core.streaming import StreamingBotMeter
 from ..core.taxonomy import recommended_estimator
 from ..dga.base import Dga
@@ -33,6 +34,11 @@ from ..dns.message import ForwardedLookup
 from ..timebase import SECONDS_PER_DAY, Timeline
 from .metrics import MetricsRegistry
 from .reorder import Backpressure, ReorderBuffer
+from .workers import WorkerConfig, WorkerPool
+
+#: Records buffered per worker outbox before an eager pipe flush; keeps
+#: workers busy mid-batch while amortising the pickle/send overhead.
+_OUTBOX_FLUSH = 512
 
 __all__ = ["EpochLandscape", "ShardedLandscapeEngine"]
 
@@ -121,6 +127,14 @@ class ShardedLandscapeEngine:
         on_late: optional sink ``(record, matched_day) -> None`` called
             for every matched record that arrived after its epoch was
             emitted (the daemon wires this to the dead-letter queue).
+        ingest_workers: shard-worker processes.  ``1`` (default) keeps
+            every shard in-process; ``N > 1`` routes each record's
+            server to one of N workers (:mod:`repro.service.workers`)
+            and merges their epoch closures back in watermark order —
+            the emitted series is byte-identical at any worker count.
+        kernel_spill: optional path to an estimator-kernel ``.npz``
+            sidecar that ingest workers warm from at boot and spill to
+            at :meth:`close` (see :mod:`repro.core.kernels`).
     """
 
     def __init__(
@@ -136,6 +150,8 @@ class ShardedLandscapeEngine:
         policy: Backpressure | str = Backpressure.BLOCK,
         metrics: MetricsRegistry | None = None,
         on_late: Callable[[ForwardedLookup, int], None] | None = None,
+        ingest_workers: int = 1,
+        kernel_spill: str | None = None,
     ) -> None:
         if not dgas:
             raise ValueError("need at least one DGA family")
@@ -175,6 +191,22 @@ class ShardedLandscapeEngine:
         self._late_total = 0
         self._late_mark = 0
         self._dropped_mark = 0
+
+        self._ingest_workers = max(1, int(ingest_workers))
+        self._kernel_spill = str(kernel_spill) if kernel_spill is not None else None
+        self._pool: WorkerPool | None = None
+        self._outboxes: list[list[tuple[int, float, str, str]]] = []
+        self._dispatch_seq = 0
+        self._worker_failures: list[int] = []
+        self._failures_total = 0
+        self._shard_cursors: dict[tuple[str, str], int] = {}
+        self._pending_import: list[list[Any]] | None = None
+        if self._kernel_spill and self._ingest_workers == 1:
+            # Serial mode runs the estimators in-process: warm the
+            # shared cache here (workers warm their own copies).
+            shared_cache().load(self._kernel_spill)
+        for family in self._families:
+            shared_cache().warm_family(self._dgas[family].params)
 
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         m = self.metrics
@@ -227,8 +259,19 @@ class ShardedLandscapeEngine:
         return self._next_epoch_to_emit
 
     @property
+    def parallel(self) -> bool:
+        """Whether ingest is spread over worker processes."""
+        return self._ingest_workers > 1
+
+    @property
+    def ingest_workers(self) -> int:
+        return self._ingest_workers
+
+    @property
     def shard_keys(self) -> list[tuple[str, str]]:
         """Existing ``(family, server)`` shards, sorted."""
+        if self.parallel:
+            return sorted(self._shard_cursors)
         return sorted(self._shards)
 
     def estimator_name(self, family: str) -> str:
@@ -255,27 +298,93 @@ class ShardedLandscapeEngine:
             if self._next_epoch_to_emit:
                 # A shard born mid-stream must not re-close already
                 # emitted epochs.
-                shard.import_state(
-                    {
-                        "watermark": None,
-                        "next_epoch_to_close": self._next_epoch_to_emit,
-                        "ingested": 0,
-                        "matched": 0,
-                        "pending": {},
-                    }
-                )
+                shard.skip_to_epoch(self._next_epoch_to_emit)
             self._shards[key] = shard
         return shard
+
+    def _ensure_pool(self) -> None:
+        if self._pool is not None:
+            return
+        config = WorkerConfig(
+            dgas=self._dgas,
+            estimators=self._estimators,
+            detection_windows=self._detection_windows,
+            negative_ttl=self._negative_ttl,
+            timestamp_granularity=self._granularity,
+            timeline=self._timeline,
+            grace=self._grace,
+            kernel_spill=self._kernel_spill,
+        )
+        self._pool = WorkerPool(config, self._ingest_workers)
+        self._outboxes = [[] for _ in range(self._ingest_workers)]
+        self._worker_failures = [0] * self._ingest_workers
+        if self._pending_import is not None:
+            self._distribute_import()
+
+    def _distribute_import(self) -> None:
+        """Hand each worker its slice of a restored checkpoint."""
+        groups: list[list[list[Any]]] = [[] for _ in range(self._ingest_workers)]
+        for entry in self._pending_import or []:
+            groups[self._pool.worker_for(entry[1])].append(entry)
+        replies = self._pool.request_each(
+            [
+                ("import", groups[index], self._next_epoch_to_emit)
+                for index in range(self._ingest_workers)
+            ]
+        )
+        for index, reply in enumerate(replies):
+            self._worker_failures[index] = reply["failures"]
+        self._failures_total = sum(self._worker_failures)
+        self._pending_import = None
 
     # -- ingest --------------------------------------------------------------
 
     def submit(self, record: ForwardedLookup) -> list[EpochLandscape]:
         """Buffer one record; return any epochs its arrival closed."""
+        if self.parallel:
+            return self.submit_batch([record])
         if self._finalized:
             raise RuntimeError("engine already finalized")
         self._c_ingested.inc()
         released = self._reorder.push(record)
         out = self._process(released)
+        self._c_reordered.set_total(self._reorder.reordered)
+        self._c_dropped.set_total(self._reorder.dropped)
+        self._g_depth.set(self._reorder.depth)
+        return out
+
+    def submit_batch(
+        self,
+        records: list[ForwardedLookup],
+        on_emit: Callable[[int, list[EpochLandscape]], None] | None = None,
+    ) -> list[EpochLandscape]:
+        """Buffer a batch; return every epoch the batch closed, in order.
+
+        ``on_emit(index, epochs)`` fires as each record's emission
+        happens, with the index of the triggering record — the daemon
+        uses it to attribute reader-level quarantine deltas to the right
+        emission even when the trigger sits mid-batch.
+        """
+        if self._finalized:
+            raise RuntimeError("engine already finalized")
+        out: list[EpochLandscape] = []
+        if not self.parallel:
+            for index, record in enumerate(records):
+                epochs = self.submit(record)
+                if epochs:
+                    if on_emit is not None:
+                        on_emit(index, epochs)
+                    out.extend(epochs)
+            return out
+        self._ensure_pool()
+        for index, record in enumerate(records):
+            self._c_ingested.inc()
+            released = self._reorder.push(record)
+            epochs = self._process_parallel(released)
+            if epochs:
+                if on_emit is not None:
+                    on_emit(index, epochs)
+                out.extend(epochs)
         self._c_reordered.set_total(self._reorder.reordered)
         self._c_dropped.set_total(self._reorder.dropped)
         self._g_depth.set(self._reorder.depth)
@@ -310,6 +419,76 @@ class ShardedLandscapeEngine:
             self._next_epoch_to_emit += 1
         return out
 
+    # -- parallel ingest ------------------------------------------------------
+
+    def _process_parallel(self, released: list[ForwardedLookup]) -> list[EpochLandscape]:
+        # Emission is checked per released record — exactly when the
+        # serial `_process` would check it — so quality deltas charge to
+        # the same epochs regardless of batch framing.
+        out: list[EpochLandscape] = []
+        for record in released:
+            if record.timestamp > self._watermark:
+                self._watermark = record.timestamp
+            self._dispatch(record)
+            if (
+                (self._next_epoch_to_emit + 1) * SECONDS_PER_DAY + self._grace
+                <= self._watermark
+            ):
+                self._sync_workers(("close", self._watermark))
+                while (
+                    (self._next_epoch_to_emit + 1) * SECONDS_PER_DAY + self._grace
+                    <= self._watermark
+                ):
+                    out.extend(self._emit_day(self._next_epoch_to_emit))
+                    self._next_epoch_to_emit += 1
+        return out
+
+    def _dispatch(self, record: ForwardedLookup) -> None:
+        index = self._pool.worker_for(record.server)
+        outbox = self._outboxes[index]
+        outbox.append(
+            (self._dispatch_seq, record.timestamp, record.server, record.domain)
+        )
+        self._dispatch_seq += 1
+        if len(outbox) >= _OUTBOX_FLUSH:
+            self._flush_outbox(index)
+
+    def _flush_outbox(self, index: int) -> None:
+        outbox = self._outboxes[index]
+        if outbox:
+            self._pool.send(index, ("batch", outbox, self._next_epoch_to_emit))
+            self._outboxes[index] = []
+
+    def _sync_workers(self, message: tuple) -> list[dict[str, Any]]:
+        """Flush every outbox, broadcast ``message``, merge the replies.
+
+        Pipe ordering guarantees the workers saw every dispatched record
+        before answering, so the merged reply is a consistent cut of the
+        whole sharded state.
+        """
+        for index in range(len(self._outboxes)):
+            self._flush_outbox(index)
+        replies = self._pool.request(message)
+        lates: list[tuple[int, tuple[float, str, str], int]] = []
+        for index, reply in enumerate(replies):
+            for family in sorted(reply["matched"]):
+                self._c_matched.inc(reply["matched"][family], family=family)
+            lates.extend(reply["late"])
+            for family, server, day, landscape in reply["closures"]:
+                self._closed.setdefault((family, day), {})[server] = landscape
+            self._worker_failures[index] = reply["failures"]
+            for family, server, cursor in reply["cursors"]:
+                self._shard_cursors[(family, server)] = cursor
+        self._failures_total = sum(self._worker_failures)
+        # Dispatch order restores the serial engine's late-record stream
+        # (and therefore the dead-letter queue) exactly.
+        for seq, (timestamp, server, domain), matched_day in sorted(lates):
+            self._c_late.inc()
+            self._late_total += 1
+            if self._on_late is not None:
+                self._on_late(ForwardedLookup(timestamp, server, domain), matched_day)
+        return replies
+
     def _emit_day(self, day: int) -> list[EpochLandscape]:
         # Degradation deltas since the previous emission, charged once
         # (to the day's first family row) so series-wide sums stay
@@ -319,9 +498,7 @@ class ShardedLandscapeEngine:
         dropped_delta = self._reorder.dropped - self._dropped_mark
         self._late_mark = self._late_total
         self._dropped_mark = self._reorder.dropped
-        self._c_fallbacks.set_total(
-            sum(shard.stats["estimate_failures"] for shard in self._shards.values())
-        )
+        self._c_fallbacks.set_total(self._fallback_total())
         results = []
         for index, family in enumerate(self._families):
             quality = (
@@ -341,12 +518,21 @@ class ShardedLandscapeEngine:
             results.append(EpochLandscape(family, day, merged, quality))
         return results
 
+    def _fallback_total(self) -> int:
+        if self.parallel:
+            return self._failures_total
+        return sum(
+            shard.stats["estimate_failures"] for shard in self._shards.values()
+        )
+
     def finalize(self) -> list[EpochLandscape]:
         """Drain the buffer and emit every epoch through the watermark's
         day (stream end).  Quiet ``(family, day)`` cells emit empty
         landscapes, so the series is rectangular: families × days."""
         if self._finalized:
             return []
+        if self.parallel:
+            return self._finalize_parallel()
         out = self._process(self._reorder.flush())
         if self._watermark > float("-inf"):
             last_day = int(self._watermark // SECONDS_PER_DAY)
@@ -360,19 +546,58 @@ class ShardedLandscapeEngine:
         self.refresh_gauges()
         return out
 
+    def _finalize_parallel(self) -> list[EpochLandscape]:
+        # Mirrors the serial path: flushed records are all dispatched
+        # first, then every remaining day emits in one ascending sweep —
+        # the serial `_process(flush())` likewise defers emission until
+        # after the whole flush, so quality deltas land identically.
+        out: list[EpochLandscape] = []
+        flushed = self._reorder.flush()
+        if flushed or self._pending_import is not None or self._watermark > float("-inf"):
+            self._ensure_pool()
+        for record in flushed:
+            if record.timestamp > self._watermark:
+                self._watermark = record.timestamp
+            self._dispatch(record)
+        if self._watermark > float("-inf"):
+            last_day = int(self._watermark // SECONDS_PER_DAY)
+            target = (last_day + 1) * SECONDS_PER_DAY + self._grace
+            self._sync_workers(("finalize", target))
+            while self._next_epoch_to_emit <= last_day:
+                out.extend(self._emit_day(self._next_epoch_to_emit))
+                self._next_epoch_to_emit += 1
+        self._finalized = True
+        self.refresh_gauges()
+        return out
+
+    def close(self) -> None:
+        """Shut down ingest workers (each spills its kernel cache) and,
+        in serial mode, spill the in-process cache.  Idempotent."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        elif self._kernel_spill and not self.parallel:
+            shared_cache().spill(self._kernel_spill)
+
     # -- observability -------------------------------------------------------
 
     def refresh_gauges(self) -> None:
         """Publish the point-in-time gauges (buffer depth, shard lag)."""
         self._g_depth.set(self._reorder.depth)
-        for (family, server), shard in sorted(self._shards.items()):
+        if self.parallel:
+            cursors = sorted(self._shard_cursors.items())
+        else:
+            cursors = [
+                (key, shard.next_epoch_to_close)
+                for key, shard in sorted(self._shards.items())
+            ]
+        for (family, server), next_epoch in cursors:
             if self._watermark == float("-inf"):
                 lag = 0.0
             else:
                 lag = max(
                     0.0,
-                    self._watermark
-                    - shard.next_epoch_to_close * SECONDS_PER_DAY,
+                    self._watermark - next_epoch * SECONDS_PER_DAY,
                 )
             self._g_lag.set(lag, family=family, server=server)
 
@@ -383,7 +608,17 @@ class ShardedLandscapeEngine:
 
         Only legal between :meth:`submit` calls (epoch emission is
         synchronous, so there is never half-merged state to capture).
+        In parallel mode the workers are synced first, so the exported
+        snapshot is the **same schema** — a checkpoint written at one
+        worker count restores at any other.
         """
+        if self.parallel:
+            shards = self._export_shards_parallel()
+        else:
+            shards = [
+                [family, server, shard.export_state()]
+                for (family, server), shard in sorted(self._shards.items())
+            ]
         if self._closed:
             raise RuntimeError(
                 "cannot checkpoint with un-emitted shard closures pending"
@@ -398,11 +633,20 @@ class ShardedLandscapeEngine:
             "late_mark": self._late_mark,
             "dropped_mark": self._dropped_mark,
             "reorder": self._reorder.export_state(),
-            "shards": [
-                [family, server, shard.export_state()]
-                for (family, server), shard in sorted(self._shards.items())
-            ],
+            "shards": shards,
         }
+
+    def _export_shards_parallel(self) -> list[list[Any]]:
+        if self._pool is None:
+            # Nothing dispatched yet: the restored (or empty) snapshot
+            # is still the authoritative shard state.
+            return [list(entry) for entry in self._pending_import or []]
+        replies = self._sync_workers(("export",))
+        merged: list[list[Any]] = []
+        for reply in replies:
+            merged.extend(reply["shards"])
+        merged.sort(key=lambda entry: (entry[0], entry[1]))
+        return merged
 
     def import_state(self, state: Mapping[str, Any]) -> None:
         """Restore :meth:`export_state` output onto a same-config engine."""
@@ -424,8 +668,21 @@ class ShardedLandscapeEngine:
         self._reorder.import_state(state["reorder"])
         self._shards = {}
         self._closed = {}
-        for family, server, shard_state in state["shards"]:
-            # _shard() pre-skips emitted epochs for newborns; import_state
-            # then overwrites the whole cursor/pending state anyway.
-            self._shard(family, server).import_state(shard_state)
+        if self.parallel:
+            self._pending_import = [list(entry) for entry in state["shards"]]
+            self._failures_total = sum(
+                int(entry[2].get("estimate_failures", 0))
+                for entry in self._pending_import
+            )
+            self._shard_cursors = {
+                (entry[0], entry[1]): int(entry[2]["next_epoch_to_close"])
+                for entry in self._pending_import
+            }
+            if self._pool is not None:
+                self._distribute_import()
+        else:
+            for family, server, shard_state in state["shards"]:
+                # _shard() pre-skips emitted epochs for newborns; import
+                # then overwrites the whole cursor/pending state anyway.
+                self._shard(family, server).import_state(shard_state)
         self.refresh_gauges()

@@ -46,6 +46,7 @@ __all__ = [
     "landscape_to_dict",
     "finalize_quality",
     "NdjsonReader",
+    "NdjsonBatchDecoder",
 ]
 
 #: Version stamped on (and required of) every wire line.
@@ -245,3 +246,83 @@ class NdjsonReader:
             record = self.feed(line)
             if record is not None:
                 yield record
+
+
+class NdjsonBatchDecoder:
+    """Chunk-oriented NDJSON decode for batched ingest.
+
+    Feed it arbitrary byte chunks (any split — mid-line boundaries
+    included); it reassembles lines and drives a regular
+    :class:`NdjsonReader`, so skip counting, header capture, quarantine
+    sinks and the corrupt budget behave *identically* to line-at-a-time
+    decoding — the decoder is a pure re-chunking layer (the property
+    test in ``tests/test_service_wire.py`` pins this).
+
+    ``consumed`` counts the bytes of every fully decoded line (newline
+    included), i.e. the stream offset up to which the decode is durable
+    — the daemon checkpoints input offsets from it.  The newline-less
+    tail is held back until more bytes arrive; at stream end call
+    :meth:`flush` to decode it (``complete=False`` applies the reader's
+    truncated-tail policy and *retains* the tail for a later retry).
+    """
+
+    def __init__(
+        self,
+        reader: NdjsonReader | None = None,
+        *,
+        max_corrupt: int | None = None,
+        on_corrupt: Callable[[str, str], None] | None = None,
+    ) -> None:
+        self.reader = (
+            reader
+            if reader is not None
+            else NdjsonReader(max_corrupt=max_corrupt, on_corrupt=on_corrupt)
+        )
+        self._tail = b""
+        self.consumed = 0
+
+    @property
+    def pending(self) -> bytes:
+        """The held-back partial line (no newline seen yet)."""
+        return self._tail
+
+    def iter_push(self, chunk: bytes) -> Iterator[ForwardedLookup]:
+        """Decode one chunk lazily, yielding lookup records.
+
+        ``consumed`` and the reader's counters advance as the iterator
+        is drained, so a caller can observe per-record reader state
+        (e.g. the corrupt count) between yields.
+        """
+        data = self._tail + chunk
+        lines = data.split(b"\n")
+        self._tail = lines.pop()
+        for line in lines:
+            self.consumed += len(line) + 1
+            record = self.reader.feed(line)
+            if record is not None:
+                yield record
+
+    def push(self, chunk: bytes) -> list[ForwardedLookup]:
+        """Decode one chunk eagerly; returns its complete-line records."""
+        return list(self.iter_push(chunk))
+
+    def flush(self, complete: bool = True) -> list[ForwardedLookup]:
+        """Decode the held tail at stream end (or probe a live tail).
+
+        ``complete=True`` (stream ended): the tail is a final line —
+        decode it under the normal corrupt policy and consume it.
+        ``complete=False`` (live tail, producer mid-write): probe it
+        under the reader's truncated-tail policy; if it parses it is
+        consumed, otherwise it is counted as ``truncated_tail`` and
+        *kept* for the next :meth:`push` to complete.
+        """
+        if not self._tail:
+            return []
+        line = self._tail
+        before = self.reader.truncated_tail
+        record = self.reader.feed(line, complete=complete)
+        if not complete and self.reader.truncated_tail > before:
+            return []  # still in flight; retry once more bytes arrive
+        self._tail = b""
+        self.consumed += len(line)
+        return [record] if record is not None else []

@@ -1,0 +1,289 @@
+"""Sharded ingest workers: the parallel half of the landscape engine.
+
+The :class:`~repro.service.engine.ShardedLandscapeEngine` can spread its
+``(family × server)`` shards over N worker *processes*.  The parent
+routes every released record to exactly one worker with a deterministic
+hash of its ``server`` field (:func:`worker_for_server`), so each worker
+owns a disjoint subset of the shards and sees its records in released
+(stream) order.  Ingest commands are fire-and-forget batches; workers
+only speak when the parent reaches a *sync point* — an epoch emission,
+a checkpoint export, or finalize — at which moment every buffered batch
+has been flushed down the pipe first, so command ordering alone
+guarantees the worker state is complete.
+
+A sync reply carries everything the parent deferred: per-family matched
+counts, late records (tagged with their parent-side dispatch sequence
+number, so the merged late stream reproduces the serial engine's
+dead-letter order exactly), closed ``(family, server, day)`` landscapes,
+the estimator-fallback total and per-shard epoch cursors.  The parent
+merges closures into the same per-day emission path the serial engine
+uses — which is how the emitted NDJSON stays byte-identical at any
+worker count.
+
+Workers hold a process-local :class:`~repro.core.kernels.KernelCache`;
+when the engine was given a spill path they warm from it at boot and
+spill back at shutdown, so restarts skip the estimator-kernel warm-up.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, get_context
+from multiprocessing.connection import Connection
+from typing import Any, Mapping
+
+from ..core.estimator import Estimator
+from ..core.kernels import shared_cache
+from ..core.streaming import StreamingBotMeter
+from ..dga.base import Dga
+from ..dns.message import ForwardedLookup
+from ..timebase import Timeline
+
+__all__ = ["WorkerConfig", "WorkerPool", "worker_for_server"]
+
+#: One record on the wire: ``(dispatch_seq, timestamp, server, domain)``.
+RecordTuple = tuple[int, float, str, str]
+
+
+def worker_for_server(server: str, n_workers: int) -> int:
+    """Deterministic shard routing: stable across runs, platforms and
+    restarts (CRC-32 is endianness-free and seedless, unlike ``hash``)."""
+    return zlib.crc32(server.encode("utf-8")) % n_workers
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker needs to rebuild the engine's shard factory."""
+
+    dgas: Mapping[str, Dga]
+    estimators: Mapping[str, Estimator]
+    detection_windows: Mapping[str, Mapping[int, frozenset[str]]]
+    negative_ttl: float
+    timestamp_granularity: float
+    timeline: Timeline
+    grace: float
+    kernel_spill: str | None = None
+
+
+class _WorkerState:
+    """The worker-process side: shards plus deferred-stat accumulators."""
+
+    def __init__(self, config: WorkerConfig) -> None:
+        from .engine import _FamilyRouter  # worker-side import, no cycle at load
+
+        self.config = config
+        self.families = sorted(config.dgas)
+        self.routers = {
+            family: _FamilyRouter(
+                dga, config.timeline, config.detection_windows.get(family)
+            )
+            for family, dga in config.dgas.items()
+        }
+        self.shards: dict[tuple[str, str], StreamingBotMeter] = {}
+        self.cursor = 0  # the parent's next_epoch_to_emit, per latest batch
+        self.closures: list[tuple[str, str, int, Any]] = []
+        self.matched: dict[str, int] = {}
+        self.late: list[tuple[int, tuple[float, str, str], int]] = []
+        if config.kernel_spill:
+            shared_cache().load(config.kernel_spill)
+        for family in self.families:
+            shared_cache().warm_family(config.dgas[family].params)
+
+    def _shard(self, family: str, server: str) -> StreamingBotMeter:
+        key = (family, server)
+        shard = self.shards.get(key)
+        if shard is None:
+            config = self.config
+            shard = StreamingBotMeter(
+                config.dgas[family],
+                estimator=config.estimators[family],
+                detection_windows=config.detection_windows.get(family),
+                negative_ttl=config.negative_ttl,
+                timestamp_granularity=config.timestamp_granularity,
+                timeline=config.timeline,
+                grace=config.grace,
+                on_epoch=lambda day, landscape, _key=key: self.closures.append(
+                    (_key[0], _key[1], day, landscape)
+                ),
+            )
+            if self.cursor:
+                shard.skip_to_epoch(self.cursor)
+            self.shards[key] = shard
+        return shard
+
+    def ingest_batch(self, records: list[RecordTuple], cursor: int) -> None:
+        self.cursor = cursor
+        for seq, timestamp, server, domain in records:
+            record = ForwardedLookup(timestamp, server, domain)
+            for family in self.families:
+                matched_day = self.routers[family].match_day(record)
+                if matched_day is None:
+                    continue
+                self.matched[family] = self.matched.get(family, 0) + 1
+                if matched_day < cursor:
+                    self.late.append((seq, (timestamp, server, domain), matched_day))
+                self._shard(family, server).ingest(record)
+
+    def advance_all(self, timestamp: float) -> None:
+        for shard in self.shards.values():
+            shard.advance_watermark(timestamp)
+
+    def sync_payload(self) -> dict[str, Any]:
+        """Drain the deferred stats (the reply to any sync command)."""
+        payload = {
+            "matched": self.matched,
+            "late": self.late,
+            "closures": self.closures,
+            "failures": sum(
+                shard.stats["estimate_failures"] for shard in self.shards.values()
+            ),
+            "cursors": [
+                (family, server, shard.next_epoch_to_close)
+                for (family, server), shard in sorted(self.shards.items())
+            ],
+        }
+        self.matched = {}
+        self.late = []
+        self.closures = []
+        return payload
+
+    def export_shards(self) -> list[list[Any]]:
+        return [
+            [family, server, shard.export_state()]
+            for (family, server), shard in sorted(self.shards.items())
+        ]
+
+    def import_shards(self, shards: list[list[Any]], cursor: int) -> None:
+        self.shards = {}
+        self.closures = []
+        self.matched = {}
+        self.late = []
+        self.cursor = int(cursor)
+        for family, server, shard_state in shards:
+            self._shard(family, server).import_state(shard_state)
+
+
+def _worker_main(conn: Connection, config: WorkerConfig) -> None:
+    state = _WorkerState(config)
+    deferred_error: str | None = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # parent went away; nothing durable lives here
+        op = message[0]
+        if op == "stop":
+            if config.kernel_spill:
+                shared_cache().spill(config.kernel_spill)
+            break
+        try:
+            if deferred_error is not None:
+                raise RuntimeError(deferred_error)
+            if op == "batch":
+                state.ingest_batch(message[1], message[2])
+            elif op in ("close", "finalize"):
+                state.advance_all(message[1])
+                conn.send(state.sync_payload())
+            elif op == "sync":
+                conn.send(state.sync_payload())
+            elif op == "export":
+                payload = state.sync_payload()
+                payload["shards"] = state.export_shards()
+                conn.send(payload)
+            elif op == "import":
+                state.import_shards(message[1], message[2])
+                payload = state.sync_payload()
+                conn.send(payload)
+            else:
+                raise RuntimeError(f"unknown worker command {op!r}")
+        except Exception as exc:  # pragma: no cover - defensive surface
+            if op == "batch":
+                # Fire-and-forget: report at the next request instead.
+                deferred_error = f"{type(exc).__name__}: {exc}"
+            else:
+                deferred_error = None
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    conn.close()
+
+
+class WorkerPool:
+    """Parent-side handle on the N ingest-worker processes.
+
+    Prefers the ``fork`` start method (cheap, and the config rides the
+    fork instead of a pickle); falls back to ``spawn`` elsewhere — the
+    config dataclass is picklable either way.
+    """
+
+    def __init__(self, config: WorkerConfig, n_workers: int) -> None:
+        if n_workers < 2:
+            raise ValueError("a worker pool needs at least 2 workers")
+        self.n_workers = int(n_workers)
+        method = "fork" if "fork" in get_all_start_methods() else "spawn"
+        ctx = get_context(method)
+        self._conns: list[Connection] = []
+        self._procs = []
+        self._route_cache: dict[str, int] = {}
+        for index in range(self.n_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, config),
+                name=f"botmeterd-ingest-{index}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    def worker_for(self, server: str) -> int:
+        index = self._route_cache.get(server)
+        if index is None:
+            index = worker_for_server(server, self.n_workers)
+            self._route_cache[server] = index
+        return index
+
+    def send(self, index: int, message: tuple) -> None:
+        """Fire-and-forget (``batch`` commands)."""
+        self._conns[index].send(message)
+
+    def _recv(self, index: int) -> dict[str, Any]:
+        try:
+            reply = self._conns[index].recv()
+        except (EOFError, OSError) as exc:
+            raise RuntimeError(
+                f"ingest worker {index} died mid-request"
+            ) from exc
+        if isinstance(reply, tuple) and reply and reply[0] == "error":
+            raise RuntimeError(f"ingest worker {index} failed: {reply[1]}")
+        return reply
+
+    def request(self, message: tuple) -> list[dict[str, Any]]:
+        """Send one command to every worker; replies in worker order."""
+        for conn in self._conns:
+            conn.send(message)
+        return [self._recv(index) for index in range(self.n_workers)]
+
+    def request_each(self, messages: list[tuple]) -> list[dict[str, Any]]:
+        """Per-worker commands (``import`` distribution), replies in order."""
+        for conn, message in zip(self._conns, messages):
+            conn.send(message)
+        return [self._recv(index) for index in range(self.n_workers)]
+
+    def close(self) -> None:
+        """Stop every worker (they spill their kernel caches first)."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - hung-worker backstop
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        self._conns = []
+        self._procs = []

@@ -12,10 +12,17 @@ A simulation yields two parallel views of the same traffic (§V-B):
 from __future__ import annotations
 
 import csv
+from collections import defaultdict
+from operator import attrgetter
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..dns.message import ForwardedLookup, Lookup
+
+#: Sort keys as C-level attrgetters — these run over every simulated
+#: record, and batch_series re-sorts whole traces per replay.
+_RAW_KEY = attrgetter("timestamp", "client", "domain")
+_OBSERVABLE_KEY = attrgetter("timestamp", "server", "domain")
 
 __all__ = [
     "sort_raw",
@@ -32,12 +39,12 @@ __all__ = [
 
 def sort_raw(records: Iterable[Lookup]) -> list[Lookup]:
     """Chronologically (and deterministically) sorted raw records."""
-    return sorted(records, key=lambda r: (r.timestamp, r.client, r.domain))
+    return sorted(records, key=_RAW_KEY)
 
 
 def sort_observable(records: Iterable[ForwardedLookup]) -> list[ForwardedLookup]:
     """Chronologically (and deterministically) sorted observable records."""
-    return sorted(records, key=lambda r: (r.timestamp, r.server, r.domain))
+    return sorted(records, key=_OBSERVABLE_KEY)
 
 
 def observable_by_server(
@@ -48,10 +55,10 @@ def observable_by_server(
     This is the first step of landscape charting: BotMeter estimates one
     population per local server.
     """
-    by_server: dict[str, list[ForwardedLookup]] = {}
+    by_server: defaultdict[str, list[ForwardedLookup]] = defaultdict(list)
     for record in records:
-        by_server.setdefault(record.server, []).append(record)
-    return by_server
+        by_server[record.server].append(record)
+    return dict(by_server)
 
 
 def within_window(

@@ -96,3 +96,40 @@ class TestDnsCache:
             cache.put(f"d{i}.com", RCode.NXDOMAIN, 0.0, 100.0)
         assert len(cache) == 1000
         assert cache.get("d500.com", 50.0) is RCode.NXDOMAIN
+
+
+class TestSweepCadence:
+    """The bounded-sweep promise must survive lazy-expiry skew."""
+
+    def test_year_long_ttl_churn_stays_bounded(self):
+        # A year of NXD churn: every domain is new (DGA-style), cached
+        # for 30 minutes, and never looked up again — the worst case
+        # for lazy expiry, since get() never gets a chance to evict.
+        cache = DnsCache(sweep_growth=1_000)
+        ttl = 1_800.0
+        now = 0.0
+        for day in range(365):
+            for i in range(500):
+                now = day * 86_400.0 + i * 10.0
+                cache.put(f"d{day}-{i}.example", RCode.NXDOMAIN, now, ttl)
+            # Live entries fit in one TTL window; everything beyond
+            # live + sweep_growth is sweep debt, which must stay bounded.
+            assert len(cache) <= (ttl / 10.0) + 1_000
+
+    def test_put_triggers_sweep_despite_lazy_get_shrinkage(self):
+        # Lazy get() deletions used to push the growth-based trigger
+        # ever further away; the put-counted cadence is immune.
+        cache = DnsCache(sweep_growth=100)
+        for i in range(100):
+            cache.put(f"dead{i}.example", RCode.NXDOMAIN, 0.0, 1.0)
+        # All entries are expired by t=2.0; lazily expire half via get.
+        for i in range(50):
+            assert cache.get(f"dead{i}.example", 2.0) is None
+        assert len(cache) == 50
+        # The next 100 puts must trigger a sweep that clears the rest.
+        for i in range(100):
+            cache.put(f"fresh{i}.example", RCode.NXDOMAIN, 2.0, 1_000.0)
+        assert len(cache) == 100  # only the fresh entries survive
+
+    def test_default_cadence_unchanged(self):
+        assert DnsCache()._sweep_growth == DnsCache._SWEEP_GROWTH

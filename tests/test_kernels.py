@@ -1,0 +1,198 @@
+"""Tests for the shared estimator-kernel cache (repro.core.kernels).
+
+The cache sits under every combinatorics call the Bernoulli machinery
+makes, so its one non-negotiable property is bit-exactness: a cached
+(or sliced, or persisted-and-reloaded) table must equal the direct
+computation to the last bit — anything else would break the streamed
+series' byte-identity anchor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import combinatorics as comb
+from repro.core.kernels import (
+    KERNEL_CACHE_SCHEMA,
+    KernelCache,
+    reset_shared_cache,
+    shared_cache,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shared_cache():
+    """Isolate every test from cache state other tests (or fixtures)
+    left behind, and restore a clean shared cache afterwards."""
+    reset_shared_cache()
+    yield
+    reset_shared_cache()
+
+
+class TestBitExactness:
+    def test_occupancy_matches_impl(self):
+        cache = KernelCache()
+        got = cache.occupancy(10, 8, 12)
+        np.testing.assert_array_equal(got, comb._log_occupancy_table_impl(10, 8, 12))
+
+    def test_occupancy_superset_slice_is_bit_exact(self):
+        cache = KernelCache()
+        cache.occupancy(10, 20, 30)  # grow the stored table first
+        sliced = cache.occupancy(10, 8, 12)
+        direct = comb._log_occupancy_table_impl(10, 8, 12)
+        assert sliced.shape == direct.shape
+        np.testing.assert_array_equal(sliced, direct)
+
+    def test_occupancy_growth_serves_larger_request(self):
+        cache = KernelCache()
+        small = cache.occupancy(6, 4, 4)
+        large = cache.occupancy(6, 9, 9)
+        np.testing.assert_array_equal(large, comb._log_occupancy_table_impl(6, 9, 9))
+        np.testing.assert_array_equal(large[:5, :5], small)
+
+    def test_gap_subsets_exact_key_only(self):
+        cache = KernelCache()
+        got = cache.gap_subsets(12, 6, 2)
+        np.testing.assert_array_equal(got, comb._log_gap_subset_table_impl(12, 6, 2))
+        # A different extent is a different entry — never a slice (the
+        # peak-rescaled recurrence makes values extent-dependent).
+        cache.gap_subsets(20, 6, 2)
+        assert (12, 6, 2) in cache._gap and (20, 6, 2) in cache._gap
+
+    def test_barrel_pmf_matches_impl(self):
+        cache = KernelCache()
+        got = cache.barrel_pmf(5, 35, 8)
+        np.testing.assert_array_equal(got, comb._barrel_consumption_pmf_impl(5, 35, 8))
+
+    def test_segment_curve_matches_impl(self):
+        cache = KernelCache()
+        slots, curve = cache.segment_curve(6, 2, 40, True)
+        ref_slots, ref_curve = comb._segment_validity_curve_impl(6, 2, 40, True)
+        assert slots == ref_slots
+        np.testing.assert_array_equal(curve, ref_curve)
+
+    def test_public_wrappers_route_through_shared_cache(self):
+        before = shared_cache().stats()["misses"]
+        a = comb.log_occupancy_table(7, 5, 5)
+        b = comb.log_occupancy_table(7, 5, 5)
+        np.testing.assert_array_equal(a, b)
+        stats = shared_cache().stats()
+        assert stats["misses"] == before + 1
+        assert stats["hits"] >= 1
+
+
+class TestCacheBehaviour:
+    def test_returned_arrays_are_read_only(self):
+        cache = KernelCache()
+        for array in (
+            cache.occupancy(8, 5, 5),
+            cache.gap_subsets(10, 4, 1),
+            cache.barrel_pmf(3, 17, 5),
+            cache.segment_curve(4, 1, 20, False)[1],
+        ):
+            with pytest.raises(ValueError):
+                array[0] = 0.0
+
+    def test_hits_and_misses_counted(self):
+        cache = KernelCache()
+        cache.barrel_pmf(3, 17, 5)
+        cache.barrel_pmf(3, 17, 5)
+        cache.barrel_pmf(3, 18, 5)
+        assert cache.stats() == {"entries": 2, "hits": 1, "misses": 2}
+
+    def test_lru_eviction_bounds_entries(self):
+        cache = KernelCache(max_entries=3)
+        for n_nxd in range(10, 20):
+            cache.barrel_pmf(3, n_nxd, 5)
+        assert len(cache._pmf) == 3
+        assert (3, 19, 5) in cache._pmf  # newest survives
+
+    def test_warm_family_precomputes_pmf(self):
+        class Params:
+            n_registered, n_nxd, barrel_size = 5, 35, 8
+
+        cache = KernelCache()
+        cache.warm_family(Params)
+        assert cache.stats()["misses"] == 1
+        cache.barrel_pmf(5, 35, 8)
+        assert cache.stats()["hits"] == 1
+
+    def test_clear_resets_everything(self):
+        cache = KernelCache()
+        cache.barrel_pmf(3, 17, 5)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+        assert not cache.dirty
+
+
+class TestPersistence:
+    def _populated(self) -> KernelCache:
+        cache = KernelCache()
+        cache.occupancy(10, 8, 12)
+        cache.gap_subsets(12, 6, 2)
+        cache.barrel_pmf(5, 35, 8)
+        cache.segment_curve(6, 2, 40, True)
+        return cache
+
+    def test_save_load_round_trip_is_bit_exact(self, tmp_path):
+        path = tmp_path / "kernels.npz"
+        cache = self._populated()
+        cache.save(path)
+        assert not cache.dirty
+        fresh = KernelCache()
+        assert fresh.load(path) == 4
+        np.testing.assert_array_equal(
+            fresh.occupancy(10, 8, 12), cache.occupancy(10, 8, 12)
+        )
+        np.testing.assert_array_equal(
+            fresh.gap_subsets(12, 6, 2), cache.gap_subsets(12, 6, 2)
+        )
+        np.testing.assert_array_equal(
+            fresh.barrel_pmf(5, 35, 8), cache.barrel_pmf(5, 35, 8)
+        )
+        slots, curve = fresh.segment_curve(6, 2, 40, True)
+        ref_slots, ref_curve = cache.segment_curve(6, 2, 40, True)
+        assert slots == ref_slots
+        np.testing.assert_array_equal(curve, ref_curve)
+        # Everything above was served without recomputation.
+        assert fresh.stats()["misses"] == 0
+
+    def test_load_missing_torn_and_foreign_files(self, tmp_path):
+        cache = KernelCache()
+        assert cache.load(tmp_path / "absent.npz") == 0
+        torn = tmp_path / "torn.npz"
+        torn.write_bytes(b"PK\x03\x04 not a real zip")
+        assert cache.load(torn) == 0
+        foreign = tmp_path / "foreign.npz"
+        np.savez(foreign, __meta__=np.frombuffer(b'{"schema":"x"}', dtype=np.uint8))
+        assert cache.load(foreign) == 0
+
+    def test_load_keeps_larger_in_memory_occupancy(self, tmp_path):
+        path = tmp_path / "kernels.npz"
+        small = KernelCache()
+        small.occupancy(10, 4, 4)
+        small.save(path)
+        big = KernelCache()
+        big.occupancy(10, 9, 9)
+        assert big.load(path) == 0  # stored extents are smaller: skipped
+        assert big._occ[10][0] == 9
+
+    def test_spill_merges_concurrent_writers(self, tmp_path):
+        path = tmp_path / "kernels.npz"
+        a = KernelCache()
+        a.barrel_pmf(5, 35, 8)
+        a.spill(path)
+        b = KernelCache()
+        b.gap_subsets(12, 6, 2)
+        b.spill(path)  # load-merge-save: must keep a's entry too
+        merged = KernelCache()
+        assert merged.load(path) == 2
+
+    def test_spill_is_noop_when_clean(self, tmp_path):
+        path = tmp_path / "kernels.npz"
+        cache = KernelCache()
+        cache.spill(path)
+        assert not path.exists()
+
+    def test_schema_constant(self):
+        assert KERNEL_CACHE_SCHEMA == "botmeter-kernels-v1"

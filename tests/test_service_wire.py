@@ -262,3 +262,125 @@ class TestTruncatedTail:
         record = reader.feed(line)
         assert record == ForwardedLookup(2.0, "s", "b")
         assert reader.records == 1 and reader.truncated_tail == 1
+
+
+# ---------------------------------------------------------------------------
+# NdjsonBatchDecoder — chunking must be invisible (the satellite property
+# test for the batched ingest path)
+# ---------------------------------------------------------------------------
+
+
+def _reader_counters(reader):
+    return {
+        "records": reader.records,
+        "blank": reader.blank,
+        "corrupt": reader.corrupt,
+        "truncated_tail": reader.truncated_tail,
+        "header": reader.header,
+    }
+
+
+# A stream mixing every line type the reader knows how to absorb.
+_stream_lines = st.lists(
+    st.one_of(
+        st.builds(
+            lambda r: encode_record(r).encode(),
+            st.builds(
+                ForwardedLookup,
+                st.floats(0, 1e6, allow_nan=False),
+                st.sampled_from(["s0", "s1"]),
+                st.text(
+                    alphabet="abcdefghijklmnopqrstuvwxyz.", min_size=1, max_size=12
+                ),
+            ),
+        ),
+        st.just(b""),
+        st.just(b"   "),
+        st.just(b"{not json"),
+        st.just(b'{"v":99,"timestamp":1,"server":"s","domain":"d"}'),
+        st.just(b'{"type":"header","v":1,"granularity":0.5}'),
+        st.sampled_from([b"\xff\xfe garbage", b'["list"]']),
+    ),
+    max_size=12,
+)
+
+
+@st.composite
+def _chunked_stream(draw):
+    """A byte stream plus an arbitrary chunking of it (mid-line splits
+    and a possibly newline-less truncated tail included)."""
+    lines = draw(_stream_lines)
+    data = b"".join(line + b"\n" for line in lines)
+    if data and draw(st.booleans()):
+        data = data[: len(data) - draw(st.integers(0, min(3, len(data))))]
+    n_cuts = draw(st.integers(0, 6))
+    cuts = sorted(draw(st.integers(0, len(data))) for _ in range(n_cuts))
+    bounds = [0, *cuts, len(data)]
+    chunks = [data[a:b] for a, b in zip(bounds, bounds[1:])]
+    return data, chunks
+
+
+class TestNdjsonBatchDecoder:
+    @given(_chunked_stream())
+    @settings(max_examples=300, deadline=None)
+    def test_any_chunking_matches_line_at_a_time(self, case):
+        from repro.service.wire import NdjsonBatchDecoder
+
+        data, chunks = case
+        # Reference: feed complete lines one at a time; a newline-less
+        # final line is still a final line at stream end (complete=True),
+        # which is exactly what decoder.flush(complete=True) claims.
+        reference = NdjsonReader()
+        expected = []
+        lines = data.split(b"\n")
+        for line in lines[:-1]:
+            record = reference.feed(line)
+            if record is not None:
+                expected.append(record)
+        if lines[-1]:
+            record = reference.feed(lines[-1])
+            if record is not None:
+                expected.append(record)
+
+        decoder = NdjsonBatchDecoder()
+        got = []
+        for chunk in chunks:
+            got.extend(decoder.push(chunk))
+        got.extend(decoder.flush(complete=True))
+
+        assert got == expected
+        assert _reader_counters(decoder.reader) == _reader_counters(reference)
+        assert decoder.consumed == len(data)
+        assert decoder.pending == b""
+
+    @given(_chunked_stream())
+    @settings(max_examples=150, deadline=None)
+    def test_live_tail_flush_retains_undecodable_tail(self, case):
+        from repro.service.wire import NdjsonBatchDecoder
+
+        data, chunks = case
+        decoder = NdjsonBatchDecoder()
+        for chunk in chunks:
+            decoder.push(chunk)
+        tail = decoder.pending
+        before = _reader_counters(decoder.reader)
+        records = decoder.flush(complete=False)
+        if records or decoder.reader.truncated_tail == before["truncated_tail"]:
+            # The tail decoded (or was empty/absorbed): it is consumed.
+            assert decoder.pending == b""
+        else:
+            # Still in flight: held back for the next push, uncharged.
+            assert decoder.pending == tail
+            assert decoder.reader.corrupt == before["corrupt"]
+
+    def test_consumed_tracks_line_boundaries(self):
+        from repro.service.wire import NdjsonBatchDecoder
+
+        decoder = NdjsonBatchDecoder()
+        line = encode_record(ForwardedLookup(1.0, "s0", "a.example")).encode()
+        half = len(line) // 2
+        assert decoder.push(line[:half]) == []
+        assert decoder.consumed == 0  # no newline yet: nothing durable
+        records = decoder.push(line[half:] + b"\n")
+        assert len(records) == 1
+        assert decoder.consumed == len(line) + 1
