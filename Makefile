@@ -1,6 +1,6 @@
 # Convenience targets for the BotMeter reproduction.
 
-.PHONY: install test test-fast smoke-sweep service-smoke soak bench bench-paper bench-perf examples report clean
+.PHONY: install test test-fast smoke-sweep service-smoke trace-smoke soak bench bench-paper bench-perf examples report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -49,6 +49,27 @@ service-smoke:
 	@echo "service-smoke OK: streamed == batch == 2-worker, SIGKILL resume == uninterrupted"
 	@cat service-smoke/metrics.prom
 
+# Stagewatch end-to-end: replay a synthetic day with tracing on at two
+# worker counts, prove the landscape stream is byte-identical to the
+# untraced replay, and render the per-stage trace report.
+trace-smoke:
+	rm -rf trace-smoke && mkdir -p trace-smoke
+	python -m repro.cli export-trace --source sim --family murofet \
+		--bots 24 --servers 2 --days 2 --seed 7 --out trace-smoke/trace.ndjson
+	python -m repro.cli replay trace-smoke/trace.ndjson \
+		--trace-sample 0 --out trace-smoke/untraced.ndjson
+	python -m repro.cli replay trace-smoke/trace.ndjson \
+		--trace-out trace-smoke/events.ndjson --trace-sample 4 \
+		--out trace-smoke/traced.ndjson
+	diff trace-smoke/traced.ndjson trace-smoke/untraced.ndjson
+	python -m repro.cli replay trace-smoke/trace.ndjson \
+		--ingest-workers 4 --batch-lines 256 \
+		--trace-out trace-smoke/events4.ndjson --trace-sample 4 \
+		--out trace-smoke/traced4.ndjson
+	diff trace-smoke/traced4.ndjson trace-smoke/untraced.ndjson
+	@echo "trace-smoke OK: landscape bytes identical with tracing on (1 and 4 workers)"
+	python -m repro.cli trace-report trace-smoke/events4.ndjson
+
 # Faultline soak: a multi-family trace through the full seeded fault
 # schedule under supervision — survival, exact dead-letter/ledger
 # reconciliation, loss-bounded degradation, byte-identical determinism.
@@ -77,5 +98,5 @@ report:
 	python -m repro.cli report --out reproduction_report.md
 
 clean:
-	rm -rf src/repro.egg-info .pytest_cache .benchmarks service-smoke service-soak perf-artifacts
+	rm -rf src/repro.egg-info .pytest_cache .benchmarks service-smoke service-soak trace-smoke perf-artifacts
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -20,7 +20,9 @@ Gives operators the Figure-2 workflow without writing Python:
 * ``repro faults-soak`` — the Faultline soak: replay a multi-family
   trace through a seeded fault schedule under supervision and verify
   survival, exact dead-letter accounting, bounded degradation and
-  determinism.
+  determinism;
+* ``repro trace-report`` — aggregate a ``--trace-out`` span-event file
+  into a per-stage latency table (Stagewatch).
 
 Run ``python -m repro.cli <command> --help`` for per-command options.
 """
@@ -182,7 +184,18 @@ def build_parser() -> argparse.ArgumentParser:
         )
         cmd.add_argument(
             "--profile", default=None, metavar="PATH",
-            help="run under cProfile and dump pstats data here on exit",
+            help="run under cProfile and dump pstats data here on exit "
+                 "(also prints the Stagewatch per-stage attribution)",
+        )
+        cmd.add_argument(
+            "--trace-out", default=None, metavar="PATH",
+            help="write Stagewatch span events here as NDJSON "
+                 "(aggregate with `repro trace-report`)",
+        )
+        cmd.add_argument(
+            "--trace-sample", type=int, default=16, metavar="N",
+            help="time 1 of every N spans per stage (0 disables tracing; "
+                 "output bytes never change either way)",
         )
 
     export = sub.add_parser(
@@ -258,6 +271,16 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--max-restarts", type=int, default=25)
     soak.add_argument("--report", default=None, metavar="PATH",
                       help="write the JSON soak report here (default: stdout)")
+
+    trace = sub.add_parser(
+        "trace-report",
+        help="aggregate a Stagewatch --trace-out file into a per-stage table",
+    )
+    trace.add_argument("trace", help="span-event NDJSON (from --trace-out)")
+    trace.add_argument(
+        "--json", action="store_true",
+        help="emit the raw per-stage aggregation as JSON instead of a table",
+    )
 
     report = sub.add_parser("report", help="full reproduction report (Markdown)")
     report.add_argument("--trials", type=int, default=3)
@@ -463,7 +486,20 @@ def _cmd_export_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_profiled(args: argparse.Namespace, fn):
+def _print_stage_attribution(daemon) -> None:
+    """The Stagewatch per-stage table for ``--profile`` runs."""
+    tracer = getattr(daemon, "tracer", None)
+    if tracer is None:
+        return
+    summary = tracer.summary()
+    if not summary["stages"]:
+        return
+    from .service.tracing import render_stage_table
+
+    print(render_stage_table(summary), file=sys.stderr)
+
+
+def _run_profiled(args: argparse.Namespace, fn, daemon=None):
     """Run ``fn`` — under cProfile when ``--profile PATH`` was given."""
     if getattr(args, "profile", None) is None:
         return fn()
@@ -481,6 +517,10 @@ def _run_profiled(args: argparse.Namespace, fn):
             f"(inspect with `python -m pstats {args.profile}`)",
             file=sys.stderr,
         )
+        if daemon is not None:
+            # Supervised runs pass a getter: the daemon instance only
+            # exists once the supervisor has built (or rebuilt) it.
+            _print_stage_attribution(daemon() if callable(daemon) else daemon)
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -507,8 +547,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             deadletter_path=args.deadletter,
             batch_lines=args.batch_lines,
             ingest_workers=args.ingest_workers,
+            trace_out=args.trace_out,
+            trace_sample=args.trace_sample,
         )
-        return _run_profiled(args, daemon.run)
+        return _run_profiled(args, daemon.run, daemon=daemon)
 
     reader = NdjsonReader(max_corrupt=args.max_corrupt)
     if args.deadletter:
@@ -603,19 +645,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             watchdog_deadline=args.watchdog_deadline,
             batch_lines=args.batch_lines,
             ingest_workers=args.ingest_workers,
+            trace_out=args.trace_out,
+            trace_sample=args.trace_sample,
         )
 
     if not args.supervise:
-        return _run_profiled(args, lambda: build_daemon().run())
+        daemon = build_daemon()
+        return _run_profiled(args, daemon.run, daemon=daemon)
 
     from .service.supervisor import Supervisor, SupervisorGaveUp
 
     supervisor = Supervisor(build_daemon, max_restarts=args.max_restarts)
     try:
-        return _run_profiled(args, supervisor.run)
+        return _run_profiled(args, supervisor.run, daemon=lambda: supervisor.daemon)
     except SupervisorGaveUp as exc:
         print(f"supervisor gave up: {exc}", file=sys.stderr)
         return 1
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from .service.tracing import render_trace_report, trace_report
+
+    try:
+        report = trace_report(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"trace-report: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if args.json:
+            import json as _json
+
+            print(_json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(render_trace_report(report))
+    except BrokenPipeError:
+        # Downstream pager/head closed early: not an error worth a trace.
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # doesn't raise the same error again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 0
 
 
 def _cmd_faults_soak(args: argparse.Namespace) -> int:
@@ -668,6 +739,7 @@ _HANDLERS = {
     "replay": _cmd_replay,
     "serve": _cmd_serve,
     "faults-soak": _cmd_faults_soak,
+    "trace-report": _cmd_trace_report,
 }
 
 

@@ -39,6 +39,7 @@ from .faults import FaultInjector, InjectedFault, UpstreamStallError
 from .metrics import MetricsRegistry
 from .reorder import Backpressure
 from .supervisor import HealthMonitor
+from .tracing import DEFAULT_SAMPLE, StageTracer, TraceSink
 from .wire import NdjsonBatchDecoder, NdjsonReader, encode_landscape
 
 __all__ = ["BotMeterDaemon", "batch_series", "families_from_header"]
@@ -141,6 +142,13 @@ class BotMeterDaemon:
             batch-framing-independent — output bytes never change.
         ingest_workers: shard-worker processes for the engine (``1`` =
             in-process).  Output bytes never change with worker count.
+        trace_out: optional NDJSON span-event sink (``--trace-out``);
+            a fresh run truncates it, a checkpoint resume appends.
+        trace_sample: time 1 of every N spans per stage (default
+            :data:`~repro.service.tracing.DEFAULT_SAMPLE`); ``0``
+            disables Stagewatch entirely (no tracer, no histograms).
+            Tracing is purely observational — the landscape NDJSON is
+            byte-identical with it on or off.
     """
 
     def __init__(
@@ -171,6 +179,8 @@ class BotMeterDaemon:
         watchdog_deadline: float | None = None,
         batch_lines: int = 1,
         ingest_workers: int = 1,
+        trace_out: str | Path | None = None,
+        trace_sample: int = DEFAULT_SAMPLE,
     ) -> None:
         self.input_path = str(input_path)
         self.out_path = Path(out_path) if out_path is not None else None
@@ -195,6 +205,14 @@ class BotMeterDaemon:
             "botmeterd_records_skipped_total",
             "Blank or corrupt wire lines absorbed by the reader.",
         )
+        self.trace_out = Path(trace_out) if trace_out is not None else None
+        self.trace_sample = max(0, int(trace_sample))
+        self.tracer = (
+            StageTracer(metrics=self.metrics, sample=self.trace_sample)
+            if self.trace_sample > 0
+            else None
+        )
+        self._trace_sink: TraceSink | None = None
         self.injector = fault_injector
         self.deadletter = (
             DeadLetterQueue(deadletter_path) if deadletter_path is not None else None
@@ -204,7 +222,9 @@ class BotMeterDaemon:
             self.health.bind(self.metrics)
         self.watchdog_deadline = watchdog_deadline
         self.reader = NdjsonReader(
-            max_corrupt=max_corrupt, on_corrupt=self._quarantine_corrupt
+            max_corrupt=max_corrupt,
+            on_corrupt=self._quarantine_corrupt,
+            tracer=self.tracer,
         )
         self.engine: ShardedLandscapeEngine | None = None
         self.metrics_path = Path(metrics_path) if metrics_path else None
@@ -277,6 +297,7 @@ class BotMeterDaemon:
                     if self.store is not None
                     else None
                 ),
+                tracer=self.tracer,
             )
         return self.engine
 
@@ -298,6 +319,8 @@ class BotMeterDaemon:
         snapshot = self.reader.corrupt if corrupt_snapshot is None else corrupt_snapshot
         quarantined_delta = snapshot - self._quarantined_mark
         self._quarantined_mark = snapshot
+        tracer = self.tracer
+        t0 = tracer.start("emit") if tracer is not None else 0
         for index, epoch in enumerate(epochs):
             quality = dict(epoch.quality or {})
             quality["quarantined"] = quarantined_delta if index == 0 else 0
@@ -319,6 +342,8 @@ class BotMeterDaemon:
                 servers=len(epoch.landscape.per_server),
                 emitted=self.landscapes_emitted,
             )
+        if t0:
+            tracer.stop("emit", t0, records=len(epochs))
 
     def _dump_observability(self) -> None:
         if self.engine is not None:
@@ -415,10 +440,19 @@ class BotMeterDaemon:
 
     # -- batched submission ---------------------------------------------------
 
-    def _enqueue(self, record: ForwardedLookup) -> None:
-        """Hold a decoded record for the next batched submission."""
+    def _enqueue(
+        self, record: ForwardedLookup, corrupt_mark: int | None = None
+    ) -> None:
+        """Hold a decoded record for the next batched submission.
+
+        ``corrupt_mark`` lets a caller that decoded ahead of enqueueing
+        (the traced chunk path) pin the reader corrupt count observed at
+        the record's own decode point.
+        """
         self._pending_records.append(record)
-        self._pending_marks.append(self.reader.corrupt)
+        self._pending_marks.append(
+            self.reader.corrupt if corrupt_mark is None else corrupt_mark
+        )
         self.records_consumed += 1
         self._since_checkpoint += 1
         if self.health is not None:
@@ -454,19 +488,71 @@ class BotMeterDaemon:
         per-line Python overhead goes away.  Returns the final offset.
         """
         decoder = NdjsonBatchDecoder(self.reader)
-        while True:
-            chunk = fh.read(1 << 18)
-            if not chunk:
-                break
-            for record in decoder.iter_push(chunk):
+        reader = self.reader
+        tracer = self.tracer
+        corrupt_events: list[int] = []
+        inner_on_corrupt = reader.on_corrupt
+        if tracer is not None:
+            # Chunked replay times decode at chunk granularity — one
+            # span per read covering all its lines — instead of a span
+            # per line; detach the reader's per-line tracer so the two
+            # instrumentation points cannot double-count.  Corrupt lines
+            # are journalled (as the decoded-record count at the moment
+            # each one fired) so per-record quarantine marks can be
+            # reconstructed after the chunk drains at C speed.
+            reader.tracer = None
+
+            def _journal_corrupt(line: str, reason: str) -> None:
+                corrupt_events.append(reader.records)
+                if inner_on_corrupt is not None:
+                    inner_on_corrupt(line, reason)
+
+            reader.on_corrupt = _journal_corrupt
+        try:
+            while True:
+                chunk = fh.read(1 << 18)
+                if not chunk:
+                    break
+                if tracer is None:
+                    for record in decoder.iter_push(chunk):
+                        self._enqueue(record)
+                else:
+                    # Decode the whole chunk under the span, then enqueue
+                    # outside it so downstream stage time never pollutes
+                    # the decode histogram.  Each record keeps the corrupt
+                    # count observed at its own decode point: constant
+                    # across the chunk unless the journal says otherwise.
+                    base_records = reader.records
+                    mark = reader.corrupt
+                    corrupt_events.clear()
+                    t0 = tracer.start("decode")
+                    decoded = list(decoder.iter_push(chunk))
+                    if t0:
+                        tracer.stop("decode", t0, records=len(decoded))
+                    if not corrupt_events:
+                        for record in decoded:
+                            self._enqueue(record, corrupt_mark=mark)
+                    else:
+                        pending, n_events = 0, len(corrupt_events)
+                        for index, record in enumerate(decoded):
+                            while (
+                                pending < n_events
+                                and corrupt_events[pending] <= base_records + index
+                            ):
+                                mark += 1
+                                pending += 1
+                            self._enqueue(record, corrupt_mark=mark)
+                self._c_skipped.set_total(reader.skipped)
+                if self._since_checkpoint >= self.checkpoint_every:
+                    self._checkpoint(offset + decoder.consumed)
+            for record in decoder.flush(complete=True):
                 self._enqueue(record)
-            self._c_skipped.set_total(self.reader.skipped)
-            if self._since_checkpoint >= self.checkpoint_every:
-                self._checkpoint(offset + decoder.consumed)
-        for record in decoder.flush(complete=True):
-            self._enqueue(record)
-        self._c_skipped.set_total(self.reader.skipped)
-        return offset + decoder.consumed
+            self._c_skipped.set_total(reader.skipped)
+            return offset + decoder.consumed
+        finally:
+            if tracer is not None:
+                reader.tracer = tracer
+                reader.on_corrupt = inner_on_corrupt
 
     def run(self) -> int:
         """Serve the stream; returns a process exit code."""
@@ -493,6 +579,15 @@ class BotMeterDaemon:
                     self.out_path.write_text("")
                 if self.deadletter is not None:
                     self.deadletter.reset()
+            if self.tracer is not None and self.trace_out is not None:
+                # One header per run segment: a resumed serve appends to
+                # the same trace file instead of discarding history.
+                self._trace_sink = TraceSink(
+                    self.trace_out,
+                    sample=self.trace_sample,
+                    resume=checkpoint is not None,
+                )
+                self.tracer.sink = self._trace_sink
             idle_since: float | None = None
             pending = b""  # stdin-follow: a partial tail we cannot seek back to
             # Replay fast path: no tailing, no injector, no pacing —
@@ -587,6 +682,12 @@ class BotMeterDaemon:
             if self.engine is not None:
                 # Stops ingest workers; spills the kernel-cache sidecar.
                 self.engine.close()
+            if self.tracer is not None:
+                self.tracer.write_summary()
+            if self._trace_sink is not None:
+                self._trace_sink.close()
+                self.tracer.sink = None
+                self._trace_sink = None
             if self._out_fh is not None:
                 self._out_fh.close()
                 self._out_fh = None

@@ -135,7 +135,17 @@ class ShardedLandscapeEngine:
         kernel_spill: optional path to an estimator-kernel ``.npz``
             sidecar that ingest workers warm from at boot and spill to
             at :meth:`close` (see :mod:`repro.core.kernels`).
+        tracer: optional :class:`~repro.service.tracing.StageTracer`.
+            When set, the engine records ``route`` and ``estimate``
+            spans, absorbs worker-side estimate histograms at every
+            sync, tracks per-worker queue depth, and publishes the
+            slow-shard top-K gauge.  Purely observational: the emitted
+            landscape stream is byte-identical with or without it.
     """
+
+    #: How many of the slowest (family × server) shards the
+    #: ``botmeterd_slow_shard_estimate_ns`` gauge surfaces.
+    SLOW_SHARD_TOP_K = 5
 
     def __init__(
         self,
@@ -152,6 +162,7 @@ class ShardedLandscapeEngine:
         on_late: Callable[[ForwardedLookup, int], None] | None = None,
         ingest_workers: int = 1,
         kernel_spill: str | None = None,
+        tracer: Any = None,
     ) -> None:
         if not dgas:
             raise ValueError("need at least one DGA family")
@@ -182,6 +193,10 @@ class ShardedLandscapeEngine:
             for family, dga in self._dgas.items()
         }
         self._reorder = ReorderBuffer(reorder_capacity, policy)
+        self._tracer = tracer
+        self._reorder.tracer = tracer
+        self._shard_estimate_ns: dict[tuple[str, str], int] = {}
+        self._inflight: list[int] = []
         self._shards: dict[tuple[str, str], StreamingBotMeter] = {}
         self._closed: dict[tuple[str, int], dict[str, Landscape]] = {}
         self._watermark = float("-inf")
@@ -242,6 +257,15 @@ class ShardedLandscapeEngine:
         self._g_lag = m.gauge(
             "botmeterd_watermark_lag_seconds",
             "Global watermark minus the start of the shard's oldest open epoch.",
+        )
+        self._g_slow = (
+            m.gauge(
+                "botmeterd_slow_shard_estimate_ns",
+                "Sampled estimate time accumulated by the top-K slowest "
+                "(family x server) shards.",
+            )
+            if tracer is not None
+            else None
         )
 
     # -- introspection -------------------------------------------------------
@@ -314,10 +338,12 @@ class ShardedLandscapeEngine:
             timeline=self._timeline,
             grace=self._grace,
             kernel_spill=self._kernel_spill,
+            trace_sample=self._tracer.sample if self._tracer is not None else 0,
         )
-        self._pool = WorkerPool(config, self._ingest_workers)
+        self._pool = WorkerPool(config, self._ingest_workers, tracer=self._tracer)
         self._outboxes = [[] for _ in range(self._ingest_workers)]
         self._worker_failures = [0] * self._ingest_workers
+        self._inflight = [0] * self._ingest_workers
         if self._pending_import is not None:
             self._distribute_import()
 
@@ -369,13 +395,15 @@ class ShardedLandscapeEngine:
             raise RuntimeError("engine already finalized")
         out: list[EpochLandscape] = []
         if not self.parallel:
-            for index, record in enumerate(records):
-                epochs = self.submit(record)
-                if epochs:
-                    if on_emit is not None:
-                        on_emit(index, epochs)
-                    out.extend(epochs)
-            return out
+            if self._tracer is None:
+                for index, record in enumerate(records):
+                    epochs = self.submit(record)
+                    if epochs:
+                        if on_emit is not None:
+                            on_emit(index, epochs)
+                        out.extend(epochs)
+                return out
+            return self._submit_batch_traced(records, on_emit, out)
         self._ensure_pool()
         for index, record in enumerate(records):
             self._c_ingested.inc()
@@ -390,7 +418,56 @@ class ShardedLandscapeEngine:
         self._g_depth.set(self._reorder.depth)
         return out
 
-    def _process(self, released: list[ForwardedLookup]) -> list[EpochLandscape]:
+    def _submit_batch_traced(
+        self,
+        records: list[ForwardedLookup],
+        on_emit: Callable[[int, list[EpochLandscape]], None] | None,
+        out: list[EpochLandscape],
+    ) -> list[EpochLandscape]:
+        """Serial batch ingest with batch-planned stage sampling.
+
+        Semantically identical to looping :meth:`submit`, but the
+        sampling decision for the reorder and route stages is made once
+        per batch (:meth:`StageTracer.plan`), so an unsampled record
+        pays two integer compares instead of two tracer calls — that
+        difference is what keeps the traced replay inside the
+        ``benchmarks/test_perf_tracing.py`` overhead budget.
+        """
+        tracer = self._tracer
+        clock = tracer.clock
+        reorder = self._reorder
+        reorder_sampled = iter(tracer.plan("reorder", len(records)))
+        route_sampled = iter(tracer.plan("route", len(records)))
+        next_reorder = next(reorder_sampled, -1)
+        next_route = next(route_sampled, -1)
+        for index, record in enumerate(records):
+            self._c_ingested.inc()
+            if index == next_reorder:
+                t0 = clock()
+                released = reorder._push(record)
+                tracer.record("reorder", clock() - t0, records=len(released))
+                next_reorder = next(reorder_sampled, -1)
+            else:
+                released = reorder._push(record)
+            if index == next_route:
+                t0 = clock()
+                self._route(released)
+                tracer.record("route", clock() - t0, records=len(released))
+                next_route = next(route_sampled, -1)
+            else:
+                self._route(released)
+            epochs = self._emittable()
+            self._c_reordered.set_total(reorder.reordered)
+            self._c_dropped.set_total(reorder.dropped)
+            self._g_depth.set(reorder.depth)
+            if epochs:
+                if on_emit is not None:
+                    on_emit(index, epochs)
+                out.extend(epochs)
+        return out
+
+    def _route(self, released: list[ForwardedLookup]) -> None:
+        """Match released records to families and feed their shards."""
         for record in released:
             if record.timestamp > self._watermark:
                 self._watermark = record.timestamp
@@ -405,7 +482,36 @@ class ShardedLandscapeEngine:
                     if self._on_late is not None:
                         self._on_late(record, matched_day)
                 self._shard(family, record.server).ingest(record)
+
+    def _process(self, released: list[ForwardedLookup]) -> list[EpochLandscape]:
+        tracer = self._tracer
+        if tracer is None:
+            self._route(released)
+            return self._emittable()
+        for record in released:
+            t0 = tracer.start("route")
+            self._route((record,))
+            if t0:
+                tracer.stop("route", t0)
         return self._emittable()
+
+    def _advance_shards(self, target: float) -> None:
+        """Advance every in-process shard, timing each as an ``estimate``
+        span (serial mode; workers time their own shards)."""
+        tracer = self._tracer
+        if tracer is None:
+            for shard in self._shards.values():
+                shard.advance_watermark(target)
+            return
+        for (family, server), shard in self._shards.items():
+            t0 = tracer.start("estimate")
+            shard.advance_watermark(target)
+            dt = tracer.stop("estimate", t0, family=family, server=server)
+            if dt:
+                key = (family, server)
+                self._shard_estimate_ns[key] = (
+                    self._shard_estimate_ns.get(key, 0) + dt
+                )
 
     def _emittable(self) -> list[EpochLandscape]:
         out: list[EpochLandscape] = []
@@ -413,8 +519,7 @@ class ShardedLandscapeEngine:
             (self._next_epoch_to_emit + 1) * SECONDS_PER_DAY + self._grace
             <= self._watermark
         ):
-            for shard in self._shards.values():
-                shard.advance_watermark(self._watermark)
+            self._advance_shards(self._watermark)
             out.extend(self._emit_day(self._next_epoch_to_emit))
             self._next_epoch_to_emit += 1
         return out
@@ -444,12 +549,18 @@ class ShardedLandscapeEngine:
         return out
 
     def _dispatch(self, record: ForwardedLookup) -> None:
+        tracer = self._tracer
+        t0 = tracer.start("route") if tracer is not None else 0
         index = self._pool.worker_for(record.server)
         outbox = self._outboxes[index]
         outbox.append(
             (self._dispatch_seq, record.timestamp, record.server, record.domain)
         )
         self._dispatch_seq += 1
+        if tracer is not None:
+            self._inflight[index] += 1
+            if t0:
+                tracer.stop("route", t0, worker=index)
         if len(outbox) >= _OUTBOX_FLUSH:
             self._flush_outbox(index)
 
@@ -458,6 +569,8 @@ class ShardedLandscapeEngine:
         if outbox:
             self._pool.send(index, ("batch", outbox, self._next_epoch_to_emit))
             self._outboxes[index] = []
+            if self._tracer is not None:
+                self._tracer.worker_queue(index, self._inflight[index])
 
     def _sync_workers(self, message: tuple) -> list[dict[str, Any]]:
         """Flush every outbox, broadcast ``message``, merge the replies.
@@ -479,6 +592,18 @@ class ShardedLandscapeEngine:
             self._worker_failures[index] = reply["failures"]
             for family, server, cursor in reply["cursors"]:
                 self._shard_cursors[(family, server)] = cursor
+            trace = reply.get("trace")
+            if trace is not None and self._tracer is not None:
+                self._tracer.absorb_worker(index, trace)
+                for family, server, ns in trace["shard_ns"]:
+                    key = (family, server)
+                    self._shard_estimate_ns[key] = (
+                        self._shard_estimate_ns.get(key, 0) + ns
+                    )
+            if self._tracer is not None:
+                # The sync reply acknowledges every dispatched record.
+                self._inflight[index] = 0
+                self._tracer.worker_queue(index, 0)
         self._failures_total = sum(self._worker_failures)
         # Dispatch order restores the serial engine's late-record stream
         # (and therefore the dead-letter queue) exactly.
@@ -537,8 +662,7 @@ class ShardedLandscapeEngine:
         if self._watermark > float("-inf"):
             last_day = int(self._watermark // SECONDS_PER_DAY)
             target = (last_day + 1) * SECONDS_PER_DAY + self._grace
-            for shard in self._shards.values():
-                shard.advance_watermark(target)
+            self._advance_shards(target)
             while self._next_epoch_to_emit <= last_day:
                 out.extend(self._emit_day(self._next_epoch_to_emit))
                 self._next_epoch_to_emit += 1
@@ -600,6 +724,12 @@ class ShardedLandscapeEngine:
                     self._watermark - next_epoch * SECONDS_PER_DAY,
                 )
             self._g_lag.set(lag, family=family, server=server)
+        if self._g_slow is not None and self._shard_estimate_ns:
+            top = sorted(
+                self._shard_estimate_ns.items(), key=lambda kv: (-kv[1], kv[0])
+            )[: self.SLOW_SHARD_TOP_K]
+            for (family, server), ns in top:
+                self._g_slow.set(ns, family=family, server=server)
 
     # -- checkpointing -------------------------------------------------------
 

@@ -75,6 +75,9 @@ class ReorderBuffer:
         self.reordered = 0
         self.dropped = 0
         self.released = 0
+        #: Optional StageTracer; when set, every push is a sampled
+        #: ``reorder`` span (never checkpointed — purely observational).
+        self.tracer: Any = None
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -89,6 +92,16 @@ class ReorderBuffer:
 
     def push(self, record: ForwardedLookup) -> list[ForwardedLookup]:
         """Buffer one record; return the records this push released."""
+        tracer = self.tracer
+        if tracer is None:
+            return self._push(record)
+        t0 = tracer.start("reorder")
+        released = self._push(record)
+        if t0:
+            tracer.stop("reorder", t0, records=len(released))
+        return released
+
+    def _push(self, record: ForwardedLookup) -> list[ForwardedLookup]:
         if record.timestamp < self._max_seen:
             self.reordered += 1
         else:

@@ -269,6 +269,12 @@ class Supervisor:
         else:
             self.health.on_failure()
         self._log_event("supervisor_caught", kind=kind, **fields)
+        # Where did the failed attempt's wall-clock go?  The tracer's
+        # per-stage accounting survives the exception, so log it before
+        # the restart discards the daemon instance.
+        tracer = getattr(self.daemon, "tracer", None)
+        if tracer is not None:
+            self._log_event("trace_summary", **tracer.summary())
         if self.restarts >= self.max_restarts:
             self._log_event("supervisor_gave_up", restarts=self.restarts)
             raise SupervisorGaveUp(

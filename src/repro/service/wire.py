@@ -175,6 +175,9 @@ class NdjsonReader:
     on_corrupt: Callable[[str, str], None] | None = field(
         default=None, repr=False, compare=False
     )
+    #: Optional :class:`~repro.service.tracing.StageTracer`; when set,
+    #: every ``feed`` becomes a sampled ``decode`` span.
+    tracer: Any = field(default=None, repr=False, compare=False)
 
     @property
     def skipped(self) -> int:
@@ -201,6 +204,16 @@ class NdjsonReader:
         — a retriable in-flight write, not budgeted corruption — and
         the caller re-feeds it once the producer finishes the line.
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._feed(line, complete)
+        t0 = tracer.start("decode")
+        record = self._feed(line, complete)
+        if t0:
+            tracer.stop("decode", t0)
+        return record
+
+    def _feed(self, line: bytes | str, complete: bool) -> ForwardedLookup | None:
         if isinstance(line, bytes):
             try:
                 line = line.decode("utf-8")

@@ -27,6 +27,7 @@ spill back at shutdown, so restarts skip the estimator-kernel warm-up.
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass, field
 from multiprocessing import get_all_start_methods, get_context
@@ -64,6 +65,8 @@ class WorkerConfig:
     timeline: Timeline
     grace: float
     kernel_spill: str | None = None
+    #: Span sampling rate for worker-side estimate tracing; 0 disables.
+    trace_sample: int = 0
 
 
 class _WorkerState:
@@ -85,6 +88,14 @@ class _WorkerState:
         self.closures: list[tuple[str, str, int, Any]] = []
         self.matched: dict[str, int] = {}
         self.late: list[tuple[int, tuple[float, str, str], int]] = []
+        if config.trace_sample > 0:
+            from .tracing import WorkerTraceBuffer
+
+            self.trace: WorkerTraceBuffer | None = WorkerTraceBuffer(
+                config.trace_sample
+            )
+        else:
+            self.trace = None
         if config.kernel_spill:
             shared_cache().load(config.kernel_spill)
         for family in self.families:
@@ -126,8 +137,15 @@ class _WorkerState:
                 self._shard(family, server).ingest(record)
 
     def advance_all(self, timestamp: float) -> None:
-        for shard in self.shards.values():
-            shard.advance_watermark(timestamp)
+        trace = self.trace
+        if trace is None:
+            for shard in self.shards.values():
+                shard.advance_watermark(timestamp)
+            return
+        for (family, server), shard in self.shards.items():
+            trace.time_shard(
+                family, server, lambda s=shard: s.advance_watermark(timestamp)
+            )
 
     def sync_payload(self) -> dict[str, Any]:
         """Drain the deferred stats (the reply to any sync command)."""
@@ -142,6 +160,7 @@ class _WorkerState:
                 (family, server, shard.next_epoch_to_close)
                 for (family, server), shard in sorted(self.shards.items())
             ],
+            "trace": self.trace.ship() if self.trace is not None else None,
         }
         self.matched = {}
         self.late = []
@@ -215,10 +234,13 @@ class WorkerPool:
     config dataclass is picklable either way.
     """
 
-    def __init__(self, config: WorkerConfig, n_workers: int) -> None:
+    def __init__(
+        self, config: WorkerConfig, n_workers: int, tracer: Any = None
+    ) -> None:
         if n_workers < 2:
             raise ValueError("a worker pool needs at least 2 workers")
         self.n_workers = int(n_workers)
+        self.tracer = tracer  # StageTracer or None; times per-worker drains
         method = "fork" if "fork" in get_all_start_methods() else "spawn"
         ctx = get_context(method)
         self._conns: list[Connection] = []
@@ -259,17 +281,27 @@ class WorkerPool:
             raise RuntimeError(f"ingest worker {index} failed: {reply[1]}")
         return reply
 
+    def _recv_timed(self, index: int) -> dict[str, Any]:
+        """One reply, with the sync drain latency observed per worker."""
+        tracer = self.tracer
+        if tracer is None:
+            return self._recv(index)
+        t0 = time.perf_counter_ns()
+        reply = self._recv(index)
+        tracer.worker_drain(index, time.perf_counter_ns() - t0)
+        return reply
+
     def request(self, message: tuple) -> list[dict[str, Any]]:
         """Send one command to every worker; replies in worker order."""
         for conn in self._conns:
             conn.send(message)
-        return [self._recv(index) for index in range(self.n_workers)]
+        return [self._recv_timed(index) for index in range(self.n_workers)]
 
     def request_each(self, messages: list[tuple]) -> list[dict[str, Any]]:
         """Per-worker commands (``import`` distribution), replies in order."""
         for conn, message in zip(self._conns, messages):
             conn.send(message)
-        return [self._recv(index) for index in range(self.n_workers)]
+        return [self._recv_timed(index) for index in range(self.n_workers)]
 
     def close(self) -> None:
         """Stop every worker (they spill their kernel caches first)."""

@@ -1,0 +1,73 @@
+"""Golden-trace regression suite.
+
+Two tiny seeded NDJSON traces live under ``tests/golden/`` next to the
+landscape NDJSON a replay of each must produce, byte for byte.  Unit
+tests pin individual components; these pin the *composition* — reader,
+reorder buffer, routing, shards, epoch closure, quality annotation and
+serialisation — so any behaviour drift anywhere in the pipeline shows
+up as a one-line diff against a committed file.
+
+Regenerate a golden (only after deliberately changing behaviour) with::
+
+    PYTHONPATH=src python -m repro.cli replay tests/golden/<name>.ndjson \
+        --out tests/golden/<name>.landscape.ndjson --trace-sample 0
+
+The replay runs at 1 and 4 ingest workers, with Stagewatch tracing on,
+so the suite simultaneously guards the engine's worker-count
+byte-identity anchor and the tracer's "purely observational" contract.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.service.daemon import BotMeterDaemon
+from repro.service.tracing import STAGES, trace_report
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+FIXTURES = ["murofet_small", "new_goz_jitter"]
+
+
+def _replay(name: str, tmp_path: Path, workers: int, **kwargs) -> bytes:
+    out = tmp_path / f"{name}.w{workers}.ndjson"
+    daemon = BotMeterDaemon(
+        GOLDEN_DIR / f"{name}.ndjson",
+        out_path=out,
+        follow=False,
+        batch_lines=256,
+        ingest_workers=workers,
+        **kwargs,
+    )
+    assert daemon.run() == 0
+    return out.read_bytes()
+
+
+@pytest.mark.parametrize("name", FIXTURES)
+@pytest.mark.parametrize("workers", [1, 4])
+def test_golden_replay_byte_identical(name, workers, tmp_path):
+    expected = (GOLDEN_DIR / f"{name}.landscape.ndjson").read_bytes()
+    assert _replay(name, tmp_path, workers) == expected
+
+
+@pytest.mark.parametrize("name", FIXTURES)
+def test_golden_replay_with_trace_sink_byte_identical(name, tmp_path):
+    """An attached span sink must not perturb the landscape stream."""
+    expected = (GOLDEN_DIR / f"{name}.landscape.ndjson").read_bytes()
+    got = _replay(
+        name, tmp_path, 4, trace_out=tmp_path / "events.ndjson", trace_sample=2
+    )
+    assert got == expected
+
+
+def test_golden_four_worker_trace_covers_all_stages(tmp_path):
+    """The ISSUE acceptance check: a 4-worker golden replay's trace
+    report shows every one of the five stages with a non-zero count."""
+    trace_path = tmp_path / "events.ndjson"
+    _replay("murofet_small", tmp_path, 4, trace_out=trace_path, trace_sample=1)
+    report = trace_report(trace_path)
+    for stage in STAGES:
+        assert report["stages"].get(stage, {}).get("count", 0) > 0, stage
+    assert report["headers"] == 1

@@ -205,3 +205,62 @@ class TestCraftedStreamCounters:
             engine.submit(ForwardedLookup(t, "s", "a.example"))
         counter = engine.metrics.counter("botmeterd_records_dropped_total")
         assert counter.value() == 2.0
+
+
+class TestRenderOrdering:
+    """The ISSUE fix: exposition output is pinned — sorted metric
+    families, sorted label-sets inside each family — so two registries
+    holding the same values render identical bytes regardless of the
+    order anything was registered or observed in."""
+
+    @staticmethod
+    def _populate(registry, order):
+        c = registry.counter("zz_last_registered", "registered last")
+        g = registry.gauge("aa_first_rendered", "registered after the counter")
+        h = registry.histogram("mm_hist", "histogram in the middle")
+        for family, server in order:
+            c.inc(2, family=family, server=server)
+            g.set(1.5, family=family, server=server)
+            h.observe(3, family=family, server=server)
+
+    def test_insertion_order_never_changes_the_exposition(self):
+        forward = MetricsRegistry()
+        backward = MetricsRegistry()
+        pairs = [("murofet", "s1"), ("conficker", "s9"), ("murofet", "s0")]
+        self._populate(forward, pairs)
+        self._populate(backward, list(reversed(pairs)))
+        assert forward.render_prometheus() == backward.render_prometheus()
+        assert forward.snapshot() == backward.snapshot()
+        assert forward.export_state() == backward.export_state()
+
+    def test_pinned_exposition_output(self):
+        registry = MetricsRegistry()
+        registry.counter("beta_total", "").inc(2, family="x")
+        registry.counter("beta_total", "").inc(1, family="a")
+        registry.gauge("alpha", "a help line").set(4)
+        text = registry.render_prometheus()
+        assert text == (
+            "# HELP alpha a help line\n"
+            "# TYPE alpha gauge\n"
+            "alpha 4\n"
+            "# TYPE beta_total counter\n"
+            'beta_total{family="a"} 1\n'
+            'beta_total{family="x"} 2\n'
+        )
+
+    def test_pinned_histogram_exposition(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", "")
+        h.observe(3, stage="b")
+        h.observe(1, stage="a")
+        text = registry.render_prometheus()
+        a_at = text.index('lat_bucket{stage="a",le="1"} 1')
+        b_at = text.index('lat_bucket{stage="b",le="4"} 1')
+        assert a_at < b_at
+        assert 'lat_bucket{stage="a",le="+Inf"} 1' in text
+        assert 'lat_sum{stage="a"} 1' in text
+        assert 'lat_count{stage="b"} 1' in text
+        # Cumulative le buckets: every bound at or above the value's
+        # bucket reports the full count.
+        assert 'lat_bucket{stage="b",le="2"} 0' in text
+        assert 'lat_bucket{stage="b",le="8"} 1' in text
