@@ -1,6 +1,6 @@
 # Convenience targets for the BotMeter reproduction.
 
-.PHONY: install test test-fast smoke-sweep service-smoke trace-smoke soak bench bench-paper bench-perf examples report clean
+.PHONY: install test test-fast smoke-sweep service-smoke trace-smoke netingest-smoke soak bench bench-paper bench-perf examples report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -70,6 +70,14 @@ trace-smoke:
 	@echo "trace-smoke OK: landscape bytes identical with tracing on (1 and 4 workers)"
 	python -m repro.cli trace-report trace-smoke/events4.ndjson
 
+# Sensornet end-to-end: 3 sensors stream shards of a synthetic day over
+# localhost TCP, then over a Unix-domain socket; both merged landscapes
+# must be byte-identical to the concatenated-file replay.
+netingest-smoke:
+	rm -rf netingest-smoke && mkdir -p netingest-smoke
+	python -m repro.cli netingest-smoke --workdir netingest-smoke
+	@cat netingest-smoke/smoke-report.json
+
 # Faultline soak: a multi-family trace through the full seeded fault
 # schedule under supervision — survival, exact dead-letter/ledger
 # reconciliation, loss-bounded degradation, byte-identical determinism.
@@ -98,5 +106,5 @@ report:
 	python -m repro.cli report --out reproduction_report.md
 
 clean:
-	rm -rf src/repro.egg-info .pytest_cache .benchmarks service-smoke service-soak trace-smoke perf-artifacts
+	rm -rf src/repro.egg-info .pytest_cache .benchmarks service-smoke service-soak trace-smoke netingest-smoke perf-artifacts
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,155 @@
+"""Sensornet ingest throughput: socket replay vs file replay.
+
+Replays the same seeded trace twice — once straight from a file, once
+as three concurrent TCP sensors through :class:`NetIngestServer` — and
+emits a ``BENCH_netingest.json`` ``repro-perf-v1`` artifact comparing
+the two.  The deterministic K-way merge, framing, and ack machinery are
+allowed to cost something, but not much: under ``REPRO_PERF_STRICT=1``
+the socket path must sustain at least 80% of file-replay throughput.
+Both paths must produce byte-identical landscapes — a perf run that
+drifts behaviourally is worthless, so the identity is asserted here
+too.
+"""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.daemon import BotMeterDaemon
+from repro.service.netingest import NetIngestServer, SensorClient, shard_trace_lines
+from repro.service.wire import encode_header, encode_record
+from repro.sim import SimConfig, simulate
+
+SENSORS = 3
+
+
+@pytest.fixture(scope="module")
+def net_run():
+    return simulate(
+        SimConfig(family="new_goz", n_bots=48, n_local_servers=8, n_days=1, seed=9)
+    )
+
+
+def artifact_path(tmp_path: Path, name: str) -> Path:
+    root = os.environ.get("REPRO_PERF_DIR")
+    directory = Path(root) if root else tmp_path
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory / name
+
+
+def write_artifact(path: Path, payload: dict) -> None:
+    payload = {"schema": "repro-perf-v1", "cpu_count": os.cpu_count(), **payload}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nperf artifact: {path}")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _trace_lines(net_run) -> list[bytes]:
+    lines = [
+        encode_header(
+            {
+                "families": [{"name": "new_goz", "seed": 0}],
+                "granularity": 0.1,
+                "origin": net_run.timeline.origin.isoformat(),
+            }
+        ).encode()
+    ]
+    lines.extend(encode_record(record).encode() for record in net_run.observable)
+    return lines
+
+
+def _daemon(source, out: Path, **kwargs) -> BotMeterDaemon:
+    return BotMeterDaemon(
+        source,
+        out_path=out,
+        log_stream=open(os.devnull, "w"),
+        batch_lines=256,
+        **kwargs,
+    )
+
+
+def _file_replay(lines: list[bytes], tmp_path: Path, run: int) -> tuple[float, bytes]:
+    trace = tmp_path / "trace.ndjson"
+    if not trace.exists():
+        trace.write_bytes(b"\n".join(lines) + b"\n")
+    out = tmp_path / f"file-{run}.ndjson"
+    daemon = _daemon(trace, out, follow=False)
+    start = time.perf_counter()
+    assert daemon.run() == 0
+    return time.perf_counter() - start, out.read_bytes()
+
+
+def _net_replay(lines: list[bytes], tmp_path: Path, run: int) -> tuple[float, bytes]:
+    shards = [shard_trace_lines(lines, i, SENSORS) for i in range(SENSORS)]
+    out = tmp_path / f"net-{run}.ndjson"
+    daemon = _daemon(f"net:perf-{run}", out)
+    server = NetIngestServer(daemon, tcp=("127.0.0.1", 0), expect_sensors=SENSORS)
+    thread = server.run_in_thread()
+    errors = []
+
+    def _one(i: int) -> None:
+        try:
+            SensorClient(
+                ("tcp", *server.tcp_address), f"sensor-{i:02d}", retry_deadline=60
+            ).replay_lines(shards[i])
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+
+    start = time.perf_counter()
+    client_threads = [
+        threading.Thread(target=_one, args=(i,), daemon=True) for i in range(SENSORS)
+    ]
+    for t in client_threads:
+        t.start()
+    for t in client_threads:
+        t.join(timeout=120)
+    thread.join(timeout=120)
+    elapsed = time.perf_counter() - start
+    if errors:
+        server.stop()
+        raise errors[0]
+    assert server.error is None
+    return elapsed, out.read_bytes()
+
+
+def test_perf_netingest_vs_file_replay(net_run, tmp_path):
+    """Three-sensor TCP replay throughput relative to file replay.
+
+    Always writes the ``BENCH_netingest.json`` artifact; the >=0.8x
+    throughput floor is only enforced under ``REPRO_PERF_STRICT=1`` so
+    an oversubscribed CI box cannot flake the default suite.
+    """
+    lines = _trace_lines(net_run)
+    n_records = len(net_run.observable)
+
+    _file_replay(lines, tmp_path, 0)  # warm imports and kernel caches
+    file_s, file_bytes = min(_file_replay(lines, tmp_path, run) for run in (1, 2))
+    net_s, net_bytes = min(_net_replay(lines, tmp_path, run) for run in (1, 2))
+    assert net_bytes == file_bytes  # identity even while racing the clock
+
+    ratio = file_s / net_s if net_s else float("inf")
+    strict = os.environ.get("REPRO_PERF_STRICT") == "1"
+    write_artifact(
+        artifact_path(tmp_path, "BENCH_netingest.json"),
+        {
+            "component": "service.netingest.throughput",
+            "n_records": n_records,
+            "sensors": SENSORS,
+            "batch_lines": 256,
+            "wall_seconds_file": file_s,
+            "wall_seconds_net": net_s,
+            "records_per_second_file": n_records / file_s,
+            "records_per_second_net": n_records / net_s,
+            "net_over_file_throughput": ratio,
+            "strict": strict,
+        },
+    )
+    if strict:
+        assert ratio >= 0.8, (
+            f"socket ingest only {ratio:.2f}x file-replay throughput "
+            f"({file_s:.3f}s file vs {net_s:.3f}s net over {n_records} records)"
+        )

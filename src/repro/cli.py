@@ -16,7 +16,14 @@ Gives operators the Figure-2 workflow without writing Python:
   the batch reference) and print the landscape series;
 * ``repro serve``     — run botmeterd live: follow a file or stdin,
   with checkpointed recovery, metrics, optional fault injection
-  (``--faults``) and restart supervision (``--supervise``);
+  (``--faults``) and restart supervision (``--supervise``); or listen
+  for concurrent sensor connections (``--listen`` / ``--listen-uds``,
+  the Sensornet ingest tier);
+* ``repro sensor-send`` — stream an NDJSON trace (or one round-robin
+  shard of it) to a listening botmeterd, with reconnect-and-resume;
+* ``repro netingest-smoke`` — the Sensornet smoke drill: sharded
+  concurrent replay over localhost TCP and a Unix socket, byte-diffed
+  against the single-file replay;
 * ``repro faults-soak`` — the Faultline soak: replay a multi-family
   trace through a seeded fault schedule under supervision and verify
   survival, exact dead-letter accounting, bounded degradation and
@@ -226,7 +233,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_options(replay)
 
     serve = sub.add_parser("serve", help="run botmeterd: follow a live NDJSON stream")
-    serve.add_argument("--input", required=True, help="trace file, or '-' for stdin")
+    serve.add_argument("--input", default=None,
+                       help="trace file, or '-' for stdin (exclusive with --listen*)")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="accept sensor connections over TCP (port 0 = ephemeral)")
+    serve.add_argument("--listen-uds", default=None, metavar="PATH",
+                       help="accept sensor connections on a Unix-domain socket")
+    serve.add_argument("--expect-sensors", type=int, default=None, metavar="K",
+                       help="gate the deterministic merge until K distinct "
+                            "sensors said hello (recommended for determinism)")
+    serve.add_argument("--addr-file", default=None, metavar="PATH",
+                       help="write the bound addresses here once listening "
+                            "(how sensors find an ephemeral port)")
+    serve.add_argument("--net-window", type=int, default=4096, metavar="N",
+                       help="per-sensor buffered-line cap before reads pause")
     _add_engine_options(serve)
     serve.add_argument("--checkpoint", default=None, metavar="PATH",
                        help="checkpoint file (enables crash recovery)")
@@ -247,6 +267,41 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--watchdog-deadline", type=float, default=None,
                        help="with --follow: seconds of ingest silence before "
                             "checkpointing and raising a restartable stall")
+
+    send = sub.add_parser(
+        "sensor-send",
+        help="stream an NDJSON trace (or one shard) to a listening botmeterd",
+    )
+    send.add_argument("trace", help="NDJSON trace (from `repro export-trace`)")
+    send.add_argument("--sensor", required=True, help="this sensor's id (the cursor key)")
+    send.add_argument("--connect", default=None, metavar="HOST:PORT|uds:PATH",
+                      help="server address (exclusive with --addr-file)")
+    send.add_argument("--addr-file", default=None, metavar="PATH",
+                      help="resolve the server from its --addr-file "
+                           "(re-read on every reconnect attempt)")
+    send.add_argument("--prefer", choices=("tcp", "uds"), default="tcp",
+                      help="with --addr-file: preferred transport")
+    send.add_argument("--shard", default=None, metavar="I/K",
+                      help="send round-robin shard I of K (header goes to all)")
+    send.add_argument("--from-ack", action="store_true",
+                      help="resume from the last durable ack instead of the "
+                           "welcome cursor (server discards the overlap)")
+    send.add_argument("--retry-deadline", type=float, default=30.0,
+                      help="give up reconnecting after this many seconds")
+    send.add_argument("--throttle", type=float, default=0.0,
+                      help="seconds to sleep per line (drill pacing)")
+
+    nsmoke = sub.add_parser(
+        "netingest-smoke",
+        help="sharded concurrent replay over TCP and UDS, byte-diffed "
+             "against the single-file replay",
+    )
+    nsmoke.add_argument("--workdir", required=True, help="scratch directory")
+    nsmoke.add_argument("--sensors", type=int, default=3)
+    nsmoke.add_argument("--bots", type=int, default=24)
+    nsmoke.add_argument("--servers", type=int, default=3)
+    nsmoke.add_argument("--days", type=int, default=2)
+    nsmoke.add_argument("--seed", type=int, default=7)
 
     soak = sub.add_parser(
         "faults-soak",
@@ -620,9 +675,26 @@ def _make_injector(args: argparse.Namespace, disarmed=None):
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.daemon import BotMeterDaemon
 
+    net_mode = args.listen is not None or args.listen_uds is not None
+    if net_mode and args.input:
+        print("serve: --input and --listen/--listen-uds are exclusive", file=sys.stderr)
+        return 2
+    if not net_mode and not args.input:
+        print("serve: need --input, --listen or --listen-uds", file=sys.stderr)
+        return 2
+    if net_mode and args.supervise:
+        print("serve: --supervise is file-ingest only", file=sys.stderr)
+        return 2
+    if net_mode and args.faults:
+        # The injector hooks the raw file-line path, which network
+        # ingest bypasses; refusing beats silently not injecting.
+        print("serve: --faults is file-ingest only", file=sys.stderr)
+        return 2
+    input_label = args.input if args.input else f"net:{args.listen or args.listen_uds}"
+
     def build_daemon(disarmed=None) -> BotMeterDaemon:
         return BotMeterDaemon(
-            args.input,
+            input_label,
             out_path=args.out,
             checkpoint_path=args.checkpoint,
             families=_parse_family_specs(args.family),
@@ -648,6 +720,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             trace_out=args.trace_out,
             trace_sample=args.trace_sample,
         )
+
+    if net_mode:
+        from .service.netingest import NetIngestServer
+
+        tcp = None
+        if args.listen:
+            host, sep, port = args.listen.rpartition(":")
+            if not sep or not port.isdigit():
+                print(f"serve: --listen wants HOST:PORT, got {args.listen!r}",
+                      file=sys.stderr)
+                return 2
+            tcp = (host or "127.0.0.1", int(port))
+        daemon = build_daemon()
+        server = NetIngestServer(
+            daemon,
+            tcp=tcp,
+            uds=args.listen_uds,
+            expect_sensors=args.expect_sensors,
+            window=args.net_window,
+            addr_file=args.addr_file,
+            idle_timeout=args.idle_timeout,
+        )
+        return _run_profiled(args, server.serve, daemon=daemon)
 
     if not args.supervise:
         daemon = build_daemon()
@@ -686,6 +781,77 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    return 0
+
+
+def _cmd_sensor_send(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service.netingest import (
+        SensorClient,
+        SensorError,
+        parse_address,
+        read_address_file,
+        shard_trace_lines,
+    )
+
+    if bool(args.connect) == bool(args.addr_file):
+        print("sensor-send: need exactly one of --connect / --addr-file",
+              file=sys.stderr)
+        return 2
+    if args.connect:
+        address = parse_address(args.connect)
+    else:
+        addr_file, prefer = args.addr_file, args.prefer
+        address = lambda: read_address_file(addr_file, prefer=prefer)  # noqa: E731
+    shard = None
+    if args.shard:
+        index, sep, count = args.shard.partition("/")
+        if not sep or not index.isdigit() or not count.isdigit():
+            print(f"sensor-send: --shard wants I/K, got {args.shard!r}",
+                  file=sys.stderr)
+            return 2
+        shard = (int(index), int(count))
+    client = SensorClient(
+        address,
+        args.sensor,
+        resume="ack" if args.from_ack else "welcome",
+        retry_deadline=args.retry_deadline,
+        throttle=args.throttle,
+    )
+    try:
+        from pathlib import Path
+
+        lines = Path(args.trace).read_bytes().splitlines()
+        if shard is not None:
+            lines = shard_trace_lines(lines, *shard)
+        report = client.replay_lines(lines)
+    except SensorError as exc:
+        print(f"sensor-send: {exc}", file=sys.stderr)
+        return 1
+    print(_json.dumps(report.__dict__, sort_keys=True))
+    return 0
+
+
+def _cmd_netingest_smoke(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .service.netingest import SmokeFailure, run_smoke
+
+    try:
+        run_smoke(
+            Path(args.workdir),
+            sensors=args.sensors,
+            bots=args.bots,
+            servers=args.servers,
+            days=args.days,
+            seed=args.seed,
+            log=sys.stderr,
+        )
+    except SmokeFailure as exc:
+        print(f"NETINGEST SMOKE FAILED: {exc}", file=sys.stderr)
+        return 1
+    print("netingest-smoke passed", file=sys.stderr)
     return 0
 
 
@@ -738,6 +904,8 @@ _HANDLERS = {
     "export-trace": _cmd_export_trace,
     "replay": _cmd_replay,
     "serve": _cmd_serve,
+    "sensor-send": _cmd_sensor_send,
+    "netingest-smoke": _cmd_netingest_smoke,
     "faults-soak": _cmd_faults_soak,
     "trace-report": _cmd_trace_report,
 }

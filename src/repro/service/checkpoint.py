@@ -2,7 +2,12 @@
 
 A checkpoint is one JSON document — schema-tagged, carrying the input
 byte offset, the emitted-landscape count, the engine snapshot and the
-metric values.  Writes are atomic (write to a sibling temp file, flush,
+metric values.  Subsystems that own extra durable state ride the same
+document through ``BotMeterDaemon.extra_checkpoint_state``: the network
+ingest tier adds ``sensors`` (the per-sensor released-line cursor map —
+the resume points it acks to connected sensors) and ``net_header`` (the
+trace header that arrived over the wire, so engine configuration
+survives a restart whose sensors resume past their header lines).  Writes are atomic (write to a sibling temp file, flush,
 fsync, :func:`os.replace`), so a crash mid-write leaves the previous
 checkpoint intact and a resumed daemon never sees a torn file.
 

@@ -240,6 +240,9 @@ class BotMeterDaemon:
         self.ingest_workers = max(1, int(ingest_workers))
         self._pending_records: list[ForwardedLookup] = []
         self._pending_marks: list[int] = []
+        #: Optional provider of extra checkpoint keys (the network ingest
+        #: tier rides its per-sensor cursor map on the daemon checkpoint).
+        self.extra_checkpoint_state: Any = None
 
     # -- plumbing ------------------------------------------------------------
 
@@ -399,6 +402,8 @@ class BotMeterDaemon:
             state["injector"] = self.injector.export_state()
         if self.deadletter is not None:
             state["deadletter"] = self.deadletter.export_state()
+        if self.extra_checkpoint_state is not None:
+            state.update(self.extra_checkpoint_state())
         self.store.save(state)
         self._since_checkpoint = 0
         self._dump_observability()
@@ -476,6 +481,57 @@ class BotMeterDaemon:
                 epochs, corrupt_snapshot=marks[index]
             ),
         )
+
+    # -- run-segment scaffolding ---------------------------------------------
+    # ``run`` (file/stdin) and the network ingest tier
+    # (:class:`repro.service.netingest.NetIngestServer`) share the same
+    # begin/finish/cleanup sequence around different ingest loops.
+
+    def _fresh_outputs(self) -> None:
+        """A non-resumed run starts with empty output sidecars."""
+        if self.out_path is not None:
+            self.out_path.write_text("")
+        if self.deadletter is not None:
+            self.deadletter.reset()
+
+    def _attach_trace_sink(self, resumed: bool) -> None:
+        if self.tracer is not None and self.trace_out is not None:
+            # One header per run segment: a resumed serve appends to
+            # the same trace file instead of discarding history.
+            self._trace_sink = TraceSink(
+                self.trace_out, sample=self.trace_sample, resume=resumed
+            )
+            self.tracer.sink = self._trace_sink
+
+    def _finish_stream(self, offset: int) -> None:
+        """Stream end: release held batches, close every epoch, persist."""
+        self._flush_batch()
+        if self.engine is not None:
+            self._emit(self.engine.finalize())
+            self._checkpoint(offset)
+        self._dump_observability()
+        self._log_event(
+            "finished",
+            records=self.records_consumed,
+            skipped=self.reader.skipped,
+            landscapes=self.landscapes_emitted,
+        )
+
+    def _cleanup(self) -> None:
+        if self.engine is not None:
+            # Stops ingest workers; spills the kernel-cache sidecar.
+            self.engine.close()
+        if self.tracer is not None:
+            self.tracer.write_summary()
+        if self._trace_sink is not None:
+            self._trace_sink.close()
+            self.tracer.sink = None
+            self._trace_sink = None
+        if self._out_fh is not None:
+            self._out_fh.close()
+            self._out_fh = None
+        if self.deadletter is not None:
+            self.deadletter.close()
 
     # -- the loop ------------------------------------------------------------
 
@@ -575,19 +631,8 @@ class BotMeterDaemon:
                 offset = self._restore(checkpoint)
                 fh.seek(offset)
             else:
-                if self.out_path is not None:
-                    self.out_path.write_text("")
-                if self.deadletter is not None:
-                    self.deadletter.reset()
-            if self.tracer is not None and self.trace_out is not None:
-                # One header per run segment: a resumed serve appends to
-                # the same trace file instead of discarding history.
-                self._trace_sink = TraceSink(
-                    self.trace_out,
-                    sample=self.trace_sample,
-                    resume=checkpoint is not None,
-                )
-                self.tracer.sink = self._trace_sink
+                self._fresh_outputs()
+            self._attach_trace_sink(resumed=checkpoint is not None)
             idle_since: float | None = None
             pending = b""  # stdin-follow: a partial tail we cannot seek back to
             # Replay fast path: no tailing, no injector, no pacing —
@@ -664,35 +709,12 @@ class BotMeterDaemon:
             if self.injector is not None:
                 for delivered in self.injector.flush():
                     self._consume_one(delivered)
-            self._flush_batch()
-            if self.engine is not None:
-                self._emit(self.engine.finalize())
-                self._checkpoint(offset)
-            self._dump_observability()
-            self._log_event(
-                "finished",
-                records=self.records_consumed,
-                skipped=self.reader.skipped,
-                landscapes=self.landscapes_emitted,
-            )
+            self._finish_stream(offset)
             return 0
         finally:
             if not use_stdin:
                 fh.close()
-            if self.engine is not None:
-                # Stops ingest workers; spills the kernel-cache sidecar.
-                self.engine.close()
-            if self.tracer is not None:
-                self.tracer.write_summary()
-            if self._trace_sink is not None:
-                self._trace_sink.close()
-                self.tracer.sink = None
-                self._trace_sink = None
-            if self._out_fh is not None:
-                self._out_fh.close()
-                self._out_fh = None
-            if self.deadletter is not None:
-                self.deadletter.close()
+            self._cleanup()
 
     def _consume(self, line: bytes, offset: int, complete: bool = True) -> None:
         if self.injector is not None and complete:
@@ -712,9 +734,25 @@ class BotMeterDaemon:
 
     def _consume_one(self, line: bytes | str, complete: bool = True) -> None:
         record = self.reader.feed(line, complete=complete)
+        self._after_feed(record)
+
+    def _consume_parsed(self, line: bytes | str, data: Any) -> None:
+        """Consume a complete line the caller already ``json.loads``-ed.
+
+        Identical to :meth:`_consume_one` on a complete line; the
+        network ingest tier parses every payload line for its merge key
+        anyway and uses this to skip the second parse.
+        """
+        record = self.reader.feed_parsed(line, data)
+        self._after_feed(record)
+
+    def _after_feed(self, record: ForwardedLookup | None) -> None:
         self._c_skipped.set_total(self.reader.skipped)
         if record is None:
             return
+        self._submit_record(record)
+
+    def _submit_record(self, record: ForwardedLookup) -> None:
         if self.batch_lines > 1:
             self._enqueue(record)
             return
@@ -726,3 +764,91 @@ class BotMeterDaemon:
         self._since_checkpoint += 1
         if self.health is not None:
             self.health.record_ok()
+
+    def _consume_parsed_many(
+        self, pairs: list[tuple[bytes | str, Any]]
+    ) -> None:
+        """Batched :meth:`_consume_parsed`: one call per released run of
+        lines instead of one per line.
+
+        Semantics are identical — records submit in order, each corrupt
+        line fires its quarantine sink at its own decode point — but the
+        bookkeeping the file fast path amortizes per chunk (the skipped
+        counter sync and the decode span) is amortized here per batch
+        instead of paid per line.  ``data is None`` entries (blank,
+        corrupt, or header lines the caller could not parse) take the
+        full :meth:`NdjsonReader.feed` path.
+        """
+        reader = self.reader
+        tracer = self.tracer
+        if tracer is None or self.batch_lines <= 1:
+            # Unbatched submission interleaves emission with decoding,
+            # so a deferred-submit rewrite would change every corrupt
+            # snapshot; the per-line loop stays exact (and is also the
+            # straightforward untraced path).
+            if tracer is None:
+                submit = self._submit_record
+                feed = reader.feed
+                feed_parsed = reader.feed_parsed
+                for line, data in pairs:
+                    record = (
+                        feed(line) if data is None else feed_parsed(line, data)
+                    )
+                    if record is not None:
+                        submit(record)
+                self._c_skipped.set_total(reader.skipped)
+            else:
+                for line, data in pairs:
+                    if data is None:
+                        self._consume_one(line)
+                    else:
+                        self._consume_parsed(line, data)
+            return
+        # Traced + batched: decode the whole run under one span (the
+        # chunked file path's contract — downstream stage time never
+        # pollutes the decode histogram), journaling corrupt lines so
+        # each record keeps the corrupt count observed at its own
+        # decode point.
+        corrupt_events: list[int] = []
+        inner_on_corrupt = reader.on_corrupt
+        saved_tracer = reader.tracer
+        reader.tracer = None
+
+        def _journal_corrupt(line: str, reason: str) -> None:
+            corrupt_events.append(reader.records)
+            if inner_on_corrupt is not None:
+                inner_on_corrupt(line, reason)
+
+        reader.on_corrupt = _journal_corrupt
+        try:
+            base_records = reader.records
+            mark = reader.corrupt
+            t0 = tracer.start("decode")
+            decoded: list[ForwardedLookup] = []
+            for line, data in pairs:
+                record = (
+                    reader.feed(line)
+                    if data is None
+                    else reader.feed_parsed(line, data)
+                )
+                if record is not None:
+                    decoded.append(record)
+            if t0:
+                tracer.stop("decode", t0, records=len(decoded))
+        finally:
+            reader.tracer = saved_tracer
+            reader.on_corrupt = inner_on_corrupt
+        if not corrupt_events:
+            for record in decoded:
+                self._enqueue(record, corrupt_mark=mark)
+        else:
+            pending, n_events = 0, len(corrupt_events)
+            for index, record in enumerate(decoded):
+                while (
+                    pending < n_events
+                    and corrupt_events[pending] <= base_records + index
+                ):
+                    mark += 1
+                    pending += 1
+                self._enqueue(record, corrupt_mark=mark)
+        self._c_skipped.set_total(reader.skipped)

@@ -155,6 +155,12 @@ class Gauge(_Metric):
     def set(self, value: float, **labels: str) -> None:
         self._values[_label_key(labels)] = float(value)
 
+    def add(self, delta: float, **labels: str) -> None:
+        """Adjust the level by a (possibly negative) delta — the natural
+        shape for open/close pairs like live connection counts."""
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + float(delta)
+
 
 class _HistogramData:
     """One label-set's histogram state: exact bucket counts + extremes."""

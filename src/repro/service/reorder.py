@@ -87,6 +87,14 @@ class ReorderBuffer:
         """Records currently buffered."""
         return len(self._heap)
 
+    @property
+    def saturated(self) -> bool:
+        """Whether the buffer is at capacity — the next push triggers
+        the backpressure policy.  Upstream tiers (the network ingest
+        server) poll this to pause reads instead of pushing into a
+        policy decision."""
+        return len(self._heap) >= self.capacity
+
     def _pop(self) -> ForwardedLookup:
         return heapq.heappop(self._heap)[4]
 

@@ -20,6 +20,19 @@ flag it with ``complete=False`` and the reader counts it separately
 (``truncated_tail``) without charging the corrupt budget — the caller
 retries it once more bytes (or stream end) arrive.
 
+The retry contract is designed for **non-seekable** sources (sockets,
+pipes) as much as for file tails: the reader never buffers a truncated
+probe and never needs the caller to rewind.  The *caller* retains the
+unconsumed tail, appends the bytes that arrive next, and re-feeds the
+whole line — with ``complete=True`` once a newline (or stream end)
+delimits it.  Under ``complete=False`` the reader consumes a line only
+when it decodes to a full JSON *object*; every other outcome —
+undecodable bytes, a JSON syntax error, or a non-object value such as
+a bare number that may be the prefix of a longer one — counts one
+``truncated_tail`` and leaves classification to the retry.  Each probe
+of the same tail counts again, so probe once per quiet period, not per
+received chunk.
+
 Every landscape line carries a ``quality`` annotation — records charted
 (matched) plus the late/dropped/quarantined deltas attributed to that
 epoch and the resulting estimated loss fraction — so downstream
@@ -199,10 +212,15 @@ class NdjsonReader:
     ) -> ForwardedLookup | None:
         """Decode one line; ``None`` for anything that is not a lookup.
 
-        ``complete=False`` marks the final, newline-less line of a live
-        tail: if it fails to decode it is counted as ``truncated_tail``
-        — a retriable in-flight write, not budgeted corruption — and
-        the caller re-feeds it once the producer finishes the line.
+        ``complete=False`` marks a newline-less tail that may still be
+        in flight (a live file tail, or the residue of a socket read):
+        unless it decodes to a full JSON object it is counted as
+        ``truncated_tail`` — a retriable in-flight write, not budgeted
+        corruption — and ``None`` is returned *without consuming it*.
+        The reader holds no state for the probe, so the contract works
+        for non-seekable streams: the caller keeps the tail, appends
+        the next bytes, and re-feeds the whole line (``complete=True``
+        once it is newline- or stream-end-delimited).
         """
         tracer = self.tracer
         if tracer is None:
@@ -236,8 +254,19 @@ class NdjsonReader:
             self._corrupt_line(stripped, "invalid JSON")
             return None
         if not isinstance(data, dict):
+            if not complete:
+                # A bare scalar can be the *prefix* of a longer one
+                # ("12" while "123\n" is in flight), so a non-object
+                # probe stays retriable — charging corrupt here would
+                # both miscount and consume a line the caller is
+                # contractually re-feeding later.
+                self.truncated_tail += 1
+                return None
             self._corrupt_line(stripped, "not a JSON object")
             return None
+        return self._feed_object(stripped, data)
+
+    def _feed_object(self, stripped: str, data: dict) -> ForwardedLookup | None:
         kind = data.get("type", "lookup")
         if kind == "header":
             self.header = data
@@ -252,6 +281,35 @@ class NdjsonReader:
             return None
         self.records += 1
         return record
+
+    def feed_parsed(
+        self, line: bytes | str, data: Any
+    ) -> ForwardedLookup | None:
+        """Decode an already-parsed complete line under the skip policy.
+
+        ``data`` must be ``json.loads`` of ``line``.  Callers that parse
+        every line themselves anyway (the network ingest tier peeks each
+        payload line for its merge key) use this to skip a second parse;
+        counters, header capture and quarantine behaviour are identical
+        to ``feed(line)`` on a complete line.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return self._feed_parsed(line, data)
+        t0 = tracer.start("decode")
+        record = self._feed_parsed(line, data)
+        if t0:
+            tracer.stop("decode", t0)
+        return record
+
+    def _feed_parsed(self, line: bytes | str, data: Any) -> ForwardedLookup | None:
+        if isinstance(line, bytes):
+            line = line.decode("utf-8")
+        stripped = line.strip()
+        if not isinstance(data, dict):
+            self._corrupt_line(stripped, "not a JSON object")
+            return None
+        return self._feed_object(stripped, data)
 
     def read(self, lines: Iterable[bytes | str]) -> Iterator[ForwardedLookup]:
         """Decode a whole line stream, yielding lookup records."""

@@ -15,10 +15,20 @@ Regenerate a golden (only after deliberately changing behaviour) with::
 The replay runs at 1 and 4 ingest workers, with Stagewatch tracing on,
 so the suite simultaneously guards the engine's worker-count
 byte-identity anchor and the tracer's "purely observational" contract.
+
+``golden/netingest_3sensor/`` pins the Sensornet ingest tier the same
+way: three committed sensor shards (round-robin of a seeded new_goz
+trace — ``export-trace --family new_goz --bots 6 --servers 2 --days 2
+--seed 11``, sharded with ``shard_trace_lines``) replayed over real TCP
+must reproduce the committed landscape bytes *and* the committed
+per-connection cursor map, at 1 and 4 ingest workers.
 """
 
 from __future__ import annotations
 
+import io
+import json
+import threading
 from pathlib import Path
 
 import pytest
@@ -60,6 +70,61 @@ def test_golden_replay_with_trace_sink_byte_identical(name, tmp_path):
         name, tmp_path, 4, trace_out=tmp_path / "events.ndjson", trace_sample=2
     )
     assert got == expected
+
+
+NET_GOLDEN = GOLDEN_DIR / "netingest_3sensor"
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_golden_netingest_three_sensor_merge(workers, tmp_path):
+    """Three committed shards over real TCP reproduce the committed
+    landscape bytes and per-connection cursor map."""
+    from repro.service.netingest import NetIngestServer, SensorClient
+
+    shards = [
+        (NET_GOLDEN / f"shard-{i:02d}.ndjson").read_bytes().splitlines()
+        for i in range(3)
+    ]
+    expected = (NET_GOLDEN / "expected.landscape.ndjson").read_bytes()
+    cursors = json.loads((NET_GOLDEN / "cursors.json").read_text())
+    out = tmp_path / "net.ndjson"
+    checkpoint = tmp_path / "checkpoint.json"
+    daemon = BotMeterDaemon(
+        "net:golden",
+        out_path=out,
+        checkpoint_path=checkpoint,
+        checkpoint_every=64,
+        batch_lines=256,
+        ingest_workers=workers,
+        trace_sample=0,
+        log_stream=io.StringIO(),
+    )
+    server = NetIngestServer(daemon, tcp=("127.0.0.1", 0), expect_sensors=3)
+    thread = server.run_in_thread()
+    errors = []
+
+    def _one(i):
+        try:
+            SensorClient(
+                ("tcp", *server.tcp_address), f"sensor-{i:02d}", retry_deadline=60
+            ).replay_lines(shards[i])
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+
+    client_threads = [
+        threading.Thread(target=_one, args=(i,), daemon=True) for i in range(3)
+    ]
+    for t in client_threads:
+        t.start()
+    for t in client_threads:
+        t.join(timeout=120)
+    thread.join(timeout=60)
+    if errors:
+        server.stop()
+        raise errors[0]
+    assert server.error is None
+    assert out.read_bytes() == expected
+    assert json.loads(checkpoint.read_text())["sensors"] == cursors
 
 
 def test_golden_four_worker_trace_covers_all_stages(tmp_path):

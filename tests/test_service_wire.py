@@ -264,6 +264,97 @@ class TestTruncatedTail:
         assert reader.records == 1 and reader.truncated_tail == 1
 
 
+class TestNonSeekableRetryContract:
+    """The ``complete=False`` contract for socket-style sources.
+
+    A socket caller cannot seek back: the reader must never consume a
+    probe it could not classify, and the caller re-feeds the *whole*
+    line later.  The regression here is the bare-scalar prefix: ``"12"``
+    parses as complete JSON while ``"123\\n"`` is still in flight, so a
+    non-object probe must stay retriable instead of being consumed as
+    budgeted corruption.
+    """
+
+    def test_scalar_prefix_is_truncated_tail_not_corrupt(self):
+        reader = NdjsonReader(max_corrupt=0)  # would raise if charged
+        assert reader.feed("123", complete=False) is None
+        assert reader.truncated_tail == 1
+        assert reader.corrupt == 0
+
+    def test_scalar_prefix_retry_charges_corrupt_exactly_once(self):
+        seen = []
+        reader = NdjsonReader(on_corrupt=lambda line, why: seen.append(line))
+        assert reader.feed("123", complete=False) is None
+        # The newline arrived; the full line really was a bare number.
+        assert reader.feed("12345", complete=True) is None
+        assert reader.corrupt == 1
+        assert seen == ["12345"]
+
+    def test_non_object_probe_does_not_call_corrupt_sink(self):
+        seen = []
+        reader = NdjsonReader(on_corrupt=lambda line, why: seen.append(line))
+        reader.feed('["partial", "array"]', complete=False)
+        reader.feed("null", complete=False)
+        reader.feed("true", complete=False)
+        assert seen == []
+        assert reader.truncated_tail == 3 and reader.corrupt == 0
+
+    def test_socket_style_refeed_yields_each_record_once(self):
+        """Simulate a recv() loop: arbitrary chunk boundaries, tail
+        retained by the caller, each completed line fed exactly once."""
+        lines = [
+            encode_record(ForwardedLookup(1.0, "s", "a")),
+            "42",  # a corrupt line whose every prefix parses as JSON
+            encode_record(ForwardedLookup(2.0, "s", "b")),
+        ]
+        data = "".join(line + "\n" for line in lines).encode()
+        for chunk_size in (1, 2, 3, 7, len(data)):
+            reader = NdjsonReader()
+            records, tail = [], b""
+            for start in range(0, len(data), chunk_size):
+                tail += data[start : start + chunk_size]
+                *complete, tail = tail.split(b"\n")
+                for line in complete:
+                    record = reader.feed(line)
+                    if record is not None:
+                        records.append(record)
+            assert tail == b""
+            assert [r.domain for r in records] == ["a", "b"], chunk_size
+            assert reader.records == 2 and reader.corrupt == 1
+            assert reader.truncated_tail == 0  # no quiet-period probes
+
+    def test_batch_decoder_live_flush_retains_scalar_prefix(self):
+        from repro.service.wire import NdjsonBatchDecoder
+
+        decoder = NdjsonBatchDecoder()
+        assert decoder.push(b"12") == []
+        assert decoder.flush(complete=False) == []  # probe: still in flight
+        assert decoder.pending == b"12"
+        assert decoder.reader.truncated_tail == 1
+        assert decoder.reader.corrupt == 0
+        # More bytes arrive and the line turns out to be a record.
+        line = encode_record(ForwardedLookup(1.0, "s", "a")).encode()
+        records = decoder.push(b"3\n" + line + b"\n")
+        assert len(records) == 1
+        assert decoder.reader.corrupt == 1  # "123" charged once, at EOL
+
+    def test_feed_parsed_matches_feed(self):
+        """The pre-parsed fast path counts exactly like ``feed``."""
+        lines = [
+            encode_header({"granularity": 0.5}),
+            encode_record(ForwardedLookup(1.0, "s", "a")),
+            '{"v":99,"timestamp":1,"server":"s","domain":"d"}',
+            '{"v":1,"type":"mystery"}',
+            '["not an object"]',
+        ]
+        plain, parsed = NdjsonReader(), NdjsonReader()
+        for line in lines:
+            expect = plain.feed(line)
+            got = parsed.feed_parsed(line, json.loads(line))
+            assert got == expect
+        assert _reader_counters(parsed) == _reader_counters(plain)
+
+
 # ---------------------------------------------------------------------------
 # NdjsonBatchDecoder — chunking must be invisible (the satellite property
 # test for the batched ingest path)
