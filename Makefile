@@ -1,6 +1,6 @@
 # Convenience targets for the BotMeter reproduction.
 
-.PHONY: install test test-fast smoke-sweep service-smoke trace-smoke netingest-smoke soak bench bench-paper bench-perf examples report clean
+.PHONY: install test test-fast smoke-sweep service-smoke trace-smoke netingest-smoke cluster-smoke soak bench bench-paper bench-perf examples report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -78,6 +78,14 @@ netingest-smoke:
 	python -m repro.cli netingest-smoke --workdir netingest-smoke
 	@cat netingest-smoke/smoke-report.json
 
+# Chartmesh end-to-end: route a synthetic day across 3 partition
+# daemons, merge, live-reshard 2 -> 3 mid-trace, and byte-compare both
+# merged landscapes against the single-daemon replay.
+cluster-smoke:
+	rm -rf cluster-smoke && mkdir -p cluster-smoke
+	python -m repro.cli cluster-smoke --workdir cluster-smoke
+	@cat cluster-smoke/smoke-report.json
+
 # Faultline soak: a multi-family trace through the full seeded fault
 # schedule under supervision — survival, exact dead-letter/ledger
 # reconciliation, loss-bounded degradation, byte-identical determinism.
@@ -106,5 +114,5 @@ report:
 	python -m repro.cli report --out reproduction_report.md
 
 clean:
-	rm -rf src/repro.egg-info .pytest_cache .benchmarks service-smoke service-soak trace-smoke netingest-smoke perf-artifacts
+	rm -rf src/repro.egg-info .pytest_cache .benchmarks service-smoke service-soak trace-smoke netingest-smoke cluster-smoke perf-artifacts
 	find . -name __pycache__ -type d -exec rm -rf {} +

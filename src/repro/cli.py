@@ -28,8 +28,21 @@ Gives operators the Figure-2 workflow without writing Python:
   trace through a seeded fault schedule under supervision and verify
   survival, exact dead-letter accounting, bounded degradation and
   determinism;
-* ``repro trace-report`` — aggregate a ``--trace-out`` span-event file
-  into a per-stage latency table (Stagewatch).
+* ``repro trace-report`` — aggregate one ``--trace-out`` span-event
+  file (or several, with ``--merge``) into a per-stage latency table
+  (Stagewatch);
+* ``repro cluster-replay`` — drain a trace through an N-partition
+  botmeterd cluster (Chartmesh) and merge the per-partition landscapes
+  into one chart, byte-verified against the single-daemon replay;
+* ``repro reshard`` — the live-reshard drill: drain N partitions at a
+  stream split point, re-key their checkpoints to M partitions, resume
+  and verify the merged chart is byte-identical to an unpartitioned
+  replay;
+* ``repro cluster-serve`` — run the cluster live: a router listener
+  splits sensor streams by server hash across N partition backends;
+* ``repro cluster-smoke`` — the Chartmesh smoke drill: flat partitioned
+  replay plus a midpoint reshard, both byte-diffed against the
+  single-daemon replay.
 
 Run ``python -m repro.cli <command> --help`` for per-command options.
 """
@@ -329,13 +342,128 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser(
         "trace-report",
-        help="aggregate a Stagewatch --trace-out file into a per-stage table",
+        help="aggregate Stagewatch --trace-out file(s) into a per-stage table",
     )
-    trace.add_argument("trace", help="span-event NDJSON (from --trace-out)")
+    trace.add_argument(
+        "trace", nargs="+",
+        help="span-event NDJSON file(s) (from --trace-out); several files "
+             "need --merge",
+    )
+    trace.add_argument(
+        "--merge", action="store_true",
+        help="fold multiple trace files (e.g. per-partition cluster traces) "
+             "into one merged stage table, quantiles over the union",
+    )
     trace.add_argument(
         "--json", action="store_true",
         help="emit the raw per-stage aggregation as JSON instead of a table",
     )
+
+    def _add_cluster_engine_options(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--estimator", default="auto", choices=_SERVICE_ESTIMATORS)
+        cmd.add_argument(
+            "--grace", type=float, default=900.0,
+            help="seconds past an epoch's end before it is emitted",
+        )
+        cmd.add_argument(
+            "--reorder-capacity", type=int, default=1024,
+            help="per-partition bounded reorder-buffer size",
+        )
+        cmd.add_argument(
+            "--batch-lines", type=int, default=256, metavar="N",
+            help="per-partition decode/submit batch size",
+        )
+        cmd.add_argument(
+            "--trace-sample", type=int, default=0, metavar="N",
+            help="Stagewatch sampling per partition (0 disables; merge the "
+                 "per-partition files with `repro trace-report --merge`)",
+        )
+
+    creplay = sub.add_parser(
+        "cluster-replay",
+        help="drain a trace through an N-partition cluster; merge the "
+             "landscapes into one chart (Chartmesh)",
+    )
+    creplay.add_argument("trace", help="NDJSON trace (from `repro export-trace`)")
+    creplay.add_argument("--workdir", required=True,
+                         help="cluster state directory (resumable)")
+    creplay.add_argument("--partitions", type=int, default=None, metavar="N",
+                         help="flat replay across N partitions "
+                              "(exclusive with --plan)")
+    creplay.add_argument(
+        "--plan", default=None, metavar="N[:LINE],M[:LINE],...",
+        help="reshard plan: run N partitions up to payload line LINE, "
+             "then re-key to M, ... (the last segment runs to the end)",
+    )
+    creplay.add_argument("--serial", action="store_true",
+                         help="run partitions in-process instead of forking "
+                              "(debugging; output bytes never change)")
+    creplay.add_argument(
+        "--verify", action=argparse.BooleanOptionalAction, default=True,
+        help="byte-compare the merged chart against a single-daemon replay",
+    )
+    creplay.add_argument("--checkpoint-every", type=int, default=100_000,
+                         metavar="N", help="records between mid-segment checkpoints")
+    _add_cluster_engine_options(creplay)
+
+    reshard = sub.add_parser(
+        "reshard",
+        help="live-reshard drill: drain N partitions, re-key to M, resume; "
+             "gated on byte-identity with the unpartitioned replay",
+    )
+    reshard.add_argument("trace", help="NDJSON trace (from `repro export-trace`)")
+    reshard.add_argument("--workdir", required=True,
+                         help="cluster state directory (resumable)")
+    reshard.add_argument("--from", dest="from_partitions", type=int, required=True,
+                         metavar="N", help="partition count before the reshard")
+    reshard.add_argument("--to", dest="to_partitions", type=int, required=True,
+                         metavar="M", help="partition count after the reshard")
+    reshard.add_argument(
+        "--split", type=int, default=None, metavar="LINE",
+        help="payload line at which to drain and re-key (default: midpoint)",
+    )
+    reshard.add_argument("--serial", action="store_true",
+                         help="run partitions in-process instead of forking")
+    reshard.add_argument(
+        "--verify", action=argparse.BooleanOptionalAction, default=True,
+        help="the byte-identity gate (on by default; --no-verify to skip)",
+    )
+    reshard.add_argument("--checkpoint-every", type=int, default=100_000,
+                         metavar="N", help="records between mid-segment checkpoints")
+    _add_cluster_engine_options(reshard)
+
+    cserve = sub.add_parser(
+        "cluster-serve",
+        help="serve Sensornet ingest through an N-partition cluster "
+             "(router + partition backends)",
+    )
+    cserve.add_argument("--workdir", required=True,
+                        help="cluster state directory (checkpoints, outputs)")
+    cserve.add_argument("--partitions", type=int, default=3, metavar="N")
+    cserve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                        help="router TCP listener (port 0 = ephemeral; "
+                             "default 127.0.0.1:0 when no listener given)")
+    cserve.add_argument("--listen-uds", default=None, metavar="PATH",
+                        help="router Unix-domain-socket listener")
+    cserve.add_argument("--addr-file", default=None, metavar="PATH",
+                        help="write the router's bound addresses here")
+    cserve.add_argument("--expect-sensors", type=int, default=None, metavar="K",
+                        help="gate the router merge until K sensors said hello")
+    cserve.add_argument("--checkpoint-every", type=int, default=500, metavar="N",
+                        help="records between per-partition checkpoints")
+    _add_cluster_engine_options(cserve)
+
+    csmoke = sub.add_parser(
+        "cluster-smoke",
+        help="flat partitioned replay plus a midpoint reshard, byte-diffed "
+             "against the single-daemon replay",
+    )
+    csmoke.add_argument("--workdir", required=True, help="scratch directory")
+    csmoke.add_argument("--partitions", type=int, default=3)
+    csmoke.add_argument("--bots", type=int, default=24)
+    csmoke.add_argument("--servers", type=int, default=6)
+    csmoke.add_argument("--days", type=int, default=2)
+    csmoke.add_argument("--seed", type=int, default=11)
 
     report = sub.add_parser("report", help="full reproduction report (Markdown)")
     report.add_argument("--trials", type=int, default=3)
@@ -761,8 +889,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     from .service.tracing import render_trace_report, trace_report
 
+    if len(args.trace) > 1 and not args.merge:
+        print(
+            "trace-report: several trace files need --merge "
+            "(one merged stage table over the union)",
+            file=sys.stderr,
+        )
+        return 2
     try:
-        report = trace_report(args.trace)
+        report = trace_report(*args.trace)
     except (OSError, ValueError) as exc:
         print(f"trace-report: {exc}", file=sys.stderr)
         return 1
@@ -893,6 +1028,170 @@ def _cmd_faults_soak(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_plan_spec(spec: str):
+    """``N[:LINE],M[:LINE],...`` -> ``[(n_partitions, end_line|None)]``."""
+    plan = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        n, _, end = chunk.partition(":")
+        if not n.isdigit() or (end and not end.isdigit()):
+            raise ValueError(f"bad plan segment {chunk!r} (want N or N:LINE)")
+        plan.append((int(n), int(end) if end else None))
+    if not plan:
+        raise ValueError("empty plan")
+    return plan
+
+
+def _cmd_cluster_replay(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .service.cluster import ClusterError, ClusterVerifyError, cluster_replay
+
+    if (args.partitions is None) == (args.plan is None):
+        print("cluster-replay: need exactly one of --partitions / --plan",
+              file=sys.stderr)
+        return 2
+    plan = None
+    if args.plan is not None:
+        try:
+            plan = _parse_plan_spec(args.plan)
+        except ValueError as exc:
+            print(f"cluster-replay: {exc}", file=sys.stderr)
+            return 2
+    try:
+        report = cluster_replay(
+            Path(args.trace),
+            Path(args.workdir),
+            partitions=args.partitions,
+            plan=plan,
+            verify=args.verify,
+            serial=args.serial,
+            estimator=args.estimator,
+            grace=args.grace,
+            reorder_capacity=args.reorder_capacity,
+            batch_lines=args.batch_lines,
+            checkpoint_every=args.checkpoint_every,
+            trace_sample=args.trace_sample,
+            log=sys.stderr,
+        )
+    except ClusterVerifyError as exc:
+        print(f"CLUSTER VERIFY FAILED: {exc}", file=sys.stderr)
+        return 1
+    except ClusterError as exc:
+        print(f"cluster-replay: {exc}", file=sys.stderr)
+        return 1
+    print(_json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_reshard(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .service.cluster import (
+        ClusterError,
+        ClusterVerifyError,
+        cluster_replay,
+        split_header,
+    )
+
+    trace = Path(args.trace)
+    split = args.split
+    if split is None:
+        try:
+            payload = split_header(trace.read_bytes().splitlines())[1]
+        except OSError as exc:
+            print(f"reshard: {exc}", file=sys.stderr)
+            return 1
+        split = len(payload) // 2
+    plan = [(args.from_partitions, split), (args.to_partitions, None)]
+    try:
+        report = cluster_replay(
+            trace,
+            Path(args.workdir),
+            plan=plan,
+            verify=args.verify,
+            serial=args.serial,
+            estimator=args.estimator,
+            grace=args.grace,
+            reorder_capacity=args.reorder_capacity,
+            batch_lines=args.batch_lines,
+            checkpoint_every=args.checkpoint_every,
+            trace_sample=args.trace_sample,
+            log=sys.stderr,
+        )
+    except ClusterVerifyError as exc:
+        print(f"RESHARD VERIFY FAILED: {exc}", file=sys.stderr)
+        return 1
+    except ClusterError as exc:
+        print(f"reshard: {exc}", file=sys.stderr)
+        return 1
+    report["plan"] = [[n, end] for n, end in plan]
+    print(_json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .service.cluster import ClusterError, cluster_serve
+
+    tcp = None
+    if args.listen:
+        host, sep, port = args.listen.rpartition(":")
+        if not sep or not port.isdigit():
+            print(f"cluster-serve: --listen wants HOST:PORT, got {args.listen!r}",
+                  file=sys.stderr)
+            return 2
+        tcp = (host or "127.0.0.1", int(port))
+    try:
+        report = cluster_serve(
+            Path(args.workdir),
+            partitions=args.partitions,
+            tcp=tcp,
+            uds=args.listen_uds,
+            addr_file=args.addr_file,
+            expect_sensors=args.expect_sensors,
+            estimator=args.estimator,
+            grace=args.grace,
+            reorder_capacity=args.reorder_capacity,
+            batch_lines=args.batch_lines,
+            checkpoint_every=args.checkpoint_every,
+            trace_sample=args.trace_sample,
+            log=sys.stderr,
+        )
+    except ClusterError as exc:
+        print(f"cluster-serve: {exc}", file=sys.stderr)
+        return 1
+    print(_json.dumps(report, indent=2, sort_keys=True))
+    return int(report.get("exit_code", 0) or 0)
+
+
+def _cmd_cluster_smoke(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .service.cluster import run_cluster_smoke
+    from .service.netingest import SmokeFailure
+
+    try:
+        run_cluster_smoke(
+            Path(args.workdir),
+            partitions=args.partitions,
+            bots=args.bots,
+            servers=args.servers,
+            days=args.days,
+            seed=args.seed,
+            log=sys.stderr,
+        )
+    except SmokeFailure as exc:
+        print(f"CLUSTER SMOKE FAILED: {exc}", file=sys.stderr)
+        return 1
+    print("cluster-smoke passed", file=sys.stderr)
+    return 0
+
+
 _HANDLERS = {
     "simulate": _cmd_simulate,
     "chart": _cmd_chart,
@@ -908,6 +1207,10 @@ _HANDLERS = {
     "netingest-smoke": _cmd_netingest_smoke,
     "faults-soak": _cmd_faults_soak,
     "trace-report": _cmd_trace_report,
+    "cluster-replay": _cmd_cluster_replay,
+    "reshard": _cmd_reshard,
+    "cluster-serve": _cmd_cluster_serve,
+    "cluster-smoke": _cmd_cluster_smoke,
 }
 
 

@@ -20,14 +20,22 @@ CheckpointStore.load` falls back to that previous generation when the
 newest one is torn or empty.  A checkpoint with a *foreign schema* is
 never silently skipped — that is a configuration error, not corruption,
 and it still raises.
+
+Sidecar files registered via :meth:`CheckpointStore.register_sidecar`
+(the estimator-kernel ``.npz`` cache) rotate in lockstep: every save
+snapshots the current sidecar next to the rotated ``.1`` checkpoint, and
+a load that falls back to the previous generation promotes that
+snapshot — a generation rollback never resumes an old checkpoint
+against a newer, mismatched sidecar.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 __all__ = ["CHECKPOINT_SCHEMA", "CheckpointError", "CheckpointStore"]
 
@@ -41,8 +49,9 @@ class CheckpointError(RuntimeError):
 class CheckpointStore:
     """Load/save a checkpoint with write-rename atomicity and rotation."""
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, sidecars: Iterable[str] = ()) -> None:
         self.path = Path(path)
+        self._sidecars: list[str] = list(sidecars)
 
     @property
     def previous_path(self) -> Path:
@@ -53,6 +62,53 @@ class CheckpointStore:
         """A sibling file that travels with the checkpoint (e.g. the
         estimator-kernel cache ``<name>.kernels.npz``)."""
         return self.path.with_name(self.path.name + "." + suffix)
+
+    def previous_sidecar_path(self, suffix: str) -> Path:
+        """The previous-generation snapshot of a sidecar
+        (``<name>.1.<suffix>``, rotated in lockstep with ``<name>.1``)."""
+        return self.previous_path.with_name(self.previous_path.name + "." + suffix)
+
+    def register_sidecar(self, suffix: str) -> Path:
+        """Declare a sidecar that must rotate with the checkpoint.
+
+        Registered sidecars are snapshotted to their previous-generation
+        name on every :meth:`save` rotation and promoted back whenever
+        :meth:`load` falls back to the previous generation — so a
+        generation rollback never pairs an old checkpoint with a newer
+        (stale) sidecar.  Returns the current-generation sidecar path.
+        """
+        if suffix not in self._sidecars:
+            self._sidecars.append(suffix)
+        return self.sidecar_path(suffix)
+
+    def _rotate_sidecars(self) -> None:
+        """Snapshot each registered sidecar alongside the rotated
+        checkpoint (hardlink when possible — the writers replace, never
+        mutate in place — falling back to a copy)."""
+        for suffix in self._sidecars:
+            current = self.sidecar_path(suffix)
+            previous = self.previous_sidecar_path(suffix)
+            if previous.exists():
+                previous.unlink()
+            if current.exists():
+                try:
+                    os.link(current, previous)
+                except OSError:
+                    shutil.copyfile(current, previous)
+
+    def _promote_sidecars(self) -> None:
+        """Make the sidecars match the previous generation we just
+        fell back to: bring its snapshots forward, drop stale current
+        sidecars that have no previous-generation counterpart."""
+        for suffix in self._sidecars:
+            current = self.sidecar_path(suffix)
+            previous = self.previous_sidecar_path(suffix)
+            if previous.exists():
+                tmp = current.with_name(current.name + f".tmp.{os.getpid()}")
+                shutil.copyfile(previous, tmp)
+                os.replace(tmp, current)
+            elif current.exists():
+                current.unlink()
 
     def exists(self) -> bool:
         return self.path.exists() or self.previous_path.exists()
@@ -68,6 +124,7 @@ class CheckpointStore:
         payload = json.dumps(document, sort_keys=True)
         if self.path.exists():
             os.replace(self.path, self.previous_path)
+            self._rotate_sidecars()
         try:
             with open(tmp, "w") as fh:
                 fh.write(payload)
@@ -106,7 +163,9 @@ class CheckpointStore:
         """
         if not self.path.exists():
             if self.previous_path.exists():
-                return self._read(self.previous_path)
+                document = self._read(self.previous_path)
+                self._promote_sidecars()
+                return document
             return None
         try:
             return self._read(self.path)
@@ -117,4 +176,5 @@ class CheckpointStore:
                 raise
             document = self._read(self.previous_path)
             document["recovered_from_previous_generation"] = True
+            self._promote_sidecars()
             return document

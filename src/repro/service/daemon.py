@@ -149,6 +149,11 @@ class BotMeterDaemon:
             disables Stagewatch entirely (no tracer, no histograms).
             Tracing is purely observational — the landscape NDJSON is
             byte-identical with it on or off.
+        finalize_at_eof: when ``False``, the end of the stream *drains*
+            instead of finalizing: held batches flush and the open
+            engine state (reorder buffer included) checkpoints, but no
+            epochs are force-closed.  The cluster tier replays a stream
+            in segments and only the last one finalizes.
     """
 
     def __init__(
@@ -181,6 +186,7 @@ class BotMeterDaemon:
         ingest_workers: int = 1,
         trace_out: str | Path | None = None,
         trace_sample: int = DEFAULT_SAMPLE,
+        finalize_at_eof: bool = True,
     ) -> None:
         self.input_path = str(input_path)
         self.out_path = Path(out_path) if out_path is not None else None
@@ -238,6 +244,7 @@ class BotMeterDaemon:
         self.resumed = False
         self.batch_lines = max(1, int(batch_lines))
         self.ingest_workers = max(1, int(ingest_workers))
+        self.finalize_at_eof = bool(finalize_at_eof)
         self._pending_records: list[ForwardedLookup] = []
         self._pending_marks: list[int] = []
         #: Optional provider of extra checkpoint keys (the network ingest
@@ -296,7 +303,7 @@ class BotMeterDaemon:
                 on_late=self._quarantine_late,
                 ingest_workers=self.ingest_workers,
                 kernel_spill=(
-                    str(self.store.sidecar_path("kernels.npz"))
+                    str(self.store.register_sidecar("kernels.npz"))
                     if self.store is not None
                     else None
                 ),
@@ -322,6 +329,11 @@ class BotMeterDaemon:
         snapshot = self.reader.corrupt if corrupt_snapshot is None else corrupt_snapshot
         quarantined_delta = snapshot - self._quarantined_mark
         self._quarantined_mark = snapshot
+        if self._out_fh is None and self.out_path is not None:
+            # Usually opened by the first submitted batch; a resumed
+            # engine that emits at finalize without having ingested a
+            # single record this segment still owes its rows to the file.
+            self._out_fh = open(self.out_path, "a")
         tracer = self.tracer
         t0 = tracer.start("emit") if tracer is not None else 0
         for index, epoch in enumerate(epochs):
@@ -506,8 +518,19 @@ class BotMeterDaemon:
     def _finish_stream(self, offset: int) -> None:
         """Stream end: release held batches, close every epoch, persist."""
         self._flush_batch()
-        if self.engine is not None:
+        if self.finalize_at_eof and self.engine is not None:
             self._emit(self.engine.finalize())
+        # Persist the end-of-stream state whenever an engine exists or
+        # is constructible (a cluster partition that owned no records
+        # still has the header).  In drain mode (``finalize_at_eof``
+        # off — cluster segments) this captures the *open* engine state,
+        # reorder-buffer contents included, without closing any epoch; a
+        # later segment or reshard picks it back up.
+        if self.store is not None and (
+            self.engine is not None
+            or self._families is not None
+            or self.reader.header is not None
+        ):
             self._checkpoint(offset)
         self._dump_observability()
         self._log_event(

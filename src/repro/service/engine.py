@@ -40,9 +40,65 @@ from .workers import WorkerConfig, WorkerPool
 #: workers busy mid-batch while amortising the pickle/send overhead.
 _OUTBOX_FLUSH = 512
 
-__all__ = ["EpochLandscape", "ShardedLandscapeEngine"]
+__all__ = [
+    "ENGINE_STATE_SCHEMA",
+    "EpochLandscape",
+    "ShardedLandscapeEngine",
+    "validate_engine_state",
+]
 
 ENGINE_STATE_SCHEMA = "botmeterd-engine-v1"
+
+
+def validate_engine_state(state: Mapping[str, Any]) -> Mapping[str, Any]:
+    """Structurally validate an :meth:`ShardedLandscapeEngine.export_state`
+    document and return it.
+
+    The cluster reshard re-keys shard lists *between* engines — this is
+    the checkpoint-surgery guard that a synthesized state is something
+    :meth:`~ShardedLandscapeEngine.import_state` will accept, raising
+    :class:`ValueError` with the offending key instead of failing deep
+    inside a partition restart.
+    """
+    if not isinstance(state, Mapping):
+        raise ValueError(f"engine state must be a mapping, got {type(state).__name__}")
+    schema = state.get("schema")
+    if schema != ENGINE_STATE_SCHEMA:
+        raise ValueError(f"unknown engine state schema {schema!r}")
+    families = state.get("families")
+    if not isinstance(families, list) or not all(
+        isinstance(f, str) for f in families
+    ):
+        raise ValueError(f"engine state families must be a list of names: {families!r}")
+    watermark = state.get("watermark")
+    if watermark is not None and not isinstance(watermark, (int, float)):
+        raise ValueError(f"engine state watermark must be null or a number: {watermark!r}")
+    for key in ("next_epoch_to_emit", "late_total", "late_mark", "dropped_mark"):
+        value = state.get(key, 0)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(f"engine state {key} must be an int, got {value!r}")
+    if not isinstance(state.get("finalized"), bool):
+        raise ValueError("engine state finalized must be a bool")
+    reorder = state.get("reorder")
+    if not isinstance(reorder, Mapping) or "contents" not in reorder:
+        raise ValueError("engine state reorder must carry the buffer contents")
+    shards = state.get("shards")
+    if not isinstance(shards, list):
+        raise ValueError("engine state shards must be a list")
+    family_set = set(families)
+    for entry in shards:
+        if not (isinstance(entry, (list, tuple)) and len(entry) == 3):
+            raise ValueError(f"malformed shard entry {entry!r}")
+        family, server, shard_state = entry
+        if family not in family_set:
+            raise ValueError(f"shard entry for unknown family {family!r}")
+        if not isinstance(server, str):
+            raise ValueError(f"shard entry server must be a string: {server!r}")
+        if not isinstance(shard_state, Mapping) or "next_epoch_to_close" not in shard_state:
+            raise ValueError(
+                f"shard state for ({family!r}, {server!r}) lacks next_epoch_to_close"
+            )
+    return state
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,7 @@ __all__ = [
     "Histogram",
     "HISTOGRAM_BUCKET_BOUNDS",
     "MetricsRegistry",
+    "merge_registry_states",
 ]
 
 _LabelKey = tuple[tuple[str, str], ...]
@@ -123,6 +124,13 @@ class _Metric:
     def _import_series(self, series: list[list[Any]]) -> None:
         for key, value in series:
             self._values[tuple((n, v) for n, v in key)] = float(value)
+
+    def _merge_series(self, series: list[list[Any]]) -> None:
+        """Fold another process's exported series into this metric:
+        scalar kinds (counters, gauges) sum per label-set."""
+        for key, value in series:
+            k = tuple((n, v) for n, v in key)
+            self._values[k] = self._values.get(k, 0.0) + float(value)
 
 
 class Counter(_Metric):
@@ -335,6 +343,12 @@ class Histogram(_Metric):
                 payload
             )
 
+    def _merge_series(self, series: list[list[Any]]) -> None:
+        for key, payload in series:
+            self._data(tuple((n, v) for n, v in key)).merge(
+                _HistogramData.from_payload(payload)
+            )
+
 
 _KINDS: dict[str, type] = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
 
@@ -412,3 +426,27 @@ class MetricsRegistry:
             cls = _KINDS.get(payload["kind"], Gauge)
             metric = self._get_or_create(cls, name, payload.get("help", ""))
             metric._import_series(payload["series"])
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Fold another registry's exported state into this one.
+
+        Unlike :meth:`import_state` (a restore: values *overwrite*),
+        merging *combines*: counters and gauges sum per label-set and
+        histograms merge bucket-exactly — so folding N partition
+        registries yields the totals one process observing every record
+        would have reported.  The cluster aggregator builds its global
+        exposition this way.
+        """
+        for name in sorted(state):
+            payload = state[name]
+            cls = _KINDS.get(payload["kind"], Gauge)
+            metric = self._get_or_create(cls, name, payload.get("help", ""))
+            metric._merge_series(payload["series"])
+
+
+def merge_registry_states(states: Iterable[Mapping[str, Any]]) -> MetricsRegistry:
+    """One registry holding the exact fold of every exported state."""
+    merged = MetricsRegistry()
+    for state in states:
+        merged.merge_state(state)
+    return merged

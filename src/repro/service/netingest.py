@@ -100,6 +100,7 @@ __all__ = [
     "NetIngestServer",
     "SensorClient",
     "SensorReport",
+    "SensorStream",
     "parse_address",
     "read_address_file",
     "write_address_file",
@@ -1289,6 +1290,133 @@ class SensorClient:
                         sock.close()
                     except OSError:
                         pass
+
+
+class SensorStream:
+    """Incremental (push-style) sibling of :class:`SensorClient`.
+
+    ``SensorClient.replay_lines`` wants the whole shard up front; the
+    cluster router discovers a partition's lines only as the upstream
+    merge releases them.  A ``SensorStream`` holds one connection open
+    and accepts lines as they arrive, deduplicating against the
+    server's welcome cursor: every offered line advances the local
+    cursor, but only lines at or past the resume point are buffered and
+    sent.  That is exactly-once across router restarts because both the
+    upstream K-way merge and the per-server split are deterministic —
+    a restarted router re-offers the same line sequence, and the
+    partition's welcome cursor tells it how much is already durable.
+
+    Not thread-safe; each stream belongs to one router thread.
+    """
+
+    def __init__(
+        self,
+        address: Any,
+        sensor: str,
+        connect_timeout: float = 5.0,
+        io_timeout: float = 30.0,
+        chunk_bytes: int = 1 << 15,
+    ) -> None:
+        self._client = SensorClient(
+            address,
+            sensor,
+            connect_timeout=connect_timeout,
+            io_timeout=io_timeout,
+            chunk_bytes=chunk_bytes,
+        )
+        self.sensor = sensor
+        self.chunk_bytes = max(1, int(chunk_bytes))
+        #: Lines offered so far (== the partition's replay cursor).
+        self.cursor = 0
+        #: The welcome cursor: lines below this were already durable.
+        self.start = 0
+        self.sent = 0
+        self.skipped = 0
+        self._sock: socket.socket | None = None
+        self._inbuf = bytearray()
+        self._outbuf = bytearray()
+        self._finished = False
+
+    def connect(self) -> int:
+        """Open the connection, speak hello/welcome; returns the resume
+        cursor (lines below it must not be re-buffered)."""
+        if self._sock is not None:
+            raise SensorError(f"stream {self.sensor!r} is already connected")
+        sock = self._client._connect()
+        try:
+            hello = {
+                "v": 1,
+                "type": "hello",
+                "schema": NET_SCHEMA,
+                "sensor": self.sensor,
+            }
+            sock.sendall(_control_line(hello))
+            welcome = self._client._read_message(
+                sock, self._inbuf, self._client.io_timeout
+            )
+            if self._client._handle(welcome) != "welcome":
+                raise SensorError(f"expected welcome, got {welcome!r}")
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+        self.start = int(welcome.get("cursor", 0))
+        self.skipped = self.start
+        return self.start
+
+    def send_lines(self, lines: Sequence[bytes]) -> None:
+        """Offer payload lines; resume-skipped ones only move the cursor."""
+        if self._sock is None:
+            raise SensorError(f"stream {self.sensor!r} is not connected")
+        if self._finished:
+            raise SensorError(f"stream {self.sensor!r} is finished")
+        for line in lines:
+            if not isinstance(line, bytes):
+                line = line.encode("utf-8")
+            self.cursor += 1
+            if self.cursor <= self.start:
+                continue
+            self._outbuf += line
+            self._outbuf += b"\n"
+            self.sent += 1
+        if len(self._outbuf) >= self.chunk_bytes:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._sock is None or not self._outbuf:
+            return
+        self._sock.sendall(self._outbuf)
+        self._outbuf = bytearray()
+        self._client._drain_acks(self._sock, self._inbuf)
+
+    def finish(self) -> int:
+        """Flush, send fin, wait for bye; returns the durable cursor."""
+        if self._sock is None:
+            raise SensorError(f"stream {self.sensor!r} is not connected")
+        if self._finished:
+            return self._client.acked
+        self.flush()
+        self._sock.sendall(_control_line({"v": 1, "type": "fin"}))
+        while True:
+            message = self._client._read_message(
+                self._sock, self._inbuf, self._client.io_timeout
+            )
+            if self._client._handle(message) == "bye":
+                break
+        self._finished = True
+        return self._client.acked
+
+    @property
+    def acked(self) -> int:
+        return self._client.acked
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
 
 # ---------------------------------------------------------------------------

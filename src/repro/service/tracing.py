@@ -429,14 +429,13 @@ def _exact_quantile(ordered: list[int], q: float) -> int:
     return ordered[rank - 1]
 
 
-def trace_report(path: str | Path) -> dict[str, Any]:
-    """Aggregate a ``--trace-out`` file into per-stage statistics.
-
-    Every line is schema-validated; spans group by stage with exact
-    nearest-rank quantiles over the raw ``dt_ns`` deltas.
-    """
-    per_stage: dict[str, list[int]] = {}
-    records_per_stage: dict[str, int] = {}
+def _collect_trace(
+    path: str | Path,
+    per_stage: dict[str, list[int]],
+    records_per_stage: dict[str, int],
+) -> tuple[int, int]:
+    """Fold one ``--trace-out`` file's spans into the accumulators;
+    returns ``(headers, events)`` for that file."""
     headers = 0
     events = 0
     with open(path) as fh:
@@ -460,6 +459,29 @@ def trace_report(path: str | Path) -> dict[str, Any]:
                     )
     if not headers:
         raise ValueError(f"{path}: no trace-header line (not a Stagewatch trace?)")
+    return headers, events
+
+
+def trace_report(*paths: str | Path) -> dict[str, Any]:
+    """Aggregate one or more ``--trace-out`` files into per-stage stats.
+
+    Every line of every file is schema-validated; spans group by stage
+    with exact nearest-rank quantiles over the raw ``dt_ns`` deltas.
+    With several files (``trace-report --merge``, the per-partition
+    cluster traces) the quantiles are computed over the *union* of the
+    deltas — exactly what one merged trace file would have reported —
+    and ``headers``/``events`` sum across files.
+    """
+    if not paths:
+        raise ValueError("trace_report needs at least one trace file")
+    per_stage: dict[str, list[int]] = {}
+    records_per_stage: dict[str, int] = {}
+    headers = 0
+    events = 0
+    for path in paths:
+        file_headers, file_events = _collect_trace(path, per_stage, records_per_stage)
+        headers += file_headers
+        events += file_events
     stages: dict[str, dict[str, int]] = {}
     for stage, deltas in per_stage.items():
         ordered = sorted(deltas)
@@ -475,6 +497,7 @@ def trace_report(path: str | Path) -> dict[str, Any]:
         "schema": TRACE_SCHEMA,
         "headers": headers,
         "events": events,
+        "files": len(paths),
         "stages": stages,
     }
 
@@ -504,8 +527,10 @@ def render_trace_report(report: Mapping[str, Any]) -> str:
             f"{_ms(entry['p50_ns']):>10}{_ms(entry['p95_ns']):>10}"
             f"{_ms(entry['max_ns']):>10}{_ms(entry['total_ns']):>11}"
         )
+    files = report.get("files", 1)
+    merged = f" across {files} merged file(s)" if files > 1 else ""
     lines.append(
-        f"({report['events']} events, {report['headers']} run segment(s); "
+        f"({report['events']} events, {report['headers']} run segment(s){merged}; "
         f"latencies are sampled monotonic-clock deltas)"
     )
     return "\n".join(lines)

@@ -41,7 +41,12 @@ from ..dga.base import Dga
 from ..dns.message import ForwardedLookup
 from ..timebase import Timeline
 
-__all__ = ["WorkerConfig", "WorkerPool", "worker_for_server"]
+__all__ = [
+    "WorkerConfig",
+    "WorkerPool",
+    "partition_for_server",
+    "worker_for_server",
+]
 
 #: One record on the wire: ``(dispatch_seq, timestamp, server, domain)``.
 RecordTuple = tuple[int, float, str, str]
@@ -51,6 +56,15 @@ def worker_for_server(server: str, n_workers: int) -> int:
     """Deterministic shard routing: stable across runs, platforms and
     restarts (CRC-32 is endianness-free and seedless, unlike ``hash``)."""
     return zlib.crc32(server.encode("utf-8")) % n_workers
+
+
+def partition_for_server(server: str, n_partitions: int) -> int:
+    """Cluster partition routing: the *same* CRC-32 keying as in-process
+    worker routing, so a record lands in the same slice whether the
+    split happens across partition processes (the cluster tier) or
+    across ingest workers within one daemon — and a reshard from N
+    partitions to M recomputes membership from the server name alone."""
+    return worker_for_server(server, n_partitions)
 
 
 @dataclass(frozen=True)

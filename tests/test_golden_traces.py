@@ -22,6 +22,16 @@ trace — ``export-trace --family new_goz --bots 6 --servers 2 --days 2
 --seed 11``, sharded with ``shard_trace_lines``) replayed over real TCP
 must reproduce the committed landscape bytes *and* the committed
 per-connection cursor map, at 1 and 4 ingest workers.
+
+``golden/cluster_3part/`` pins the Chartmesh cluster tier: three
+committed partition input shards (``murofet_small.ndjson`` split by
+``route_line`` at width 3 — partition 2 deliberately owns zero records)
+replayed through independent partition daemons must merge to the
+committed landscape bytes and reproduce the committed per-partition
+cursor map.  Regenerate (only after deliberately changing behaviour) by
+re-running ``cluster_replay(golden/murofet_small.ndjson, tmp,
+partitions=3)`` and copying ``seg0-p*.in.ndjson``, ``landscape.ndjson``
+and the ``seg0.done.json`` cursors.
 """
 
 from __future__ import annotations
@@ -125,6 +135,56 @@ def test_golden_netingest_three_sensor_merge(workers, tmp_path):
     assert server.error is None
     assert out.read_bytes() == expected
     assert json.loads(checkpoint.read_text())["sensors"] == cursors
+
+
+CLUSTER_GOLDEN = GOLDEN_DIR / "cluster_3part"
+
+
+def test_golden_cluster_three_partition_merge(tmp_path):
+    """Three committed partition shards, each through its own daemon,
+    merge to the committed landscape bytes and cursor map — pinning the
+    router split, the drained-accumulator merge and the zero-record
+    partition path in one fixture."""
+    from repro.service.checkpoint import CheckpointStore
+    from repro.service.cluster import merge_landscape_rows, run_partition
+
+    cursors = {}
+    outs = []
+    for i in range(3):
+        paths = {
+            "input": str(CLUSTER_GOLDEN / f"shard-{i:02d}.ndjson"),
+            "out": str(tmp_path / f"p{i:02d}.out.ndjson"),
+            "checkpoint": str(tmp_path / f"p{i:02d}.ck.json"),
+            "label": f"p{i:02d}",
+        }
+        assert run_partition(paths) == 0
+        document = CheckpointStore(paths["checkpoint"]).load()
+        cursors[f"p{i:02d}"] = {
+            "records_consumed": int(document["records_consumed"]),
+            "landscapes_emitted": int(document["landscapes_emitted"]),
+        }
+        out = tmp_path / f"p{i:02d}.out.ndjson"
+        outs.append(out.read_bytes().splitlines() if out.exists() else [])
+    merged = "".join(line + "\n" for line in merge_landscape_rows(outs))
+    expected = (CLUSTER_GOLDEN / "expected.landscape.ndjson").read_bytes()
+    assert merged.encode() == expected
+    assert cursors == json.loads((CLUSTER_GOLDEN / "cursors.json").read_text())
+
+
+def test_golden_cluster_shards_cover_the_source_trace(tmp_path):
+    """The committed shards are exactly the committed trace, re-routed:
+    no payload line lost, duplicated, or mis-partitioned."""
+    from repro.service.cluster import route_line, split_header
+
+    source = (GOLDEN_DIR / "murofet_small.ndjson").read_bytes().splitlines()
+    header, payload = split_header(source)
+    rebuilt = [list(header) for _ in range(3)]
+    for line in payload:
+        rebuilt[route_line(line, 3)].append(line)
+    for i in range(3):
+        committed = (CLUSTER_GOLDEN / f"shard-{i:02d}.ndjson").read_bytes()
+        body = b"\n".join(rebuilt[i]) + (b"\n" if rebuilt[i] else b"")
+        assert committed == body, f"shard {i} drifted from route_line"
 
 
 def test_golden_four_worker_trace_covers_all_stages(tmp_path):
