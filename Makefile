@@ -1,6 +1,6 @@
 # Convenience targets for the BotMeter reproduction.
 
-.PHONY: install test test-fast smoke-sweep service-smoke trace-smoke netingest-smoke cluster-smoke soak bench bench-paper bench-perf examples report clean
+.PHONY: install test test-fast smoke-sweep service-smoke trace-smoke netingest-smoke cluster-smoke cluster-chaos soak bench bench-paper bench-perf examples report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -86,6 +86,16 @@ cluster-smoke:
 	python -m repro.cli cluster-smoke --workdir cluster-smoke
 	@cat cluster-smoke/smoke-report.json
 
+# Meshguard chaos drill: SIGKILL/wedge every partition mid-stream on a
+# seeded epoch-anchored schedule; the merged landscape must stay
+# byte-identical to the single-daemon replay, every degraded interval
+# must contain the exact total, and two runs must reproduce identical
+# spools, ledgers, and degraded/restated sequences.
+cluster-chaos:
+	rm -rf cluster-chaos && mkdir -p cluster-chaos
+	python -m repro.cli cluster-chaos --workdir cluster-chaos
+	@cat cluster-chaos/chaos-report.json
+
 # Faultline soak: a multi-family trace through the full seeded fault
 # schedule under supervision — survival, exact dead-letter/ledger
 # reconciliation, loss-bounded degradation, byte-identical determinism.
@@ -114,5 +124,5 @@ report:
 	python -m repro.cli report --out reproduction_report.md
 
 clean:
-	rm -rf src/repro.egg-info .pytest_cache .benchmarks service-smoke service-soak trace-smoke netingest-smoke cluster-smoke perf-artifacts
+	rm -rf src/repro.egg-info .pytest_cache .benchmarks service-smoke service-soak trace-smoke netingest-smoke cluster-smoke cluster-chaos perf-artifacts
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -39,10 +39,16 @@ Gives operators the Figure-2 workflow without writing Python:
   and verify the merged chart is byte-identical to an unpartitioned
   replay;
 * ``repro cluster-serve`` — run the cluster live: a router listener
-  splits sensor streams by server hash across N partition backends;
+  splits sensor streams by server hash across N partition backends
+  (``--supervised`` adds Meshguard heartbeat supervision, seeded
+  restarts, and durable router spooling);
 * ``repro cluster-smoke`` — the Chartmesh smoke drill: flat partitioned
   replay plus a midpoint reshard, both byte-diffed against the
-  single-daemon replay.
+  single-daemon replay;
+* ``repro cluster-chaos`` — the Meshguard fault drill: SIGKILL/wedge
+  every partition mid-stream on a seeded schedule and demand zero
+  record loss, degraded-interval containment, and run-to-run
+  determinism.
 
 Run ``python -m repro.cli <command> --help`` for per-command options.
 """
@@ -451,7 +457,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="gate the router merge until K sensors said hello")
     cserve.add_argument("--checkpoint-every", type=int, default=500, metavar="N",
                         help="records between per-partition checkpoints")
+    cserve.add_argument(
+        "--supervised", action="store_true",
+        help="run partitions under the Meshguard supervisor: heartbeat "
+             "health, seeded-backoff restarts, durable router spooling",
+    )
+    cserve.add_argument("--max-partition-restarts", type=int, default=3,
+                        metavar="N", help="restart budget before a partition "
+                                          "is disarmed (supervised only)")
+    cserve.add_argument("--mesh-seed", type=int, default=0, metavar="SEED",
+                        help="seed for restart-backoff jitter (supervised only)")
     _add_cluster_engine_options(cserve)
+
+    cchaos = sub.add_parser(
+        "cluster-chaos",
+        help="seeded fault drill: SIGKILL/wedge every partition mid-stream, "
+             "demand zero loss, CI containment, and run-to-run determinism",
+    )
+    cchaos.add_argument("--workdir", required=True, help="scratch directory")
+    cchaos.add_argument("--partitions", type=int, default=3)
+    cchaos.add_argument("--bots", type=int, default=24)
+    cchaos.add_argument("--servers", type=int, default=6)
+    cchaos.add_argument("--days", type=int, default=4)
+    cchaos.add_argument("--seed", type=int, default=11,
+                        help="trace simulation seed")
+    cchaos.add_argument("--chaos-seed", type=int, default=7,
+                        help="fault schedule seed")
+    cchaos.add_argument("--runs", type=int, default=2,
+                        help="supervised passes (>=2 checks determinism)")
+    cchaos.add_argument("--max-partition-restarts", type=int, default=3,
+                        metavar="N")
 
     csmoke = sub.add_parser(
         "cluster-smoke",
@@ -897,10 +932,18 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
         )
         return 2
     try:
-        report = trace_report(*args.trace)
+        # --merge tolerates crash debris: a partition SIGKILLed before
+        # its first header flush leaves a missing/empty trace file, and
+        # the merged report should not die on it.
+        report = trace_report(*args.trace, skip_missing=args.merge)
     except (OSError, ValueError) as exc:
         print(f"trace-report: {exc}", file=sys.stderr)
         return 1
+    for path in report.get("skipped_files", ()):
+        print(
+            f"trace-report: warning: skipped missing/empty trace file {path}",
+            file=sys.stderr,
+        )
     try:
         if args.json:
             import json as _json
@@ -1160,6 +1203,9 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             batch_lines=args.batch_lines,
             checkpoint_every=args.checkpoint_every,
             trace_sample=args.trace_sample,
+            supervised=args.supervised,
+            max_partition_restarts=args.max_partition_restarts,
+            mesh_seed=args.mesh_seed,
             log=sys.stderr,
         )
     except ClusterError as exc:
@@ -1167,6 +1213,39 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         return 1
     print(_json.dumps(report, indent=2, sort_keys=True))
     return int(report.get("exit_code", 0) or 0)
+
+
+def _cmd_cluster_chaos(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .service.cluster import ClusterError
+    from .service.meshguard import run_cluster_chaos
+    from .service.netingest import SmokeFailure
+
+    try:
+        report = run_cluster_chaos(
+            Path(args.workdir),
+            partitions=args.partitions,
+            bots=args.bots,
+            servers=args.servers,
+            days=args.days,
+            seed=args.seed,
+            chaos_seed=args.chaos_seed,
+            runs=args.runs,
+            max_partition_restarts=args.max_partition_restarts,
+            log=sys.stderr,
+        )
+    except (SmokeFailure, ClusterError) as exc:
+        print(f"CLUSTER CHAOS FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"cluster-chaos passed: {report['runs']} run(s) byte-identical, "
+        f"{report['degraded_rows']} degraded rows "
+        f"({report['ci_contained']} CI-contained), "
+        f"{report['restated_rows']} restated",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _cmd_cluster_smoke(args: argparse.Namespace) -> int:
@@ -1210,6 +1289,7 @@ _HANDLERS = {
     "cluster-replay": _cmd_cluster_replay,
     "reshard": _cmd_reshard,
     "cluster-serve": _cmd_cluster_serve,
+    "cluster-chaos": _cmd_cluster_chaos,
     "cluster-smoke": _cmd_cluster_smoke,
 }
 

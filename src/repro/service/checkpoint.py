@@ -34,8 +34,9 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 __all__ = ["CHECKPOINT_SCHEMA", "CheckpointError", "CheckpointStore"]
 
@@ -49,9 +50,16 @@ class CheckpointError(RuntimeError):
 class CheckpointStore:
     """Load/save a checkpoint with write-rename atomicity and rotation."""
 
-    def __init__(self, path: str | Path, sidecars: Iterable[str] = ()) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        sidecars: Iterable[str] = (),
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self.path = Path(path)
         self._sidecars: list[str] = list(sidecars)
+        self._clock = clock
+        self._last_good: float | None = None
 
     @property
     def previous_path(self) -> Path:
@@ -134,6 +142,21 @@ class CheckpointStore:
         finally:
             if tmp.exists():
                 tmp.unlink()
+        self._last_good = self._clock()
+
+    def last_good_generation(self) -> float | None:
+        """Age in seconds of the newest trustworthy generation this store
+        has written or successfully loaded, on the injected monotonic
+        clock; ``None`` before any good generation was seen.
+
+        The partition heartbeat writer and the cluster lag detector both
+        read this, so "how stale is this partition's durable state" has
+        exactly one definition — a checkpoint that failed to save, or a
+        load that had to reject every generation, never refreshes it.
+        """
+        if self._last_good is None:
+            return None
+        return self._clock() - self._last_good
 
     def _read(self, path: Path) -> dict[str, Any]:
         try:
@@ -165,10 +188,11 @@ class CheckpointStore:
             if self.previous_path.exists():
                 document = self._read(self.previous_path)
                 self._promote_sidecars()
+                self._last_good = self._clock()
                 return document
             return None
         try:
-            return self._read(self.path)
+            document = self._read(self.path)
         except CheckpointError as exc:
             if not getattr(exc, "torn", False):
                 raise  # foreign schema: never silently skipped
@@ -177,4 +201,5 @@ class CheckpointStore:
             document = self._read(self.previous_path)
             document["recovered_from_previous_generation"] = True
             self._promote_sidecars()
-            return document
+        self._last_good = self._clock()
+        return document

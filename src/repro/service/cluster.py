@@ -68,6 +68,7 @@ from multiprocessing import get_all_start_methods, get_context
 from pathlib import Path
 from typing import IO, Any, Iterable, Mapping, Sequence
 
+from ..core.confidence import ConfidenceInterval, widen_for_loss
 from .checkpoint import CheckpointStore
 from .daemon import BotMeterDaemon
 from .engine import ENGINE_STATE_SCHEMA, validate_engine_state
@@ -83,6 +84,7 @@ __all__ = [
     "cluster_serve",
     "merge_landscape_rows",
     "reshard_checkpoints",
+    "restate_rows",
     "run_cluster_smoke",
     "run_partition",
     "split_header",
@@ -92,6 +94,9 @@ __all__ = [
 CLUSTER_SCHEMA = "botmeterd-cluster-v1"
 
 _QUALITY_KEYS = ("matched", "late", "dropped", "quarantined")
+
+#: Partition states whose durable output can be trusted as current.
+_FRESH_STATES = ("healthy", "lagging")
 
 
 class ClusterError(RuntimeError):
@@ -149,28 +154,27 @@ def route_line(line: bytes, n_partitions: int) -> int:
 # ---------------------------------------------------------------------------
 
 
-def merge_landscape_rows(row_streams: Iterable[Iterable[bytes | str]]) -> list[str]:
-    """Merge per-partition landscape NDJSON rows into the global chart.
+def _parse_landscape_rows(stream: Iterable[bytes | str]) -> list[dict[str, Any]]:
+    rows: list[dict[str, Any]] = []
+    for line in stream:
+        if isinstance(line, bytes):
+            line = line.decode("utf-8")
+        line = line.strip()
+        if not line:
+            continue
+        row = json.loads(line)
+        if not isinstance(row, Mapping) or row.get("type") != "landscape":
+            raise ClusterError(f"not a landscape row: {line[:120]!r}")
+        rows.append(row)
+    return rows
 
-    Rows are grouped by ``(epoch, family)``; server cells union (a
-    server appearing in two partitions' rows for the same epoch is a
-    routing bug and raises), quality counters sum, and ``total`` and
-    ``loss`` are re-derived — summed in sorted-server order, which is
-    exactly the insertion order a single daemon's ``Landscape.total``
-    folds in, so the merged line is byte-identical to the unpartitioned
-    one.  Returns the merged lines in (epoch, family) order.
-    """
+
+def _group_rows(
+    parsed: Sequence[Sequence[Mapping[str, Any]]],
+) -> dict[tuple[int, str], dict[str, Any]]:
     groups: dict[tuple[int, str], dict[str, Any]] = {}
-    for stream in row_streams:
-        for line in stream:
-            if isinstance(line, bytes):
-                line = line.decode("utf-8")
-            line = line.strip()
-            if not line:
-                continue
-            row = json.loads(line)
-            if not isinstance(row, Mapping) or row.get("type") != "landscape":
-                raise ClusterError(f"not a landscape row: {line[:120]!r}")
+    for rows in parsed:
+        for row in rows:
             key = (int(row["epoch"]), str(row["family"]))
             group = groups.get(key)
             if group is None:
@@ -198,35 +202,222 @@ def merge_landscape_rows(row_streams: Iterable[Iterable[bytes | str]]) -> list[s
             quality = row.get("quality", {})
             for name in _QUALITY_KEYS:
                 group["quality"][name] += int(quality.get(name, 0))
+    return groups
+
+
+def _render_group(
+    epoch: int,
+    family: str,
+    group: Mapping[str, Any],
+    extra: Mapping[str, Any] | None = None,
+    extra_quality: Mapping[str, Any] | None = None,
+) -> str:
+    servers = {
+        server: group["servers"][server] for server in sorted(group["servers"])
+    }
+    total = sum(cell["estimate"] for cell in servers.values())
+    quality = dict(group["quality"])
+    lost = quality["late"] + quality["dropped"] + quality["quarantined"]
+    denominator = quality["matched"] + lost
+    quality["loss"] = round(lost / denominator, 6) if denominator else 0.0
+    if extra_quality:
+        quality.update(extra_quality)
+    document: dict[str, Any] = {
+        "v": 1,
+        "type": "landscape",
+        "family": family,
+        "epoch": epoch,
+        "estimator": group["estimator"],
+        "total": total,
+        "quality": quality,
+        "servers": servers,
+    }
+    if extra:
+        document.update(extra)
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def merge_landscape_rows(
+    row_streams: Iterable[Iterable[bytes | str]],
+    partition_status: Sequence[str] | None = None,
+    quorum: int | None = None,
+    confidence_level: float = 0.9,
+) -> list[str]:
+    """Merge per-partition landscape NDJSON rows into the global chart.
+
+    Rows are grouped by ``(epoch, family)``; server cells union (a
+    server appearing in two partitions' rows for the same epoch is a
+    routing bug and raises), quality counters sum, and ``total`` and
+    ``loss`` are re-derived — summed in sorted-server order, which is
+    exactly the insertion order a single daemon's ``Landscape.total``
+    folds in, so the merged line is byte-identical to the unpartitioned
+    one.  Returns the merged lines in (epoch, family) order.
+
+    **Quorum-degraded mode** (``partition_status`` given, one state per
+    stream in order — ``healthy``/``lagging``/``down``/``disarmed``):
+    at least ``quorum`` partitions (default strict majority) must be
+    fresh or the merge raises.  With every partition fresh the output
+    is the exact byte-identical merge.  With partitions down, rows are
+    emitted only for epochs every *fresh* partition has already closed;
+    an epoch a down partition never contributed to is marked
+    ``quality.degraded_partitions`` and carries a ``confidence``
+    interval — the visible total widened by the down partitions'
+    last-known census share via
+    :func:`repro.core.confidence.widen_for_loss` — so a reader knows
+    exactly which rows understate the landscape and by how much at
+    most.  Epochs the down partition *did* emit before dying merge
+    exactly (its frozen output is real history, not an estimate).
+    """
+    parsed = [_parse_landscape_rows(stream) for stream in row_streams]
+    if partition_status is None:
+        groups = _group_rows(parsed)
+        return [
+            _render_group(epoch, family, groups[(epoch, family)])
+            for epoch, family in sorted(groups)
+        ]
+
+    states = [str(state) for state in partition_status]
+    if len(states) != len(parsed):
+        raise ClusterError(
+            f"{len(states)} partition states for {len(parsed)} row streams"
+        )
+    n = len(states)
+    fresh = [i for i, state in enumerate(states) if state in _FRESH_STATES]
+    down = [i for i, state in enumerate(states) if state not in _FRESH_STATES]
+    if quorum is None:
+        quorum = n // 2 + 1
+    if len(fresh) < quorum:
+        raise ClusterError(
+            f"quorum lost: {len(fresh)} of {n} partitions fresh, "
+            f"need {quorum} — refusing to merge"
+        )
+    groups = _group_rows(parsed)
+    if not down:
+        return [
+            _render_group(epoch, family, groups[(epoch, family)])
+            for epoch, family in sorted(groups)
+        ]
+
+    def _frontier(rows: Sequence[Mapping[str, Any]]) -> int | None:
+        return max((int(row["epoch"]) for row in rows), default=None)
+
+    # Only epochs every fresh partition has closed are final enough to
+    # emit while degraded (partitions with no rows at all constrain
+    # nothing — they have never demonstrated a closure frontier).
+    fresh_frontiers = [
+        frontier
+        for frontier in (_frontier(parsed[i]) for i in fresh)
+        if frontier is not None
+    ]
+    if not fresh_frontiers:
+        return []
+    emit_limit = min(fresh_frontiers)
+    down_frontiers = {i: _frontier(parsed[i]) for i in down}
+    # Last-known census per down partition and family: the estimate sum
+    # of its newest emitted row — the best available bound on how much
+    # landscape its missing slice represents.
+    census: dict[int, dict[str, float]] = {}
+    for i in down:
+        newest: dict[str, tuple[int, float]] = {}
+        for row in parsed[i]:
+            epoch = int(row["epoch"])
+            family = str(row["family"])
+            if family not in newest or epoch > newest[family][0]:
+                newest[family] = (
+                    epoch,
+                    sum(
+                        cell["estimate"]
+                        for cell in row.get("servers", {}).values()
+                    ),
+                )
+        census[i] = {family: share for family, (_, share) in newest.items()}
+
     merged: list[str] = []
     for epoch, family in sorted(groups):
+        if epoch > emit_limit:
+            continue
         group = groups[(epoch, family)]
-        servers = {
-            server: group["servers"][server]
-            for server in sorted(group["servers"])
-        }
-        total = sum(cell["estimate"] for cell in servers.values())
-        quality = dict(group["quality"])
-        lost = quality["late"] + quality["dropped"] + quality["quarantined"]
-        denominator = quality["matched"] + lost
-        quality["loss"] = round(lost / denominator, 6) if denominator else 0.0
+        missing = [
+            i
+            for i in down
+            if down_frontiers[i] is None or epoch > down_frontiers[i]
+        ]
+        if not missing:
+            merged.append(_render_group(epoch, family, group))
+            continue
+        total = sum(cell["estimate"] for cell in group["servers"].values())
+        down_known = 0.0
+        unknown = False
+        for i in missing:
+            share = census[i].get(family)
+            if share is None:
+                unknown = True
+            else:
+                down_known += share
+        confidence: dict[str, Any] | None = None
+        if not unknown:
+            loss = (
+                down_known / (down_known + total)
+                if down_known + total > 0
+                else 0.0
+            )
+            interval = widen_for_loss(
+                ConfidenceInterval(
+                    low=max(0.0, total - down_known),
+                    point=total,
+                    high=total + down_known,
+                    level=confidence_level,
+                ),
+                loss,
+            )
+            confidence = {
+                "low": interval.low,
+                "point": interval.point,
+                "high": interval.high,
+                "level": interval.level,
+            }
         merged.append(
-            json.dumps(
-                {
-                    "v": 1,
-                    "type": "landscape",
-                    "family": family,
-                    "epoch": epoch,
-                    "estimator": group["estimator"],
-                    "total": total,
-                    "quality": quality,
-                    "servers": servers,
+            _render_group(
+                epoch,
+                family,
+                group,
+                extra={"confidence": confidence},
+                extra_quality={
+                    "degraded_partitions": [f"p{i:02d}" for i in missing]
                 },
-                sort_keys=True,
-                separators=(",", ":"),
             )
         )
     return merged
+
+
+def restate_rows(
+    exact_rows: Iterable[bytes | str],
+    degraded_keys: Iterable[tuple[int, str]],
+) -> list[str]:
+    """Exact re-emissions for rows previously published degraded.
+
+    Once a down partition recovers and its spool drains, the rows that
+    went out with ``degraded_partitions`` markings have exact
+    replacements in the final merge.  This returns those replacements
+    flagged ``"restated": true`` — same bytes as the exact row plus the
+    flag, so a consumer can idempotently supersede the degraded
+    version.  Order follows ``exact_rows``.
+    """
+    keys = {(int(epoch), str(family)) for epoch, family in degraded_keys}
+    restated: list[str] = []
+    for line in exact_rows:
+        if isinstance(line, bytes):
+            line = line.decode("utf-8")
+        line = line.strip()
+        if not line:
+            continue
+        row = json.loads(line)
+        if (int(row["epoch"]), str(row["family"])) in keys:
+            row["restated"] = True
+            restated.append(
+                json.dumps(row, sort_keys=True, separators=(",", ":"))
+            )
+    return restated
 
 
 # ---------------------------------------------------------------------------
@@ -245,7 +436,9 @@ def _sum_key(documents: Sequence[Mapping[str, Any]], *path: str) -> int:
 
 
 def reshard_checkpoints(
-    documents: Sequence[Mapping[str, Any]], new_n: int
+    documents: Sequence[Mapping[str, Any]],
+    new_n: int,
+    partition_states: Sequence[str] | None = None,
 ) -> list[dict[str, Any]]:
     """Re-key N drained partition checkpoints into M fresh ones.
 
@@ -267,9 +460,34 @@ def reshard_checkpoints(
     Returns ``new_n`` checkpoint state dicts (``input`` left empty for
     the caller to fill; ``input_offset`` 0 — re-feeding a shard's header
     line on resume is idempotent).
+
+    ``partition_states`` (one state string per document, e.g. from
+    :func:`repro.service.meshguard.partition_states_from_heartbeats`)
+    gates the operation: a ``down``/``disarmed`` partition's checkpoint
+    is *stale durable state* — resharding it would fossilize whatever
+    it had charted when it died and silently drop everything routed to
+    it since — so the reshard refuses, naming the stale partition.
     """
     if not documents:
         raise ClusterError("reshard needs at least one partition checkpoint")
+    if partition_states is not None:
+        states = [str(state) for state in partition_states]
+        if len(states) != len(documents):
+            raise ClusterError(
+                f"{len(states)} partition states for "
+                f"{len(documents)} checkpoints"
+            )
+        stale = [
+            index
+            for index, state in enumerate(states)
+            if state not in _FRESH_STATES
+        ]
+        if stale:
+            raise ClusterError(
+                f"cannot reshard: partition {stale[0]} is "
+                f"{states[stale[0]]} — its checkpoint is stale; recover "
+                "the partition (or disarm and drop it) before resharding"
+            )
     new_n = int(new_n)
     if new_n < 1:
         raise ClusterError(f"cannot reshard to {new_n} partitions")
@@ -797,8 +1015,10 @@ class ClusterRouterFrontend:
         self,
         streams: Sequence[Any],
         log_stream: IO[str] | None = None,
+        on_finish: Any = None,
     ) -> None:
         self.streams = list(streams)
+        self._on_finish = on_finish
         if not self.streams:
             raise ClusterError("a cluster router needs at least one partition")
         self.metrics = MetricsRegistry()
@@ -860,6 +1080,12 @@ class ClusterRouterFrontend:
                 self._c_routed.inc(len(bucket), partition=f"{index:02d}")
 
     def _finish_stream(self, lines_released: int) -> None:
+        if self._on_finish is not None:
+            # Fires *before* partition streams finish: the supervised
+            # serve path uses this to stand down the watch loop, which
+            # would otherwise read the partitions' clean exits as
+            # faults and restart them mid-shutdown.
+            self._on_finish()
         for stream in self.streams:
             self.cursors[stream.sensor] = stream.finish()
         self.finished = True
@@ -872,6 +1098,140 @@ class ClusterRouterFrontend:
     def _cleanup(self) -> None:
         for stream in self.streams:
             stream.close()
+
+
+def _supervised_cluster_serve(
+    workdir: Path,
+    n: int,
+    *,
+    tcp: tuple[str, int] | None,
+    uds: str | Path | None,
+    addr_file: str | Path | None,
+    expect_sensors: int | None,
+    estimator: Any,
+    grace: float,
+    reorder_capacity: int,
+    batch_lines: int,
+    checkpoint_every: int,
+    trace_sample: int,
+    max_partition_restarts: int,
+    mesh_seed: int,
+    heartbeat_interval: float,
+    lag_after: float,
+    down_after: float,
+    log: IO[str],
+) -> dict[str, Any]:
+    """The fault-tolerant serve path: partition *processes* under a
+    :class:`~repro.service.meshguard.ClusterSupervisor`, failover
+    streams with durable spools, and a background supervision loop
+    restarting dead or wedged partitions from their own checkpoints."""
+    import threading
+
+    from .meshguard import ClusterSupervisor, FailoverSensorStream
+    from .netingest import NetIngestServer
+    from .supervisor import BackoffPolicy
+
+    supervisor = ClusterSupervisor(
+        workdir,
+        n,
+        estimator=estimator,
+        grace=grace,
+        reorder_capacity=reorder_capacity,
+        batch_lines=batch_lines,
+        checkpoint_every=checkpoint_every,
+        trace_sample=trace_sample,
+        max_partition_restarts=max_partition_restarts,
+        backoff=BackoffPolicy(seed=mesh_seed),
+        heartbeat_interval=heartbeat_interval,
+        lag_after=lag_after,
+        down_after=down_after,
+        log_stream=log,
+    )
+    streams: list[Any] = []
+    quiesced = threading.Event()
+
+    def _watch() -> None:
+        while not quiesced.wait(heartbeat_interval):
+            supervisor.poll()
+            supervisor.quorum_ok()
+
+    watcher = threading.Thread(target=_watch, name="mesh-watch", daemon=True)
+    try:
+        supervisor.start()
+        supervisor.wait_ready()
+        for i in range(n):
+            stream = FailoverSensorStream(
+                ("uds", supervisor.socket_path(i)),
+                f"router-p{i:02d}",
+                spool_path=workdir / f"p{i:02d}.spool.ndjson",
+                metrics=supervisor.metrics,
+            )
+            stream.connect()
+            streams.append(stream)
+        watcher.start()
+        frontend = ClusterRouterFrontend(
+            streams, log_stream=log, on_finish=quiesced.set
+        )
+        router = NetIngestServer(
+            frontend,
+            tcp=tcp,
+            uds=uds,
+            addr_file=addr_file,
+            expect_sensors=expect_sensors,
+        )
+        code = router.serve()
+        codes = supervisor.wait()
+        bad = [c for c in codes if c not in (0, None)]
+        if bad:
+            raise ClusterError(f"partition exit codes after serve: {codes}")
+    finally:
+        quiesced.set()
+        if watcher.is_alive():
+            watcher.join(timeout=10)
+        for stream in streams:
+            stream.close()
+        supervisor.stop()
+    merged = merge_landscape_rows(
+        [
+            (workdir / f"p{i:02d}.out.ndjson").read_bytes().splitlines()
+            for i in range(n)
+            if (workdir / f"p{i:02d}.out.ndjson").exists()
+        ]
+    )
+    landscape_path = workdir / "landscape.ndjson"
+    landscape_path.write_text("\n".join(merged) + ("\n" if merged else ""))
+    folded = merge_registry_states(
+        [
+            CheckpointStore(workdir / f"p{i:02d}.ck.json").load()["metrics"]
+            for i in range(n)
+        ]
+    )
+    (workdir / "metrics.prom").write_text(folded.render_prometheus())
+    (workdir / "mesh-metrics.prom").write_text(
+        supervisor.metrics.render_prometheus()
+    )
+    _atomic_write_json(
+        workdir / "mesh-ledger.json",
+        {
+            "schema": "botmeterd-mesh-ledger-v1",
+            "ledger": supervisor.ledger,
+            "restarts": {
+                part.label: part.restarts for part in supervisor.partitions
+            },
+        },
+    )
+    return {
+        "schema": "botmeterd-cluster-serve-v1",
+        "partitions": n,
+        "exit_code": code,
+        "rows": len(merged),
+        "landscape": str(landscape_path),
+        "cursors": dict(frontend.cursors),
+        "supervised": True,
+        "restarts": sum(part.restarts for part in supervisor.partitions),
+        "spooled": sum(stream.spooled for stream in streams),
+        "replayed": sum(stream.replayed for stream in streams),
+    }
 
 
 def cluster_serve(
@@ -888,6 +1248,12 @@ def cluster_serve(
     batch_lines: int = 256,
     checkpoint_every: int = 500,
     trace_sample: int = 0,
+    supervised: bool = False,
+    max_partition_restarts: int = 3,
+    mesh_seed: int = 0,
+    heartbeat_interval: float = 0.25,
+    lag_after: float = 5.0,
+    down_after: float = 15.0,
     log: IO[str] | None = None,
 ) -> dict[str, Any]:
     """Serve Sensornet ingest through an N-partition cluster.
@@ -902,9 +1268,14 @@ def cluster_serve(
     clean finish the per-partition landscapes merge into
     ``workdir/landscape.ndjson`` and the folded metrics into
     ``workdir/metrics.prom``.
-    """
-    from .netingest import NetIngestServer, SensorStream
 
+    With ``supervised=True`` the partitions run as *processes* under a
+    :class:`~repro.service.meshguard.ClusterSupervisor` (heartbeats,
+    seeded-backoff restarts, disarming) and the router's streams become
+    :class:`~repro.service.meshguard.FailoverSensorStream` — a dead
+    partition's lines spool durably and replay on recovery, so a
+    partition crash costs latency, not records.
+    """
     workdir = Path(workdir)
     workdir.mkdir(parents=True, exist_ok=True)
     log = log if log is not None else sys.stderr
@@ -913,6 +1284,29 @@ def cluster_serve(
         raise ClusterError(f"cannot serve {n} partitions")
     if tcp is None and uds is None:
         tcp = ("127.0.0.1", 0)
+    if supervised:
+        return _supervised_cluster_serve(
+            workdir,
+            n,
+            tcp=tcp,
+            uds=uds,
+            addr_file=addr_file,
+            expect_sensors=expect_sensors,
+            estimator=estimator,
+            grace=grace,
+            reorder_capacity=reorder_capacity,
+            batch_lines=batch_lines,
+            checkpoint_every=checkpoint_every,
+            trace_sample=trace_sample,
+            max_partition_restarts=max_partition_restarts,
+            mesh_seed=mesh_seed,
+            heartbeat_interval=heartbeat_interval,
+            lag_after=lag_after,
+            down_after=down_after,
+            log=log,
+        )
+    from .netingest import NetIngestServer, SensorStream
+
     backends: list[Any] = []
     threads: list[Any] = []
     streams: list[Any] = []

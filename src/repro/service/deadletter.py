@@ -34,10 +34,18 @@ MAX_LINE_SNIPPET = 500
 
 
 class DeadLetterQueue:
-    """Append-only NDJSON quarantine with per-reason counts."""
+    """Append-only NDJSON quarantine with per-reason counts.
 
-    def __init__(self, path: str | Path) -> None:
+    The writer is schema-parameterised so other durable NDJSON sidecars
+    with the same append/flush/truncate discipline can reuse it — the
+    cluster router's per-partition failover spool
+    (:mod:`repro.service.meshguard`) tags its file
+    ``botmeterd-spool-v1`` but is otherwise this exact format.
+    """
+
+    def __init__(self, path: str | Path, schema: str = DEADLETTER_SCHEMA) -> None:
         self.path = Path(path)
+        self.schema = str(schema)
         self._fh: IO[str] | None = None
         self.entries = 0
         self.counts: dict[str, int] = {}
@@ -50,7 +58,7 @@ class DeadLetterQueue:
     def quarantine(self, reason: str, **fields: Any) -> None:
         """Append one entry; ``fields`` carry reason-specific detail."""
         entry = {
-            "schema": DEADLETTER_SCHEMA,
+            "schema": self.schema,
             "seq": self.entries,
             "reason": reason,
             **fields,

@@ -22,6 +22,7 @@ Client -> server::
 
     {"v": 1, "type": "hello", "schema": ..., "sensor": ID[, "cursor": M]}
     ... payload lines, byte-for-byte the sensor's shard ...
+    {"v": 1, "type": "sync"}                                 # durability barrier
     {"v": 1, "type": "fin"}
 
 Server -> client::
@@ -44,6 +45,17 @@ resends is discarded by the server *before* it reaches the wire reader
 (no double-counted records, no double quarantine).  A ``hello.cursor``
 ahead of the server's durable cursor is a gap — the server answers
 ``error`` and drops the connection rather than chart a hole.
+
+``sync`` is an explicit durability barrier: the server checkpoints as
+soon as every payload line received before the sync has been released
+and consumed, then acks — so a client that waits for ``ack.cursor`` to
+reach its own send cursor knows its lines are durable *now*, without
+waiting out the checkpoint cadence.  The cluster failover tier
+(:mod:`repro.service.meshguard`) syncs a partition before deliberately
+failing it over, which is what makes chaos-drill spool contents
+deterministic.  Only meaningful on single-sensor backends (a gated
+multi-sensor merge may hold lines back, and the ack would report the
+released cursor, not the sent one).
 
 Determinism
 -----------
@@ -113,7 +125,7 @@ NET_SCHEMA = "botmeter-netingest-v1"
 #: Message types owned by the ingest protocol.  Disjoint from the
 #: payload wire format's ``header``/``lookup`` so a control line can
 #: never be mistaken for data (or vice versa).
-CONTROL_TYPES = frozenset({"hello", "fin"})
+CONTROL_TYPES = frozenset({"hello", "fin", "sync"})
 
 _SERVER_TYPES = frozenset({"welcome", "ack", "bye", "error"})
 
@@ -258,6 +270,10 @@ class SensorMux:
         self.partial_resets = 0
         self.hellos = 0
         self.fins = 0
+        #: Connections with a pending durability barrier.  The server
+        #: drains these *after* the feed's pump ran, so every payload
+        #: line that preceded the sync on the wire is already released.
+        self._sync_requests: list[int] = []
 
     # -- connection lifecycle ------------------------------------------------
 
@@ -333,8 +349,11 @@ class SensorMux:
             except ValueError:
                 data = None
         if isinstance(data, dict) and data.get("type") in CONTROL_TYPES:
-            if data.get("type") == "hello":
+            kind = data["type"]
+            if kind == "hello":
                 self._hello(conn, data)
+            elif kind == "sync":
+                self._sync(conn)
             else:
                 self._fin(conn)
             return
@@ -398,6 +417,16 @@ class SensorMux:
                 "cursor": sensor.cursor,
             },
         )
+
+    def _sync(self, conn: _MuxConn) -> None:
+        if conn.sensor is None:
+            raise ProtocolError("sync before hello")
+        self._sync_requests.append(conn.id)
+
+    def take_sync_requests(self) -> list[int]:
+        """Pop the pending sync barriers (server-side drain)."""
+        requests, self._sync_requests = self._sync_requests, []
+        return requests
 
     def _fin(self, conn: _MuxConn) -> None:
         if conn.sensor is None:
@@ -821,8 +850,19 @@ class NetIngestServer:
             self._reject(conn, str(exc))
             return True
         self._drain_released()
+        self._drain_sync()
         conn.sensor_hint = self._mux.sensor_of(conn.id)
         return True
+
+    def _drain_sync(self) -> None:
+        """Honour pending sync barriers: checkpoint now, ack now."""
+        requests = self._mux.take_sync_requests()
+        if not requests:
+            return
+        self._drain_released()
+        if self.daemon.store is not None:
+            self.daemon._checkpoint(self._mux.lines_released)
+        self._send_acks()
 
     def _write(self, conn: _Conn) -> None:
         if not conn.out:
@@ -925,6 +965,7 @@ class NetIngestServer:
         ):
             daemon._checkpoint(self._mux.lines_released)
             self._send_acks()
+        self._drain_sync()
         self._update_pauses()
         self._refresh_metrics()
 
@@ -1388,6 +1429,35 @@ class SensorStream:
         self._sock.sendall(self._outbuf)
         self._outbuf = bytearray()
         self._client._drain_acks(self._sock, self._inbuf)
+
+    def sync(self, timeout: float | None = None) -> int:
+        """Durability barrier: flush, send ``sync``, wait until the
+        server's ack covers every line offered so far.  Returns the
+        acked cursor.  Only meaningful against a single-sensor backend
+        (see the protocol notes) — the cluster failover tier uses it to
+        pin a partition's durable frontier before failing it over.
+        """
+        if self._sock is None:
+            raise SensorError(f"stream {self.sensor!r} is not connected")
+        if self._finished:
+            raise SensorError(f"stream {self.sensor!r} is finished")
+        self.flush()
+        if self._client.acked >= self.cursor:
+            return self._client.acked
+        self._sock.sendall(_control_line({"v": 1, "type": "sync"}))
+        deadline = (
+            time.monotonic() + (timeout if timeout is not None else self._client.io_timeout)
+        )
+        while self._client.acked < self.cursor:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise SensorError(
+                    f"stream {self.sensor!r}: sync barrier timed out at "
+                    f"acked {self._client.acked} < cursor {self.cursor}"
+                )
+            message = self._client._read_message(self._sock, self._inbuf, remaining)
+            self._client._handle(message)
+        return self._client.acked
 
     def finish(self) -> int:
         """Flush, send fin, wait for bye; returns the durable cursor."""

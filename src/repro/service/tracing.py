@@ -462,7 +462,9 @@ def _collect_trace(
     return headers, events
 
 
-def trace_report(*paths: str | Path) -> dict[str, Any]:
+def trace_report(
+    *paths: str | Path, skip_missing: bool = False
+) -> dict[str, Any]:
     """Aggregate one or more ``--trace-out`` files into per-stage stats.
 
     Every line of every file is schema-validated; spans group by stage
@@ -471,6 +473,13 @@ def trace_report(*paths: str | Path) -> dict[str, Any]:
     cluster traces) the quantiles are computed over the *union* of the
     deltas — exactly what one merged trace file would have reported —
     and ``headers``/``events`` sum across files.
+
+    With ``skip_missing`` a missing or empty trace file — what a
+    partition SIGKILLed before its first header flush leaves behind —
+    is skipped instead of raising; the report carries the skipped
+    count and names (``skipped``/``skipped_files``) so the footer can
+    say so.  A file with *content* that fails validation still raises:
+    that is corruption, not a crash artifact.
     """
     if not paths:
         raise ValueError("trace_report needs at least one trace file")
@@ -478,10 +487,23 @@ def trace_report(*paths: str | Path) -> dict[str, Any]:
     records_per_stage: dict[str, int] = {}
     headers = 0
     events = 0
+    skipped: list[str] = []
     for path in paths:
+        if skip_missing:
+            try:
+                if Path(path).stat().st_size == 0:
+                    skipped.append(str(path))
+                    continue
+            except OSError:
+                skipped.append(str(path))
+                continue
         file_headers, file_events = _collect_trace(path, per_stage, records_per_stage)
         headers += file_headers
         events += file_events
+    if skipped and len(skipped) == len(paths):
+        raise ValueError(
+            f"all {len(paths)} trace file(s) are missing or empty"
+        )
     stages: dict[str, dict[str, int]] = {}
     for stage, deltas in per_stage.items():
         ordered = sorted(deltas)
@@ -493,13 +515,17 @@ def trace_report(*paths: str | Path) -> dict[str, Any]:
             "p95_ns": _exact_quantile(ordered, 0.95),
             "max_ns": ordered[-1],
         }
-    return {
+    report: dict[str, Any] = {
         "schema": TRACE_SCHEMA,
         "headers": headers,
         "events": events,
-        "files": len(paths),
+        "files": len(paths) - len(skipped),
         "stages": stages,
     }
+    if skipped:
+        report["skipped"] = len(skipped)
+        report["skipped_files"] = skipped
+    return report
 
 
 def _stage_order(stages: Mapping[str, Any]) -> list[str]:
@@ -529,9 +555,11 @@ def render_trace_report(report: Mapping[str, Any]) -> str:
         )
     files = report.get("files", 1)
     merged = f" across {files} merged file(s)" if files > 1 else ""
+    skipped = report.get("skipped", 0)
+    skip_note = f", {skipped} missing/empty file(s) skipped" if skipped else ""
     lines.append(
-        f"({report['events']} events, {report['headers']} run segment(s){merged}; "
-        f"latencies are sampled monotonic-clock deltas)"
+        f"({report['events']} events, {report['headers']} run segment(s)"
+        f"{merged}{skip_note}; latencies are sampled monotonic-clock deltas)"
     )
     return "\n".join(lines)
 

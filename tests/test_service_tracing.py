@@ -431,6 +431,66 @@ class TestTraceSchema:
             trace_report(path)
 
 
+class TestTraceReportSkipMissing:
+    """``trace-report --merge`` must tolerate crash debris: a partition
+    SIGKILLed before its first header flush leaves a missing or empty
+    trace file, and the merged report should skip it with a warning
+    rather than die.  Corrupt *content* still raises — that is
+    corruption, not a crash artifact."""
+
+    def _valid_trace(self, tmp_path, name="events.ndjson"):
+        path = tmp_path / name
+        sink = TraceSink(path, sample=1)
+        tracer = StageTracer(sink=sink, sample=1, clock=FakeClock())
+        t0 = tracer.start("route")
+        tracer.stop("route", t0)
+        sink.close()
+        return path
+
+    def test_missing_and_empty_files_skip_with_merge(self, tmp_path):
+        good = self._valid_trace(tmp_path)
+        empty = tmp_path / "empty.ndjson"
+        empty.write_text("")
+        missing = tmp_path / "never-written.ndjson"
+        report = trace_report(good, empty, missing, skip_missing=True)
+        assert report["files"] == 1
+        assert report["skipped"] == 2
+        assert report["skipped_files"] == [str(empty), str(missing)]
+        assert "route" in report["stages"]
+
+    def test_without_skip_missing_raises(self, tmp_path):
+        good = self._valid_trace(tmp_path)
+        with pytest.raises(OSError):
+            trace_report(good, tmp_path / "missing.ndjson")
+
+    def test_all_missing_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="missing or empty"):
+            trace_report(
+                tmp_path / "a.ndjson",
+                tmp_path / "b.ndjson",
+                skip_missing=True,
+            )
+
+    def test_content_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "corrupt.ndjson"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError):
+            trace_report(path, skip_missing=True)
+
+    def test_cli_merge_warns_and_succeeds(self, tmp_path, capsys):
+        good = self._valid_trace(tmp_path)
+        missing = tmp_path / "gone.ndjson"
+        assert (
+            main(
+                ["trace-report", str(good), str(missing), "--merge", "--json"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "skipped missing/empty trace file" in captured.err
+        assert json.loads(captured.out)["skipped"] == 1
+
+
 # ---------------------------------------------------------------------------
 # Determinism + crash drill
 # ---------------------------------------------------------------------------
