@@ -1,6 +1,6 @@
 # Convenience targets for the BotMeter reproduction.
 
-.PHONY: install test test-fast smoke-sweep service-smoke trace-smoke netingest-smoke cluster-smoke cluster-chaos soak bench bench-paper bench-perf examples report clean
+.PHONY: install test test-fast smoke-sweep service-smoke trace-smoke netingest-smoke cluster-smoke cluster-chaos wire-smoke soak bench bench-paper bench-perf examples report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -96,6 +96,44 @@ cluster-chaos:
 	python -m repro.cli cluster-chaos --workdir cluster-chaos
 	@cat cluster-chaos/chaos-report.json
 
+# Fastlane end-to-end: export a synthetic trace, convert NDJSON <-> v2
+# both ways (byte-identity both directions), replay both formats at 1
+# and 2 ingest workers (landscape bytes identical), then SIGKILL a
+# throttled daemon mid-v2-stream and prove the resumed output still
+# matches. Mirrors the CI wire-smoke job.
+wire-smoke:
+	rm -rf wire-smoke && mkdir -p wire-smoke
+	python -m repro.cli export-trace --source sim --family new_goz \
+		--bots 24 --servers 2 --days 2 --seed 7 --out wire-smoke/trace.ndjson
+	python -m repro.cli convert-trace wire-smoke/trace.ndjson \
+		--out wire-smoke/trace.v2 --frame-records 256
+	python -m repro.cli convert-trace wire-smoke/trace.v2 \
+		--out wire-smoke/back.ndjson
+	diff wire-smoke/back.ndjson wire-smoke/trace.ndjson
+	python -m repro.cli export-trace --source sim --family new_goz \
+		--bots 24 --servers 2 --days 2 --seed 7 --wire v2 \
+		--frame-records 256 --out wire-smoke/direct.v2
+	cmp wire-smoke/direct.v2 wire-smoke/trace.v2
+	python -m repro.cli replay wire-smoke/trace.ndjson \
+		--out wire-smoke/ndjson.landscape
+	python -m repro.cli replay wire-smoke/trace.v2 \
+		--out wire-smoke/v2.landscape
+	diff wire-smoke/v2.landscape wire-smoke/ndjson.landscape
+	python -m repro.cli replay wire-smoke/trace.v2 \
+		--ingest-workers 2 --batch-lines 256 \
+		--out wire-smoke/v2-w2.landscape
+	diff wire-smoke/v2-w2.landscape wire-smoke/ndjson.landscape
+	-timeout -s KILL 4 python -m repro.cli serve \
+		--input wire-smoke/trace.v2 --no-follow --throttle 0.001 \
+		--checkpoint wire-smoke/ck.json --checkpoint-every 200 \
+		--out wire-smoke/served.ndjson 2> /dev/null
+	test -f wire-smoke/ck.json
+	python -m repro.cli serve --input wire-smoke/trace.v2 --no-follow \
+		--checkpoint wire-smoke/ck.json --checkpoint-every 200 \
+		--out wire-smoke/served.ndjson
+	diff wire-smoke/served.ndjson wire-smoke/ndjson.landscape
+	@echo "wire-smoke OK: NDJSON <-> v2 byte-exact both ways, replays identical (1 and 2 workers), SIGKILL resume on v2 == uninterrupted"
+
 # Faultline soak: a multi-family trace through the full seeded fault
 # schedule under supervision — survival, exact dead-letter/ledger
 # reconciliation, loss-bounded degradation, byte-identical determinism.
@@ -108,8 +146,15 @@ soak:
 test-logged:
 	pytest tests/ 2>&1 | tee test_output.txt
 
+# Every test_perf_* suite, artifacts collected into perf-artifacts/ and
+# folded into one summary table (repro bench-summary).
 bench:
-	pytest benchmarks/ --benchmark-only
+	mkdir -p perf-artifacts
+	REPRO_PERF_DIR=perf-artifacts pytest -q -s benchmarks/test_perf_service.py \
+		benchmarks/test_perf_faults.py benchmarks/test_perf_tracing.py \
+		benchmarks/test_perf_netingest.py benchmarks/test_perf_cluster.py \
+		benchmarks/test_perf_wire.py
+	python -m repro.cli bench-summary perf-artifacts
 
 bench-logged:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
@@ -124,5 +169,5 @@ report:
 	python -m repro.cli report --out reproduction_report.md
 
 clean:
-	rm -rf src/repro.egg-info .pytest_cache .benchmarks service-smoke service-soak trace-smoke netingest-smoke cluster-smoke cluster-chaos perf-artifacts
+	rm -rf src/repro.egg-info .pytest_cache .benchmarks service-smoke service-soak trace-smoke netingest-smoke cluster-smoke cluster-chaos wire-smoke perf-artifacts
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -11,7 +11,11 @@ Gives operators the Figure-2 workflow without writing Python:
 * ``repro sweep``     — run one Figure-6 sweep row;
 * ``repro enterprise``— run a (shortened) §V-B enterprise study;
 * ``repro export-trace`` — write a synthetic trace in the botmeterd
-  NDJSON wire format;
+  NDJSON wire format (or compact binary wire v2 with ``--wire v2``);
+* ``repro convert-trace`` — convert a recorded trace between NDJSON
+  and binary wire v2 (direction auto-detected);
+* ``repro bench-summary`` — aggregate ``BENCH_*.json`` perf artifacts
+  into one table;
 * ``repro replay``    — drain a recorded trace through botmeterd (or
   the batch reference) and print the landscape series;
 * ``repro serve``     — run botmeterd live: follow a file or stdin,
@@ -239,7 +243,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--benign-clients", type=int, default=20,
         help="enterprise source only: benign client sample size",
     )
-    export.add_argument("--out", required=True, help="NDJSON output path")
+    export.add_argument("--out", required=True, help="trace output path")
+    export.add_argument(
+        "--wire", choices=("ndjson", "v2"), default="ndjson",
+        help="output wire format: line-framed NDJSON (v1) or the compact "
+             "binary frame format (botmeterd-wire-v2)",
+    )
+    export.add_argument(
+        "--frame-records", type=int, default=4096, metavar="N",
+        help="records per RECORDS frame when --wire v2",
+    )
+
+    convert = sub.add_parser(
+        "convert-trace",
+        help="convert a trace between NDJSON (v1) and binary wire v2; "
+             "the direction is auto-detected from the input bytes",
+    )
+    convert.add_argument("trace", help="input trace (NDJSON or wire-v2)")
+    convert.add_argument("--out", required=True, help="converted output path")
+    convert.add_argument(
+        "--frame-records", type=int, default=4096, metavar="N",
+        help="records per RECORDS frame when converting to v2",
+    )
+
+    bench_summary = sub.add_parser(
+        "bench-summary",
+        help="aggregate repro-perf-v1 BENCH_*.json artifacts into one table",
+    )
+    bench_summary.add_argument(
+        "dir", nargs="?", default="perf-artifacts",
+        help="directory holding BENCH_*.json artifacts",
+    )
 
     replay = sub.add_parser(
         "replay", help="drain a recorded NDJSON trace; print the landscape series"
@@ -650,7 +684,7 @@ def _parse_family_specs(specs: Sequence[str] | None):
 
 
 def _cmd_export_trace(args: argparse.Namespace) -> int:
-    from .service.wire import encode_header, encode_record
+    from .service.wire import WIRE_VERSION, encode_header, encode_record
 
     if args.source == "sim":
         config = SimConfig(
@@ -670,12 +704,7 @@ def _cmd_export_trace(args: argparse.Namespace) -> int:
             "negative_ttl": config.negative_ttl,
             "origin": config.origin.isoformat(),
         }
-        count = 0
-        with open(args.out, "w") as fh:
-            fh.write(encode_header(header) + "\n")
-            for record in simulate(config).observable:
-                fh.write(encode_record(record) + "\n")
-                count += 1
+        records = simulate(config).observable
     else:
         from .enterprise.trace_gen import EnterpriseTraceGenerator
 
@@ -693,14 +722,102 @@ def _cmd_export_trace(args: argparse.Namespace) -> int:
             "negative_ttl": config.negative_ttl,
             "origin": config.origin.isoformat(),
         }
-        count = 0
+        records = (
+            record
+            for day in EnterpriseTraceGenerator(config).days()
+            for record in day.observable
+        )
+    count = 0
+    if args.wire == "v2":
+        from .service.wire2 import Wire2Writer
+
+        # The META payload carries the same envelope NDJSON puts on its
+        # header line, so a v2 export converts back to byte-identical NDJSON.
+        with open(args.out, "wb") as fh:
+            writer = Wire2Writer(fh, frame_records=args.frame_records)
+            writer.write_header({"v": WIRE_VERSION, "type": "header", **header})
+            for record in records:
+                writer.add(record)
+                count += 1
+            writer.close()
+    else:
         with open(args.out, "w") as fh:
             fh.write(encode_header(header) + "\n")
-            for day in EnterpriseTraceGenerator(config).days():
-                for record in day.observable:
-                    fh.write(encode_record(record) + "\n")
-                    count += 1
-    print(f"wrote {count} records ({args.source}) to {args.out}", file=sys.stderr)
+            for record in records:
+                fh.write(encode_record(record) + "\n")
+                count += 1
+    print(
+        f"wrote {count} records ({args.source}, {args.wire}) to {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_convert_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .service.wire2 import ndjson_to_wire2, sniff_wire2, wire2_to_ndjson_lines
+
+    raw = Path(args.trace).read_bytes()
+    if sniff_wire2(raw[:4]):
+        lines = wire2_to_ndjson_lines(raw)
+        payload = b"\n".join(lines) + (b"\n" if lines else b"")
+        Path(args.out).write_bytes(payload)
+        print(
+            f"converted v2 -> ndjson: {len(lines)} lines to {args.out}",
+            file=sys.stderr,
+        )
+    else:
+        with open(args.out, "wb") as fh:
+            reader = ndjson_to_wire2(
+                raw.splitlines(), fh, frame_records=args.frame_records
+            )
+        print(
+            f"converted ndjson -> v2: {reader.records} records, "
+            f"{reader.corrupt} quarantined to {args.out}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_bench_summary(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    directory = Path(args.dir)
+    artifacts = sorted(directory.glob("BENCH_*.json"))
+    if not artifacts:
+        print(f"no BENCH_*.json artifacts under {directory}", file=sys.stderr)
+        return 1
+    rows = []
+    for path in artifacts:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"skipping unreadable artifact {path}: {exc}", file=sys.stderr)
+            continue
+        if payload.get("schema") != "repro-perf-v1":
+            print(f"skipping foreign-schema artifact {path}", file=sys.stderr)
+            continue
+        for key in sorted(payload):
+            value = payload[key]
+            if (
+                key in ("schema", "cpu_count")
+                or isinstance(value, bool)
+                or not isinstance(value, (int, float))
+            ):
+                continue
+            rows.append((path.name, key, value))
+    if not rows:
+        print(f"no repro-perf-v1 metrics under {directory}", file=sys.stderr)
+        return 1
+    name_w = max(len(name) for name, _, _ in rows)
+    key_w = max(len(key) for _, key, _ in rows)
+    print(f"{'artifact':<{name_w}}  {'metric':<{key_w}}  value")
+    print(f"{'-' * name_w}  {'-' * key_w}  -----")
+    for name, key, value in rows:
+        rendered = f"{value:.4f}" if isinstance(value, float) else str(value)
+        print(f"{name:<{name_w}}  {key:<{key_w}}  {rendered}")
     return 0
 
 
@@ -1280,6 +1397,8 @@ _HANDLERS = {
     "enterprise": _cmd_enterprise,
     "report": _cmd_report,
     "export-trace": _cmd_export_trace,
+    "convert-trace": _cmd_convert_trace,
+    "bench-summary": _cmd_bench_summary,
     "replay": _cmd_replay,
     "serve": _cmd_serve,
     "sensor-send": _cmd_sensor_send,

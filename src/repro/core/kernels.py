@@ -30,14 +30,18 @@ sharded service gives each worker process its own instance.
 
 from __future__ import annotations
 
+import io
 import json
+import mmap
 import os
+import struct
 import zipfile
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any
 
 import numpy as np
+from numpy.lib import format as _npy_format
 
 __all__ = ["KERNEL_CACHE_SCHEMA", "KernelCache", "shared_cache", "reset_shared_cache"]
 
@@ -51,6 +55,72 @@ _MAX_ENTRIES = 512
 def _readonly(array: np.ndarray) -> np.ndarray:
     array.flags.writeable = False
     return array
+
+
+#: Zip local-file-header layout: signature, then name/extra lengths at
+#: +26/+28 — what it takes to find a STORED member's data offset.
+_ZIP_LOCAL_MAGIC = b"PK\x03\x04"
+_ZIP_LOCAL_LEN = struct.Struct("<HH")  # (name_len, extra_len) at offset 26
+
+
+def _map_sidecar(path: Path) -> dict[str, np.ndarray] | None:
+    """Zero-copy view of an uncompressed ``.npz``: every member array
+    served from ONE shared read-only ``mmap`` of the file.
+
+    ``np.load(mmap_mode=...)`` silently copies for ``.npz`` archives, so
+    this walks the zip itself: the central directory gives each member's
+    local-header offset; the local header (30 bytes + name + extra)
+    gives the ``.npy`` data offset; the ``.npy`` header gives dtype and
+    shape; ``np.frombuffer`` over the mmap does the rest.  Forked ingest
+    workers and cluster partitions that map the same sidecar share the
+    physical pages — warm kernel tables cost zero copies per process.
+
+    Returns ``None`` whenever the file is not cleanly mappable (a
+    compressed legacy sidecar, a pickled member, Fortran order, a torn
+    header …) — the caller falls back to the copying loader.  The mmap
+    stays alive exactly as long as any returned array does (each holds
+    it as its buffer base), so a later ``os.replace`` of the sidecar
+    path never invalidates served views.
+    """
+    try:
+        with open(path, "rb") as fh:
+            mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        with zipfile.ZipFile(path) as archive:
+            members = archive.infolist()
+            arrays: dict[str, np.ndarray] = {}
+            for info in members:
+                if info.compress_type != zipfile.ZIP_STORED:
+                    return None
+                header_offset = info.header_offset
+                if mapped[header_offset : header_offset + 4] != _ZIP_LOCAL_MAGIC:
+                    return None
+                name_len, extra_len = _ZIP_LOCAL_LEN.unpack_from(
+                    mapped, header_offset + 26
+                )
+                data_offset = header_offset + 30 + name_len + extra_len
+                head = io.BytesIO(
+                    mapped[data_offset : data_offset + min(info.file_size, 4096)]
+                )
+                version = _npy_format.read_magic(head)
+                if version == (1, 0):
+                    shape, fortran, dtype = _npy_format.read_array_header_1_0(head)
+                elif version == (2, 0):
+                    shape, fortran, dtype = _npy_format.read_array_header_2_0(head)
+                else:
+                    return None
+                if fortran or dtype.hasobject:
+                    return None
+                count = 1
+                for dim in shape:
+                    count *= int(dim)
+                array = np.frombuffer(
+                    mapped, dtype=dtype, count=count, offset=data_offset + head.tell()
+                ).reshape(shape)
+                name = info.filename
+                arrays[name[:-4] if name.endswith(".npy") else name] = array
+            return arrays
+    except (OSError, ValueError, KeyError, struct.error, zipfile.BadZipFile):
+        return None
 
 
 class KernelCache:
@@ -216,7 +286,12 @@ class KernelCache:
         tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
         try:
             with open(tmp, "wb") as fh:
-                np.savez_compressed(fh, **arrays)
+                # Uncompressed (ZIP_STORED) on purpose: it is what lets
+                # `load` serve the arrays straight off one shared mmap.
+                # A torn mapping is impossible: readers map the *old*
+                # inode until os.replace swaps the name, and their mmap
+                # keeps that inode alive until the last view drops.
+                np.savez(fh, **arrays)
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, path)
@@ -228,6 +303,18 @@ class KernelCache:
     def load(self, path: str | Path) -> int:
         """Merge a :meth:`save`d sidecar; returns entries added.
 
+        A sidecar :meth:`save`d by this module is served **zero-copy**:
+        one shared read-only mmap of the file backs every warmed table
+        (see :func:`_map_sidecar`), so N forked ingest workers or
+        cluster partitions warming from the same path share one set of
+        physical pages instead of N heap copies.  Mutation never writes
+        through a mapping — the cache's only "mutation" is growing an
+        occupancy table past its stored extents, which *replaces* the
+        entry with a freshly computed private array (copy-on-write by
+        promotion) and leaves the segment untouched for its other
+        readers.  Legacy compressed (or otherwise unmappable) sidecars
+        fall back to the copying loader.
+
         Tolerant by design: a missing, torn or foreign file warms
         nothing (the kernels are recomputed deterministically), it never
         fails the daemon.  Existing in-memory entries win — by
@@ -236,47 +323,59 @@ class KernelCache:
         path = Path(path)
         if not path.exists():
             return 0
+        data = _map_sidecar(path)
+        if data is not None:
+            try:
+                return self._merge(data)
+            except (ValueError, KeyError, json.JSONDecodeError):
+                return 0
         try:
-            with np.load(path) as data:
-                meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
-                if meta.get("schema") != KERNEL_CACHE_SCHEMA:
-                    return 0
-                seg_slots = meta.get("seg_slots", {})
-                added = 0
-                for name in data.files:
-                    if name == "__meta__":
-                        continue
-                    kind, *parts = name.split("|")
-                    if kind == "occ":
-                        n_boxes, n_max, m_max = map(int, parts)
-                        stored = self._occ.get(n_boxes)
-                        if stored is not None and (
-                            stored[0] >= n_max and stored[1] >= m_max
-                        ):
-                            continue
-                        self._occ[n_boxes] = (n_max, m_max, _readonly(data[name]))
-                    elif kind == "gap":
-                        key = tuple(map(int, parts))
-                        if key in self._gap:
-                            continue
-                        self._gap[key] = _readonly(data[name])
-                    elif kind == "pmf":
-                        key = tuple(map(int, parts))
-                        if key in self._pmf:
-                            continue
-                        self._pmf[key] = _readonly(data[name])
-                    elif kind == "seg":
-                        length, gap, n_max, boundary = map(int, parts)
-                        key = (length, gap, n_max, bool(boundary))
-                        if key in self._seg or name not in seg_slots:
-                            continue
-                        self._seg[key] = (int(seg_slots[name]), _readonly(data[name]))
-                    else:
-                        continue
-                    added += 1
-                return added
+            with np.load(path) as npz:
+                return self._merge({name: npz[name] for name in npz.files})
         except (OSError, ValueError, KeyError, zipfile.BadZipFile, json.JSONDecodeError):
             return 0
+
+    def _merge(self, data: dict[str, np.ndarray]) -> int:
+        """Fold decoded sidecar arrays into the cache; entries added."""
+        if "__meta__" not in data:
+            return 0
+        meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
+        if meta.get("schema") != KERNEL_CACHE_SCHEMA:
+            return 0
+        seg_slots = meta.get("seg_slots", {})
+        added = 0
+        for name in data:
+            if name == "__meta__":
+                continue
+            kind, *parts = name.split("|")
+            if kind == "occ":
+                n_boxes, n_max, m_max = map(int, parts)
+                stored = self._occ.get(n_boxes)
+                if stored is not None and (
+                    stored[0] >= n_max and stored[1] >= m_max
+                ):
+                    continue
+                self._occ[n_boxes] = (n_max, m_max, _readonly(data[name]))
+            elif kind == "gap":
+                key = tuple(map(int, parts))
+                if key in self._gap:
+                    continue
+                self._gap[key] = _readonly(data[name])
+            elif kind == "pmf":
+                key = tuple(map(int, parts))
+                if key in self._pmf:
+                    continue
+                self._pmf[key] = _readonly(data[name])
+            elif kind == "seg":
+                length, gap, n_max, boundary = map(int, parts)
+                key = (length, gap, n_max, bool(boundary))
+                if key in self._seg or name not in seg_slots:
+                    continue
+                self._seg[key] = (int(seg_slots[name]), _readonly(data[name]))
+            else:
+                continue
+            added += 1
+        return added
 
     def spill(self, path: str | Path) -> None:
         """Merge whatever a concurrent writer already spilled, then save.

@@ -27,6 +27,15 @@ snapshots the current sidecar next to the rotated ``.1`` checkpoint, and
 a load that falls back to the previous generation promotes that
 snapshot — a generation rollback never resumes an old checkpoint
 against a newer, mismatched sidecar.
+
+Rotation is **mmap-safe** by the same replace-never-mutate discipline
+that makes it atomic: engine processes serve warm kernel tables straight
+off a read-only mmap of the sidecar (:mod:`repro.core.kernels`), and
+every rotation step here is a hardlink, a copy-to-temp, or an
+``os.replace`` — the mapped *inode* is never written through, so a
+rotation (or rollback promotion) under a live daemon leaves existing
+mappings pointing at consistent old-generation bytes until their last
+view drops.
 """
 
 from __future__ import annotations

@@ -60,6 +60,7 @@ byte-compares), and the ``reshard`` CLI verb gates on it.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import sys
@@ -73,6 +74,8 @@ from .checkpoint import CheckpointStore
 from .daemon import BotMeterDaemon
 from .engine import ENGINE_STATE_SCHEMA, validate_engine_state
 from .metrics import MetricsRegistry, merge_registry_states
+from .wire import NdjsonReader
+from .wire2 import Wire2BatchDecoder, Wire2Writer, sniff_wire2
 from .workers import partition_for_server
 
 __all__ = [
@@ -125,6 +128,43 @@ def split_header(lines: Sequence[bytes]) -> tuple[list[bytes], list[bytes]]:
         if isinstance(data, dict) and data.get("type") == "header":
             return [lines[0]], lines[1:]
     return [], lines
+
+
+def _load_trace_units(trace: Path) -> tuple[str, Any, list[Any]]:
+    """Sniff and load a trace as routable units.
+
+    Returns ``(wire, header, units)``:
+
+    * NDJSON — ``("ndjson", header_lines, payload_lines)``, the classic
+      byte-line form :func:`split_header` produces; each unit routes via
+      :func:`route_line`.
+    * wire v2 — ``("v2", header_dict_or_None, events)`` where each unit
+      is ``("rec", ForwardedLookup)`` (routes on its server directly, no
+      JSON parse) or ``("corrupt", line, reason)`` (rides partition 0,
+      exactly like a corrupt NDJSON line would).
+
+    Segment plan boundaries count *units* either way — payload lines for
+    NDJSON, records+quarantines for v2 — so a plan written for one
+    encoding of a trace means the same cut points in the other.
+    """
+    raw = trace.read_bytes()
+    if sniff_wire2(raw[:4]):
+        decoder = Wire2BatchDecoder(NdjsonReader())
+        events = decoder.push_events(raw)
+        events.extend(decoder.flush(complete=True))
+        header: dict[str, Any] | None = None
+        units: list[Any] = []
+        for event in events:
+            if event[0] == "header":
+                if header is None:
+                    header = event[1]
+            elif event[0] == "columns":
+                units.extend(("rec", record) for record in event[1].materialize())
+            else:
+                units.append(("corrupt", event[1], event[2]))
+        return "v2", header, units
+    header_lines, payload = split_header(raw.splitlines())
+    return "ndjson", header_lines, payload
 
 
 def route_line(line: bytes, n_partitions: int) -> int:
@@ -727,10 +767,12 @@ def _normalize_plan(
     return segments
 
 
-def _seg_paths(workdir: Path, segment: int, partition: int) -> dict[str, Path]:
+def _seg_paths(
+    workdir: Path, segment: int, partition: int, wire: str = "ndjson"
+) -> dict[str, Path]:
     stem = f"seg{segment}-p{partition:02d}"
     return {
-        "input": workdir / f"{stem}.in.ndjson",
+        "input": workdir / f"{stem}.in.{'v2' if wire == 'v2' else 'ndjson'}",
         "out": workdir / f"{stem}.out.ndjson",
         "checkpoint": workdir / f"{stem}.ck.json",
         "trace": workdir / f"{stem}.trace.ndjson",
@@ -811,12 +853,12 @@ def cluster_replay(
     workdir = Path(workdir)
     workdir.mkdir(parents=True, exist_ok=True)
     log = log if log is not None else sys.stderr
-    raw_lines = trace.read_bytes().splitlines()
-    header, payload = split_header(raw_lines)
+    wire, header, payload = _load_trace_units(trace)
     segments = _normalize_plan(partitions, plan, len(payload))
     manifest = {
         "schema": CLUSTER_SCHEMA,
         "trace": str(trace),
+        "wire": wire,
         "payload_lines": len(payload),
         "segments": segments,
         "engine": {
@@ -849,7 +891,7 @@ def cluster_replay(
         if done_marker.exists():
             continue
         prepared_marker = workdir / f"seg{g}.prepared.json"
-        paths = [_seg_paths(workdir, g, i) for i in range(n)]
+        paths = [_seg_paths(workdir, g, i, wire) for i in range(n)]
         if not prepared_marker.exists():
             # Phase A — prepare: shard the segment's inputs, and (past
             # the first boundary) synthesize the resharded checkpoints.
@@ -858,12 +900,34 @@ def cluster_replay(
             # in here replays to the identical state.
             for stale in sorted(workdir.glob(f"seg{g}-p*")):
                 stale.unlink()
-            buckets: list[list[bytes]] = [list(header) for _ in range(n)]
-            for line in payload[segment["start"] : segment["end"]]:
-                buckets[route_line(line, n)].append(line)
-            for i in range(n):
-                body = b"\n".join(buckets[i]) + (b"\n" if buckets[i] else b"")
-                _atomic_write_bytes(paths[i]["input"], body)
+            if wire == "v2":
+                # v2 partition inputs are framed, not line-bucketed: the
+                # META frame replicates into every shard, records route
+                # on their server field directly (no JSON parse), and
+                # quarantined units ride partition 0 — the same
+                # placement route_line gives their NDJSON twins.
+                buffers = [io.BytesIO() for _ in range(n)]
+                writers = [Wire2Writer(buffer) for buffer in buffers]
+                if header is not None:
+                    for writer in writers:
+                        writer.write_header(header)
+                for unit in payload[segment["start"] : segment["end"]]:
+                    if unit[0] == "rec":
+                        writers[partition_for_server(unit[1].server, n)].add(
+                            unit[1]
+                        )
+                    else:
+                        writers[0].add_corrupt(unit[1], unit[2])
+                for i in range(n):
+                    writers[i].close()
+                    _atomic_write_bytes(paths[i]["input"], buffers[i].getvalue())
+            else:
+                buckets: list[list[bytes]] = [list(header) for _ in range(n)]
+                for line in payload[segment["start"] : segment["end"]]:
+                    buckets[route_line(line, n)].append(line)
+                for i in range(n):
+                    body = b"\n".join(buckets[i]) + (b"\n" if buckets[i] else b"")
+                    _atomic_write_bytes(paths[i]["input"], body)
             if g > 0:
                 previous = segments[g - 1]
                 old_docs = []

@@ -41,6 +41,7 @@ from .reorder import Backpressure
 from .supervisor import HealthMonitor
 from .tracing import DEFAULT_SAMPLE, StageTracer, TraceSink
 from .wire import NdjsonBatchDecoder, NdjsonReader, encode_landscape
+from .wire2 import LookupColumns, Wire2BatchDecoder, sniff_wire2
 
 __all__ = ["BotMeterDaemon", "batch_series", "families_from_header"]
 
@@ -494,6 +495,32 @@ class BotMeterDaemon:
             ),
         )
 
+    def _submit_columns(self, columns: LookupColumns) -> None:
+        """Submit one decoded wire-v2 RECORDS frame to the engine.
+
+        The reader's corrupt count is frame-constant — v2 quarantine
+        events only ever sit *between* frames (the writer flushes
+        pending records before a quarantine frame) — so one snapshot
+        serves every record in the frame, and emission attribution
+        matches what per-line NDJSON consumption of the same stream
+        would produce.
+        """
+        n = len(columns)
+        if n == 0:
+            return
+        if self._out_fh is None and self.out_path is not None:
+            self._out_fh = open(self.out_path, "a")
+        engine = self._ensure_engine()
+        mark = self.reader.corrupt
+        engine.submit_columns(
+            columns,
+            on_emit=lambda index, epochs: self._emit(epochs, corrupt_snapshot=mark),
+        )
+        self.records_consumed += n
+        self._since_checkpoint += n
+        if self.health is not None:
+            self.health.record_ok()
+
     # -- run-segment scaffolding ---------------------------------------------
     # ``run`` (file/stdin) and the network ingest tier
     # (:class:`repro.service.netingest.NetIngestServer`) share the same
@@ -633,6 +660,120 @@ class BotMeterDaemon:
                 reader.tracer = tracer
                 reader.on_corrupt = inner_on_corrupt
 
+    def _run_wire2(self, fh: IO[bytes], offset: int) -> int:
+        """The wire-v2 ingest loop: framed reads, columnar submission.
+
+        Handles replay, throttled crash drills and follow mode in one
+        loop (v2 frames are not line-framed, so the line loop cannot
+        serve them).  Checkpoints land on frame boundaries —
+        ``decoder.consumed`` only ever advances by whole frames — and
+        the checkpoint-if-due check runs after every frame's
+        submission, so a paced crash drill always has a durable
+        stop-point within one frame of its progress.  Returns the
+        final offset.
+        """
+        decoder = Wire2BatchDecoder(self.reader)
+        reader = self.reader
+        tracer = self.tracer
+        saved_tracer = reader.tracer
+        # v2 decode is frame-granular; the reader's per-line decode
+        # spans would never fire anyway, but detach it for symmetry
+        # with the chunked NDJSON path.
+        reader.tracer = None
+        idle_since: float | None = None
+        stream_ended = True
+        try:
+            while True:
+                chunk = fh.read(1 << 18)
+                if not chunk:
+                    if not self.follow:
+                        break
+                    self._flush_batch()
+                    now = time.monotonic()
+                    if idle_since is None:
+                        idle_since = now
+                    else:
+                        idle = now - idle_since
+                        position = offset + decoder.consumed
+                        if (
+                            self.watchdog_deadline is not None
+                            and idle >= self.watchdog_deadline
+                        ):
+                            if self.engine is not None:
+                                self._checkpoint(position)
+                            self._log_event(
+                                "watchdog_stall",
+                                idle_seconds=idle,
+                                input_offset=position,
+                            )
+                            if self.health is not None:
+                                self.health.on_stall()
+                            raise UpstreamStallError(
+                                None, "ingest stalled past the watchdog deadline"
+                            )
+                        if (
+                            self.idle_timeout is not None
+                            and idle >= self.idle_timeout
+                        ):
+                            # A partial trailing frame may still be in
+                            # flight: count the probe (truncated_tail,
+                            # not budgeted corruption) and leave the
+                            # bytes unconsumed, like the line loop's
+                            # ``complete=False`` consume.
+                            decoder.flush(complete=False)
+                            stream_ended = False
+                            break
+                    time.sleep(self.poll_interval)
+                    continue
+                idle_since = None
+                # Lazy, frame-at-a-time drain for traced and untraced
+                # runs alike: one decode span per *frame* (v2 decode is
+                # frame-granular), and — critically — the reader's
+                # counters and ``decoder.consumed`` advance together,
+                # frame by frame, so every checkpoint below pairs a
+                # frame-boundary offset with counter values that stop at
+                # exactly that boundary.  An eager whole-chunk decode
+                # would run both ahead of submission and make a
+                # mid-chunk checkpoint unsound.
+                events = decoder.iter_events(chunk)
+                while True:
+                    t0 = tracer.start("decode") if tracer is not None else 0
+                    event = next(events, None)
+                    if event is None:
+                        # Partial trailing frame: the started span (if
+                        # any) is dropped — there was nothing to decode.
+                        break
+                    if t0:
+                        tracer.stop(
+                            "decode",
+                            t0,
+                            records=(
+                                len(event[1]) if event[0] == "columns" else 0
+                            ),
+                        )
+                    self._handle_wire2_event(event)
+                    if self._since_checkpoint >= self.checkpoint_every:
+                        self._checkpoint(offset + decoder.consumed)
+                self._c_skipped.set_total(reader.skipped)
+            if stream_ended:
+                # Trailing junk (a torn final frame) quarantines here;
+                # the flush itself charges the counters and the sink.
+                decoder.flush(complete=True)
+            self._c_skipped.set_total(reader.skipped)
+            return offset + decoder.consumed
+        finally:
+            reader.tracer = saved_tracer
+
+    def _handle_wire2_event(self, event: tuple) -> None:
+        if event[0] == "columns":
+            columns = event[1]
+            self._submit_columns(columns)
+            if self.throttle > 0:
+                time.sleep(self.throttle * len(columns))
+        # "header" and "corrupt" events need no action here: the decoder
+        # already stored the header on the reader / fired the quarantine
+        # sink and counters at decode time.
+
     def run(self) -> int:
         """Serve the stream; returns a process exit code."""
         use_stdin = self.input_path == "-"
@@ -640,17 +781,38 @@ class BotMeterDaemon:
         try:
             offset = 0
             checkpoint = self.store.load() if self.store is not None else None
+            # Wire sniff: a 4-byte magic probe distinguishes a v2 frame
+            # stream from NDJSON.  Only seekable inputs sniff — stdin
+            # stays NDJSON-only (un-reading a probe would corrupt the
+            # line reassembly the follow loop depends on).
+            wire_v2 = False
+            if not use_stdin:
+                wire_v2 = sniff_wire2(fh.read(4))
+                fh.seek(0)
+            if wire_v2 and self.injector is not None:
+                raise ValueError(
+                    "fault injection requires an NDJSON input: wire-v2 "
+                    "frames are not line-framed"
+                )
             if checkpoint is not None:
                 if use_stdin:
                     raise CheckpointError("cannot resume a checkpoint from stdin")
                 # The header (if any) sits before the resume offset; peek
                 # it so family/granularity configuration is restored too.
-                first = fh.readline()
-                if first:
-                    self.reader.feed(first)
+                if wire_v2:
+                    peek = Wire2BatchDecoder(self.reader)
+                    for _event in peek.iter_events(fh.read(1 << 16)):
+                        break  # the META frame leads the stream
                     self.reader.records = 0
                     self.reader.blank = 0
                     self.reader.corrupt = 0
+                else:
+                    first = fh.readline()
+                    if first:
+                        self.reader.feed(first)
+                        self.reader.records = 0
+                        self.reader.blank = 0
+                        self.reader.corrupt = 0
                 offset = self._restore(checkpoint)
                 fh.seek(offset)
             else:
@@ -660,13 +822,15 @@ class BotMeterDaemon:
             pending = b""  # stdin-follow: a partial tail we cannot seek back to
             # Replay fast path: no tailing, no injector, no pacing —
             # the stream is just bytes to decode as fast as possible.
-            chunked = (
+            chunked = wire_v2 or (
                 self.batch_lines > 1
                 and not self.follow
                 and self.injector is None
                 and self.throttle <= 0
             )
-            if chunked:
+            if wire_v2:
+                offset = self._run_wire2(fh, offset)
+            elif chunked:
                 offset = self._run_chunked(fh, offset)
             while not chunked:
                 position = offset

@@ -522,6 +522,83 @@ class ShardedLandscapeEngine:
                 out.extend(epochs)
         return out
 
+    def submit_columns(
+        self,
+        columns: Any,
+        on_emit: Callable[[int, list[EpochLandscape]], None] | None = None,
+    ) -> list[EpochLandscape]:
+        """Buffer one decoded wire-v2 frame of columns; return closed epochs.
+
+        Semantically identical to ``submit_batch(columns.materialize())``
+        — same records, same order, same counters — but when the whole
+        frame provably cannot close an epoch, the per-record emission
+        check, metric updates and family routing are batched:
+
+        * emission elision — ``max(reorder.max_seen, frame-max-ts)``
+          bounds every timestamp the watermark can reach while this
+          frame is pushed (see :attr:`ReorderBuffer.max_seen`), so one
+          comparison against the next epoch's deadline replaces ``n``;
+        * route memoisation — ``_FamilyRouter.match_day`` is a pure
+          function of ``(domain, day)``, and border traces repeat a
+          small domain set per frame, so the per-family window probes
+          collapse to one dict hit per distinct ``(domain, day)``.
+
+        Frames that *could* emit — and the traced and parallel paths,
+        where per-record spans / dispatch are the point — fall back to
+        :meth:`submit_batch`, keeping the byte-identity anchor trivially
+        true there.
+        """
+        if self._finalized:
+            raise RuntimeError("engine already finalized")
+        n = len(columns)
+        if n == 0:
+            return []
+        deadline = (self._next_epoch_to_emit + 1) * SECONDS_PER_DAY + self._grace
+        bound = max(self._reorder.max_seen, float(columns.timestamps.max()))
+        if self._tracer is not None or self.parallel or bound >= deadline:
+            return self.submit_batch(columns.materialize(), on_emit)
+
+        reorder = self._reorder
+        routers = self._routers
+        families = self._families
+        cursor = self._next_epoch_to_emit  # frozen: no emission this frame
+        on_late = self._on_late
+        matched: dict[str, int] = {}
+        # (domain, day) -> ((family, matched_day), ...) in family order.
+        route_memo: dict[tuple[str, int], tuple[tuple[str, int], ...]] = {}
+        self._c_ingested.inc(n)
+        for record in columns.materialize():
+            for released in reorder._push(record):
+                if released.timestamp > self._watermark:
+                    self._watermark = released.timestamp
+                day = int(released.timestamp // SECONDS_PER_DAY)
+                memo_key = (released.domain, day)
+                routes = route_memo.get(memo_key)
+                if routes is None:
+                    routes = tuple(
+                        (family, matched_day)
+                        for family in families
+                        if (
+                            matched_day := routers[family].match_day(released)
+                        )
+                        is not None
+                    )
+                    route_memo[memo_key] = routes
+                for family, matched_day in routes:
+                    matched[family] = matched.get(family, 0) + 1
+                    if matched_day < cursor:
+                        self._c_late.inc()
+                        self._late_total += 1
+                        if on_late is not None:
+                            on_late(released, matched_day)
+                    self._shard(family, released.server).ingest(released)
+        for family in sorted(matched):
+            self._c_matched.inc(matched[family], family=family)
+        self._c_reordered.set_total(reorder.reordered)
+        self._c_dropped.set_total(reorder.dropped)
+        self._g_depth.set(reorder.depth)
+        return []
+
     def _route(self, released: list[ForwardedLookup]) -> None:
         """Match released records to families and feed their shards."""
         for record in released:

@@ -101,6 +101,7 @@ from pathlib import Path
 from typing import IO, Any, Callable, Mapping, Sequence
 
 from .daemon import BotMeterDaemon
+from .wire2 import sniff_wire2, wire2_to_ndjson_lines
 
 __all__ = [
     "NET_SCHEMA",
@@ -387,6 +388,18 @@ class SensorMux:
         schema = data.get("schema", NET_SCHEMA)
         if schema != NET_SCHEMA:
             raise ProtocolError(f"foreign schema {schema!r}")
+        # Wire negotiation: a hello may offer payload wire formats (a
+        # v2-capable sensor offers ["v2", "ndjson"]).  The Sensornet
+        # protocol is line-framed — control messages and payload share
+        # one NDJSON stream — so binary v2 frames cannot ride it; the
+        # server negotiates DOWN to "ndjson" and pins that in the
+        # welcome.  An offer without "ndjson" has no common format and
+        # is refused outright rather than silently misread.
+        offered = data.get("wire", ["ndjson"])
+        if isinstance(offered, str):
+            offered = [offered]
+        if not isinstance(offered, list) or "ndjson" not in offered:
+            raise ProtocolError(f"no common wire format in offer {offered!r}")
         sensor = self._sensors.get(name)
         if sensor is None:
             sensor = self._sensors[name] = _Sensor(name)
@@ -415,6 +428,7 @@ class SensorMux:
                 "schema": NET_SCHEMA,
                 "sensor": name,
                 "cursor": sensor.cursor,
+                "wire": "ndjson",
             },
         )
 
@@ -1246,8 +1260,19 @@ class SensorClient:
     # -- the replay ----------------------------------------------------------
 
     def replay_path(self, path: str | Path, shard: tuple[int, int] | None = None) -> SensorReport:
-        """Stream a trace file (optionally one round-robin shard of it)."""
-        lines = Path(path).read_bytes().splitlines()
+        """Stream a trace file (optionally one round-robin shard of it).
+
+        A wire-v2 trace is transcoded to NDJSON lines client-side first:
+        the server always negotiates the line-framed wire down to
+        "ndjson" (see the hello handler), and the v2→v1 conversion is
+        record-exact — quarantined lines included — so the merged
+        landscape is identical either way.
+        """
+        raw = Path(path).read_bytes()
+        if sniff_wire2(raw[:4]):
+            lines = wire2_to_ndjson_lines(raw)
+        else:
+            lines = raw.splitlines()
         if shard is not None:
             lines = shard_trace_lines(lines, *shard)
         return self.replay_lines(lines)
@@ -1270,6 +1295,10 @@ class SensorClient:
                     "type": "hello",
                     "schema": NET_SCHEMA,
                     "sensor": self.sensor,
+                    # Offer both wires; the line-framed protocol always
+                    # negotiates down to "ndjson" (pinned in the
+                    # welcome), and v2 files are transcoded client-side.
+                    "wire": ["v2", "ndjson"],
                 }
                 if self.resume == "ack":
                     hello["cursor"] = self.acked

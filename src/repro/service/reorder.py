@@ -88,6 +88,19 @@ class ReorderBuffer:
         return len(self._heap)
 
     @property
+    def max_seen(self) -> float:
+        """Highest timestamp ever pushed — buffered records included.
+
+        Two invariants hang off this bound: every record still in the
+        heap has a timestamp ``<= max_seen``, and the downstream
+        watermark only advances on *released* records, so
+        ``watermark <= max_seen`` always.  The engine's columnar fast
+        path uses it to prove that a whole frame cannot trigger an epoch
+        emission before pushing a single record — which is what makes
+        batching the per-record emission check safe."""
+        return self._max_seen
+
+    @property
     def saturated(self) -> bool:
         """Whether the buffer is at capacity — the next push triggers
         the backpressure policy.  Upstream tiers (the network ingest

@@ -81,8 +81,37 @@ def encode_record(record: ForwardedLookup) -> str:
     return _dumps({"v": WIRE_VERSION, **record.to_dict()})
 
 
+#: The exact key order :func:`encode_record` produces (``sort_keys``),
+#: which ``json.loads`` preserves — the precompiled-schema fingerprint
+#: the decode fast path matches against.
+_FAST_KEYS = ("domain", "server", "timestamp", "v")
+
+
 def decode_record(data: Mapping[str, Any]) -> ForwardedLookup:
-    """Decode a parsed lookup object, checking the wire version."""
+    """Decode a parsed lookup object, checking the wire version.
+
+    The hot path is a precompiled field-order check: a line our own
+    encoder wrote carries exactly ``_FAST_KEYS`` in that order, so one
+    tuple comparison plus three ``type`` checks replaces the per-record
+    key-set validation.  Anything else — extra keys, reordered keys,
+    integer timestamps, foreign versions — falls through to the slow
+    validator, whose error taxonomy feeds the quarantine sink.
+    """
+    if tuple(data) == _FAST_KEYS and data["v"] == WIRE_VERSION:
+        timestamp = data["timestamp"]
+        server = data["server"]
+        domain = data["domain"]
+        if (
+            type(timestamp) is float
+            and type(server) is str
+            and type(domain) is str
+        ):
+            return ForwardedLookup(timestamp, server, domain)
+    return _decode_record_slow(data)
+
+
+def _decode_record_slow(data: Mapping[str, Any]) -> ForwardedLookup:
+    """Full validation — the quarantine/first-record path."""
     version = data.get("v")
     if version != WIRE_VERSION:
         raise WireError(f"unsupported wire version {version!r}")

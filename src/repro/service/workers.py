@@ -30,6 +30,7 @@ from __future__ import annotations
 import time
 import zlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from multiprocessing import get_all_start_methods, get_context
 from multiprocessing.connection import Connection
 from typing import Any, Mapping
@@ -52,9 +53,18 @@ __all__ = [
 RecordTuple = tuple[int, float, str, str]
 
 
+@lru_cache(maxsize=65536)
 def worker_for_server(server: str, n_workers: int) -> int:
     """Deterministic shard routing: stable across runs, platforms and
-    restarts (CRC-32 is endianness-free and seedless, unlike ``hash``)."""
+    restarts (CRC-32 is endianness-free and seedless, unlike ``hash``).
+
+    Border traces repeat a small forwarding-server set per chunk, so the
+    ``(server, n)`` decision is LRU-cached — the encode+CRC cost is paid
+    once per distinct server, not once per record.  The cache is pure
+    (keyed on its full input) and bounded, so a long-lived daemon that
+    sees an adversarial server churn degrades to the uncached cost, never
+    to unbounded memory.
+    """
     return zlib.crc32(server.encode("utf-8")) % n_workers
 
 
@@ -259,7 +269,6 @@ class WorkerPool:
         ctx = get_context(method)
         self._conns: list[Connection] = []
         self._procs = []
-        self._route_cache: dict[str, int] = {}
         for index in range(self.n_workers):
             parent_conn, child_conn = ctx.Pipe(duplex=True)
             proc = ctx.Process(
@@ -274,11 +283,10 @@ class WorkerPool:
             self._procs.append(proc)
 
     def worker_for(self, server: str) -> int:
-        index = self._route_cache.get(server)
-        if index is None:
-            index = worker_for_server(server, self.n_workers)
-            self._route_cache[server] = index
-        return index
+        # worker_for_server is itself LRU-cached (bounded, unlike the
+        # per-pool dict this replaced), so repeated servers skip the
+        # encode+CRC entirely.
+        return worker_for_server(server, self.n_workers)
 
     def send(self, index: int, message: tuple) -> None:
         """Fire-and-forget (``batch`` commands)."""

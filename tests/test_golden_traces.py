@@ -72,6 +72,39 @@ def test_golden_replay_byte_identical(name, workers, tmp_path):
     assert _replay(name, tmp_path, workers) == expected
 
 
+@pytest.mark.parametrize("workers", [1, 4])
+def test_golden_wire2_twin_replays_byte_identical(workers, tmp_path):
+    """The committed binary twin of ``murofet_small`` (generated with
+    ``repro convert-trace --frame-records 64``) must replay to the same
+    committed landscape bytes as the NDJSON original — the wire-v2
+    tentpole anchor, pinned against a committed fixture."""
+    expected = (GOLDEN_DIR / "murofet_small.landscape.ndjson").read_bytes()
+    out = tmp_path / f"v2.w{workers}.ndjson"
+    daemon = BotMeterDaemon(
+        GOLDEN_DIR / "murofet_small.v2",
+        out_path=out,
+        follow=False,
+        batch_lines=256,
+        ingest_workers=workers,
+    )
+    assert daemon.run() == 0
+    assert out.read_bytes() == expected
+
+
+def test_golden_wire2_twin_is_the_committed_conversion():
+    """The committed ``.v2`` file is exactly what ``convert-trace``
+    produces from the committed NDJSON — no drift between the fixture
+    pair (and conversion is deterministic)."""
+    from repro.service.wire2 import ndjson_to_wire2
+
+    import io
+
+    source = (GOLDEN_DIR / "murofet_small.ndjson").read_bytes()
+    buf = io.BytesIO()
+    ndjson_to_wire2(source.splitlines(), buf, frame_records=64)
+    assert buf.getvalue() == (GOLDEN_DIR / "murofet_small.v2").read_bytes()
+
+
 @pytest.mark.parametrize("name", FIXTURES)
 def test_golden_replay_with_trace_sink_byte_identical(name, tmp_path):
     """An attached span sink must not perturb the landscape stream."""
