@@ -1,6 +1,6 @@
 # Convenience targets for the BotMeter reproduction.
 
-.PHONY: install test test-fast smoke-sweep service-smoke trace-smoke netingest-smoke cluster-smoke cluster-chaos wire-smoke soak bench bench-paper bench-perf examples report clean
+.PHONY: install test test-fast smoke-sweep service-smoke trace-smoke netingest-smoke cluster-smoke cluster-chaos wire-smoke liveview-smoke soak bench bench-paper bench-perf examples report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -134,6 +134,35 @@ wire-smoke:
 	diff wire-smoke/served.ndjson wire-smoke/ndjson.landscape
 	@echo "wire-smoke OK: NDJSON <-> v2 byte-exact both ways, replays identical (1 and 2 workers), SIGKILL resume on v2 == uninterrupted"
 
+# Liveview end-to-end: a takedown/re-key campaign replayed with the
+# real lexical D3 inline at 1 and 4 workers (byte-identical, re-keyed
+# family registered live, measured miss rate in quality), a DoH
+# visibility-loss day carrying its adoption estimate on every row, and
+# the strict accuracy-regression tier (BENCH_accuracy.json floors).
+liveview-smoke:
+	rm -rf liveview-smoke && mkdir -p liveview-smoke
+	python -m repro.cli export-trace --source rekey --family qakbot \
+		--family-seed 7 --rekey-seed 5 --bots 8 --days 2 --seed 3 \
+		--out liveview-smoke/rekey.ndjson
+	python -m repro.cli replay liveview-smoke/rekey.ndjson --d3 lexical \
+		--trace-sample 0 --out liveview-smoke/lexical-w1.ndjson
+	python -m repro.cli replay liveview-smoke/rekey.ndjson --d3 lexical \
+		--ingest-workers 4 --batch-lines 256 \
+		--trace-sample 0 --out liveview-smoke/lexical-w4.ndjson
+	diff liveview-smoke/lexical-w1.ndjson liveview-smoke/lexical-w4.ndjson
+	grep -q '"d3_miss_rate"' liveview-smoke/lexical-w1.ndjson
+	grep -q '"family":"qakbot-rk5"' liveview-smoke/lexical-w1.ndjson
+	python -m repro.cli export-trace --source sim --family qakbot \
+		--bots 8 --servers 2 --days 2 --seed 7 --doh-adoption 0.25 \
+		--out liveview-smoke/doh.ndjson
+	python -m repro.cli replay liveview-smoke/doh.ndjson \
+		--trace-sample 0 --out liveview-smoke/doh.landscape.ndjson
+	grep -q '"doh_loss":0.25' liveview-smoke/doh.landscape.ndjson
+	mkdir -p perf-artifacts
+	REPRO_PERF_DIR=perf-artifacts REPRO_PERF_STRICT=1 \
+		pytest -q -s benchmarks/test_accuracy_liveview.py
+	@echo "liveview-smoke OK: lexical D3 byte-identical (1 and 4 workers), re-key registered live, DoH loss annotated, accuracy floors hold"
+
 # Faultline soak: a multi-family trace through the full seeded fault
 # schedule under supervision — survival, exact dead-letter/ledger
 # reconciliation, loss-bounded degradation, byte-identical determinism.
@@ -153,7 +182,7 @@ bench:
 	REPRO_PERF_DIR=perf-artifacts pytest -q -s benchmarks/test_perf_service.py \
 		benchmarks/test_perf_faults.py benchmarks/test_perf_tracing.py \
 		benchmarks/test_perf_netingest.py benchmarks/test_perf_cluster.py \
-		benchmarks/test_perf_wire.py
+		benchmarks/test_perf_wire.py benchmarks/test_accuracy_liveview.py
 	python -m repro.cli bench-summary perf-artifacts
 
 bench-logged:
@@ -169,5 +198,5 @@ report:
 	python -m repro.cli report --out reproduction_report.md
 
 clean:
-	rm -rf src/repro.egg-info .pytest_cache .benchmarks service-smoke service-soak trace-smoke netingest-smoke cluster-smoke cluster-chaos wire-smoke perf-artifacts
+	rm -rf src/repro.egg-info .pytest_cache .benchmarks service-smoke service-soak trace-smoke netingest-smoke cluster-smoke cluster-chaos wire-smoke liveview-smoke perf-artifacts
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -227,13 +227,50 @@ def build_parser() -> argparse.ArgumentParser:
             help="time 1 of every N spans per stage (0 disables tracing; "
                  "output bytes never change either way)",
         )
+        cmd.add_argument(
+            "--d3", choices=("lexical", "oracle"), default=None,
+            help="run an inline D3 detector in the decode path: 'lexical' "
+                 "classifies every record with the committed char-bigram "
+                 "model (benign verdicts never reach the engine; quality "
+                 "annotations carry the measured miss/FP rates), 'oracle' "
+                 "admits everything (the zero-miss baseline)",
+        )
+        cmd.add_argument(
+            "--d3-threshold", type=float, default=0.0, metavar="MARGIN",
+            help="lexical D3 decision threshold (score margin above which "
+                 "a label is DGA)",
+        )
+        cmd.add_argument(
+            "--d3-training", default=None, metavar="PATH",
+            help="training-fixture JSON override for the lexical D3 model",
+        )
+        cmd.add_argument(
+            "--doh-adoption", type=float, default=None, metavar="FRACTION",
+            help="estimated encrypted-DNS adoption at this vantage; folded "
+                 "into every epoch's quality.loss for interval widening "
+                 "(default: the trace header's doh_adoption, else 0)",
+        )
 
     export = sub.add_parser(
         "export-trace", help="write a synthetic trace as botmeterd NDJSON"
     )
-    export.add_argument("--source", choices=("sim", "enterprise"), default="sim")
+    export.add_argument("--source", choices=("sim", "enterprise", "rekey"), default="sim")
     export.add_argument("--family", default="new_goz", choices=family_names())
     export.add_argument("--family-seed", type=int, default=7)
+    export.add_argument(
+        "--doh-adoption", type=float, default=0.0, metavar="FRACTION",
+        help="sim/enterprise: fraction of bots per subnet resolving over "
+             "encrypted DNS (invisible at the border vantage); recorded "
+             "in the trace header",
+    )
+    export.add_argument(
+        "--rekey-seed", type=int, default=21,
+        help="rekey source: the seed the family migrates to at the handoff",
+    )
+    export.add_argument(
+        "--takedown-hour", type=float, default=10.0,
+        help="rekey source: hour of day 0 at which the takedown lands",
+    )
     export.add_argument("--bots", type=int, default=48)
     export.add_argument("--servers", type=int, default=2)
     export.add_argument("--days", type=int, default=1)
@@ -686,6 +723,32 @@ def _parse_family_specs(specs: Sequence[str] | None):
 def _cmd_export_trace(args: argparse.Namespace) -> int:
     from .service.wire import WIRE_VERSION, encode_header, encode_record
 
+    if args.source == "rekey":
+        # Takedown/re-key campaign: the splice carries a `register`
+        # control line, which only the NDJSON wire can express.
+        if args.wire == "v2":
+            print("error: --source rekey requires --wire ndjson", file=sys.stderr)
+            return 2
+        from .service.liveview import RekeyConfig, write_rekey_trace
+
+        rekey_config = RekeyConfig(
+            family=args.family,
+            base_seed=args.family_seed,
+            rekey_seed=args.rekey_seed,
+            n_bots=args.bots,
+            n_days=args.days,
+            takedown_hour=args.takedown_hour,
+            seed=args.seed,
+        )
+        header = write_rekey_trace(args.out, rekey_config)
+        count = sum(1 for _ in open(args.out)) - 1
+        print(
+            f"wrote {count} lines (rekey: takedown day 0, handoff to "
+            f"{header['rekey']['family']} at day {header['rekey']['handoff_day']}) "
+            f"to {args.out}",
+            file=sys.stderr,
+        )
+        return 0
     if args.source == "sim":
         config = SimConfig(
             family=args.family,
@@ -695,6 +758,7 @@ def _cmd_export_trace(args: argparse.Namespace) -> int:
             n_days=args.days,
             seed=args.seed,
             sigma=args.sigma,
+            doh_adoption=args.doh_adoption,
         )
         header = {
             "schema": "botmeter-trace-v1",
@@ -704,12 +768,17 @@ def _cmd_export_trace(args: argparse.Namespace) -> int:
             "negative_ttl": config.negative_ttl,
             "origin": config.origin.isoformat(),
         }
+        if config.doh_adoption > 0:
+            header["doh_adoption"] = config.doh_adoption
         records = simulate(config).observable
     else:
         from .enterprise.trace_gen import EnterpriseTraceGenerator
 
         config = EnterpriseConfig(
-            n_days=args.days, n_benign_clients=args.benign_clients, seed=args.seed
+            n_days=args.days,
+            n_benign_clients=args.benign_clients,
+            seed=args.seed,
+            doh_adoption=args.doh_adoption,
         )
         header = {
             "schema": "botmeter-trace-v1",
@@ -722,6 +791,8 @@ def _cmd_export_trace(args: argparse.Namespace) -> int:
             "negative_ttl": config.negative_ttl,
             "origin": config.origin.isoformat(),
         }
+        if config.doh_adoption > 0:
+            header["doh_adoption"] = config.doh_adoption
         records = (
             record
             for day in EnterpriseTraceGenerator(config).days()
@@ -884,6 +955,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             ingest_workers=args.ingest_workers,
             trace_out=args.trace_out,
             trace_sample=args.trace_sample,
+            d3=args.d3,
+            d3_threshold=args.d3_threshold,
+            d3_training=args.d3_training,
+            doh_adoption=args.doh_adoption,
         )
         return _run_profiled(args, daemon.run, daemon=daemon)
 
@@ -999,6 +1074,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ingest_workers=args.ingest_workers,
             trace_out=args.trace_out,
             trace_sample=args.trace_sample,
+            d3=args.d3,
+            d3_threshold=args.d3_threshold,
+            d3_training=args.d3_training,
+            doh_adoption=args.doh_adoption,
         )
 
     if net_mode:

@@ -27,10 +27,10 @@ _BOUNDARY = "^"
 
 def _primary_label(domain: str) -> str:
     """The registered label of a domain (leftmost of the e2LD)."""
-    parts = [p for p in domain.lower().strip(".").split(".") if p]
+    parts = [p for p in domain.strip().lower().strip(".").split(".") if p.strip()]
     if not parts:
         raise ValueError(f"cannot extract a label from {domain!r}")
-    return parts[0]
+    return parts[0].strip()
 
 
 def label_entropy(label: str) -> float:
@@ -98,10 +98,18 @@ class LexicalDetector:
         return self
 
     def score(self, domain: str) -> float:
-        """DGA-ness margin; positive means more DGA-like than benign."""
+        """DGA-ness margin; positive means more DGA-like than benign.
+
+        Domains with no extractable label (empty, whitespace, dot-only)
+        score ``-inf`` — maximally benign — instead of raising; a live
+        stream contains such junk and a classifier must absorb it.
+        """
         if not self.is_fitted:
             raise RuntimeError("detector must be fitted before scoring")
-        label = _primary_label(domain)
+        try:
+            label = _primary_label(domain)
+        except ValueError:
+            return float("-inf")
         assert self._dga is not None and self._benign is not None
         return self._dga.log_likelihood(label) - self._benign.log_likelihood(label)
 

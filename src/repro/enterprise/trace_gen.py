@@ -87,6 +87,12 @@ class EnterpriseConfig:
     #: studied.
     nat_share: float = 0.0
     nat_group_size: int = 4
+    #: Fraction of each wave's bot pool that resolves over encrypted DNS
+    #: (DoH/DoT) and so never appears at the local-resolver vantage.
+    #: Adopters still activate, still count in ``actual``/``raw_matched``
+    #: — they are real bots the border simply cannot see, the §PAPERS.md
+    #: encrypted-queries visibility-loss scenario.
+    doh_adoption: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_days < 1:
@@ -101,6 +107,8 @@ class EnterpriseConfig:
             raise ValueError("nat_share must be in [0, 1]")
         if self.nat_group_size < 2:
             raise ValueError("nat_group_size must be >= 2")
+        if not 0 <= self.doh_adoption <= 1:
+            raise ValueError("doh_adoption must be in [0, 1]")
 
 
 @dataclass
@@ -178,6 +186,19 @@ class EnterpriseTraceGenerator:
         self._benign_clients = [
             f"10.0.{i // 250}.{i % 250}" for i in range(config.n_benign_clients)
         ]
+        # Encrypted-DNS adopters: the last ``round(adoption * pool)``
+        # bots of each wave (the non-NATted tail, so one adopter does
+        # not silently hide a whole NAT gateway).  Deterministic and
+        # RNG-free: a zero-adoption config reproduces the historical
+        # stream bit-exactly.
+        self._doh_clients: set[str] = set()
+        if config.doh_adoption > 0:
+            for wave in config.waves:
+                pool = self._bot_pools[wave.family]
+                k = int(round(config.doh_adoption * len(pool)))
+                self._doh_clients.update(
+                    bot.client_id for bot in pool[len(pool) - k :]
+                )
 
     def _day_nxd_sets(self, date: _dt.date) -> dict[str, frozenset[str]]:
         return {
@@ -234,6 +255,8 @@ class EnterpriseTraceGenerator:
                         break
 
             for lookup in sort_raw(lookups):
+                if lookup.client in self._doh_clients:
+                    continue  # encrypted: invisible at this vantage
                 self.hierarchy.lookup(lookup.client, lookup.domain, lookup.timestamp)
             observable = self.hierarchy.drain_observed()
             if config.duplicate_rate > 0 and observable:

@@ -28,7 +28,7 @@ from typing import IO, Any, Iterable, Mapping, Sequence
 from ..core.botmeter import BotMeter
 from ..core.estimator import Estimator
 from ..dga.base import Dga
-from ..dga.families import make_family
+from ..dga.families import family_names, make_family
 from ..dns.message import ForwardedLookup
 from ..sim.trace import sort_observable
 from ..timebase import SECONDS_PER_DAY, Timeline
@@ -36,6 +36,7 @@ from .checkpoint import CheckpointError, CheckpointStore
 from .deadletter import MAX_LINE_SNIPPET, DeadLetterQueue
 from .engine import EpochLandscape, ShardedLandscapeEngine
 from .faults import FaultInjector, InjectedFault, UpstreamStallError
+from .liveview import StreamingDetector
 from .metrics import MetricsRegistry
 from .reorder import Backpressure
 from .supervisor import HealthMonitor
@@ -155,6 +156,20 @@ class BotMeterDaemon:
             engine state (reorder buffer included) checkpoints, but no
             epochs are force-closed.  The cluster tier replays a stream
             in segments and only the last one finalizes.
+        d3: inline detection mode — ``None`` (historical behaviour: the
+            stream *is* the D3 output), ``"lexical"`` (run the committed
+            char-bigram classifier on every record; benign verdicts
+            never reach the engine, and quality annotations carry the
+            measured ``d3_missed``/``d3_fp``/``d3_miss_rate``), or
+            ``"oracle"`` (admit everything, but tally detections — the
+            zero-miss baseline an accuracy comparison replays against).
+        d3_threshold: lexical decision threshold (score margin).
+        d3_training: training-fixture override for the lexical model.
+        doh_adoption: estimated encrypted-DNS adoption fraction; every
+            emitted epoch's quality carries it as ``doh_loss`` and the
+            derived ``loss`` compounds it, so interval widening corrects
+            for bots invisible at the border vantage.  ``None`` reads
+            the trace header's ``doh_adoption`` (0 when absent).
     """
 
     def __init__(
@@ -188,6 +203,10 @@ class BotMeterDaemon:
         trace_out: str | Path | None = None,
         trace_sample: int = DEFAULT_SAMPLE,
         finalize_at_eof: bool = True,
+        d3: str | None = None,
+        d3_threshold: float = 0.0,
+        d3_training: str | Path | None = None,
+        doh_adoption: float | None = None,
     ) -> None:
         self.input_path = str(input_path)
         self.out_path = Path(out_path) if out_path is not None else None
@@ -251,6 +270,24 @@ class BotMeterDaemon:
         #: Optional provider of extra checkpoint keys (the network ingest
         #: tier rides its per-sensor cursor map on the daemon checkpoint).
         self.extra_checkpoint_state: Any = None
+        # -- Liveview: inline D3, DoH visibility loss, dynamic registry --
+        if d3 is not None and d3 not in ("lexical", "oracle"):
+            raise ValueError(f"unknown d3 mode {d3!r} (choose 'lexical' or 'oracle')")
+        self.d3_mode = d3
+        self._d3_threshold = float(d3_threshold)
+        self._d3_training = d3_training
+        self._d3: StreamingDetector | None = None
+        #: Per-record ``(missed, truth, fp)`` snapshots journaled at
+        #: enqueue time — emission deltas must not depend on how far the
+        #: batched decoder ran ahead of submission (the framing anchor).
+        self._pending_d3: list[tuple[int, int, int] | None] = []
+        self._d3_missed_mark = 0
+        self._d3_fp_mark = 0
+        self._doh_adoption = doh_adoption  # None: read from the header
+        #: ``register`` control lines journaled at decode position,
+        #: applied when consumption reaches them (decode-ahead safe).
+        self._pending_controls: list[tuple[int, dict[str, Any]]] = []
+        self.reader.on_control = self._on_control_line
 
     # -- plumbing ------------------------------------------------------------
 
@@ -278,19 +315,41 @@ class BotMeterDaemon:
         if self.health is not None:
             self.health.record_quarantined()
 
+    def _resolve_stream_config(self) -> None:
+        """Fix families/granularity/timeline (and the DoH adoption rate)
+        from explicit arguments or the trace header — shared by the
+        engine and the inline D3 detector, whichever is built first."""
+        if self._families is None:
+            if self.reader.header is None:
+                raise ValueError(
+                    "no --family given and the trace has no header line"
+                )
+            self._families = families_from_header(self.reader.header)
+        header = self.reader.header or {}
+        if self._granularity is None:
+            self._granularity = float(header.get("granularity", 0.1))
+        if self._timeline is None:
+            self._timeline = _timeline_from_header(header) or Timeline()
+        if self._doh_adoption is None:
+            self._doh_adoption = float(header.get("doh_adoption", 0.0) or 0.0)
+
+    def _ensure_d3(self) -> StreamingDetector | None:
+        if self.d3_mode is not None and self._d3 is None:
+            self._resolve_stream_config()
+            assert self._families is not None and self._timeline is not None
+            self._d3 = StreamingDetector(
+                self._families,
+                self._timeline,
+                mode=self.d3_mode,
+                threshold=self._d3_threshold,
+                training_path=self._d3_training,
+                metrics=self.metrics,
+            )
+        return self._d3
+
     def _ensure_engine(self) -> ShardedLandscapeEngine:
         if self.engine is None:
-            if self._families is None:
-                if self.reader.header is None:
-                    raise ValueError(
-                        "no --family given and the trace has no header line"
-                    )
-                self._families = families_from_header(self.reader.header)
-            header = self.reader.header or {}
-            if self._granularity is None:
-                self._granularity = float(header.get("granularity", 0.1))
-            if self._timeline is None:
-                self._timeline = _timeline_from_header(header) or Timeline()
+            self._resolve_stream_config()
             self.engine = ShardedLandscapeEngine(
                 self._families,
                 estimator=self._estimator,
@@ -316,6 +375,7 @@ class BotMeterDaemon:
         self,
         epochs: Sequence[EpochLandscape],
         corrupt_snapshot: int | None = None,
+        d3_snapshot: tuple[int, int, int] | None = None,
     ) -> None:
         if not epochs:
             return
@@ -330,6 +390,24 @@ class BotMeterDaemon:
         snapshot = self.reader.corrupt if corrupt_snapshot is None else corrupt_snapshot
         quarantined_delta = snapshot - self._quarantined_mark
         self._quarantined_mark = snapshot
+        # Measured-D3 deltas, pinned the same way: ``d3_snapshot`` is the
+        # detector's counters as they stood when the emitting record was
+        # enqueued, so emissions attribute misses/FPs independently of
+        # batch framing or decode-ahead depth.
+        d3_quality: dict[str, Any] | None = None
+        if self.d3_mode is not None:
+            if d3_snapshot is None:
+                detector = self._ensure_d3()
+                assert detector is not None
+                d3_snapshot = detector.snapshot()
+            missed_total, truth_total, fp_total = d3_snapshot
+            d3_quality = {
+                "d3_missed": missed_total - self._d3_missed_mark,
+                "d3_fp": fp_total - self._d3_fp_mark,
+                "d3_miss_rate": missed_total / truth_total if truth_total else 0.0,
+            }
+            self._d3_missed_mark = missed_total
+            self._d3_fp_mark = fp_total
         if self._out_fh is None and self.out_path is not None:
             # Usually opened by the first submitted batch; a resumed
             # engine that emits at finalize without having ingested a
@@ -340,6 +418,12 @@ class BotMeterDaemon:
         for index, epoch in enumerate(epochs):
             quality = dict(epoch.quality or {})
             quality["quarantined"] = quarantined_delta if index == 0 else 0
+            if d3_quality is not None:
+                quality["d3_missed"] = d3_quality["d3_missed"] if index == 0 else 0
+                quality["d3_fp"] = d3_quality["d3_fp"] if index == 0 else 0
+                quality["d3_miss_rate"] = d3_quality["d3_miss_rate"]
+            if self._doh_adoption:
+                quality["doh_loss"] = self._doh_adoption
             line = encode_landscape(
                 epoch.family, epoch.day_index, epoch.landscape, quality
             )
@@ -394,7 +478,12 @@ class BotMeterDaemon:
             return
         # Decoded-but-unsubmitted records would sit behind the saved
         # offset with no engine state to show for them: flush first.
+        # Ditto decoded-but-unapplied control lines — every record before
+        # the checkpoint offset has been enqueued by now, so any control
+        # still pending is due.
         self._flush_batch()
+        while self._pending_controls:
+            self._apply_control(self._pending_controls.pop(0)[1])
         engine = self._ensure_engine()
         state = {
             "input": self.input_path,
@@ -411,6 +500,17 @@ class BotMeterDaemon:
             "engine": engine.export_state(),
             "metrics": self.metrics.export_state(),
         }
+        if self.d3_mode is not None:
+            detector = self._ensure_d3()
+            assert detector is not None
+            state["d3"] = {
+                "mode": self.d3_mode,
+                "counters": detector.export_state(),
+                "missed_mark": self._d3_missed_mark,
+                "fp_mark": self._d3_fp_mark,
+            }
+        if self._doh_adoption:
+            state["doh_adoption"] = self._doh_adoption
         if self.injector is not None:
             state["injector"] = self.injector.export_state()
         if self.deadletter is not None:
@@ -430,8 +530,24 @@ class BotMeterDaemon:
         self.out_path.write_bytes(b"\n".join(kept) + (b"\n" if kept else b""))
 
     def _restore(self, checkpoint: Mapping[str, Any]) -> int:
+        if self._doh_adoption is None and "doh_adoption" in checkpoint:
+            self._doh_adoption = float(checkpoint["doh_adoption"])
         engine = self._ensure_engine()
         engine.import_state(checkpoint["engine"])
+        if self.d3_mode is not None:
+            # Counter state rides the checkpoint; the model rebuilds
+            # deterministically from the committed fixture.  Families
+            # registered live before the crash were just re-registered
+            # by the engine import — mirror them into the detector.
+            detector = self._ensure_d3()
+            assert detector is not None
+            for family in engine.families:
+                if family not in detector.families:
+                    detector.add_family(family, engine.dga_for(family))
+            d3_state = checkpoint.get("d3", {})
+            detector.import_state(d3_state.get("counters", {}))
+            self._d3_missed_mark = int(d3_state.get("missed_mark", 0))
+            self._d3_fp_mark = int(d3_state.get("fp_mark", 0))
         self.metrics.import_state(checkpoint["metrics"])
         reader_state = checkpoint["reader"]
         self.reader.records = int(reader_state["records"])
@@ -456,21 +572,99 @@ class BotMeterDaemon:
         )
         return int(checkpoint["input_offset"])
 
+    # -- live detection and the dynamic registry ------------------------------
+
+    def _on_control_line(self, data: Mapping[str, Any]) -> bool:
+        """Reader hook: journal a validated ``register`` control line.
+
+        Returns ``False`` (→ the counted-skip corrupt path) for specs
+        the registry cannot honour; accepted controls are applied when
+        record consumption reaches their decode position, so a decoded-
+        ahead chunk cannot register a family before the records that
+        preceded it on the wire.
+        """
+        name = data.get("family")
+        base = data.get("base")
+        seed = data.get("seed", 0)
+        if not isinstance(name, str) or not name:
+            return False
+        if not isinstance(base, str) or base not in family_names():
+            return False
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            return False
+        self._pending_controls.append(
+            (self.reader.records, {"name": name, "base": base, "seed": seed})
+        )
+        return True
+
+    def _apply_due_controls(self, ordinal: int) -> None:
+        """Apply every journaled control at or before record ``ordinal``
+        (0-indexed decode position of the record about to be consumed)."""
+        while self._pending_controls and self._pending_controls[0][0] <= ordinal:
+            self._flush_batch()
+            self._apply_control(self._pending_controls.pop(0)[1])
+
+    def _apply_control(self, spec: Mapping[str, Any]) -> None:
+        engine = self._ensure_engine()
+        name = str(spec["name"])
+        if name in engine.families:
+            self._log_event("family_register_skipped", family=name, reason="duplicate")
+            return
+        dga = make_family(str(spec["base"]), int(spec["seed"]))
+        engine.register_family(name, dga, spec=spec)
+        detector = self._ensure_d3()
+        if detector is not None:
+            detector.add_family(name, dga)
+        self._log_event(
+            "family_registered",
+            family=name,
+            base=spec["base"],
+            seed=spec["seed"],
+            families=len(engine.families),
+        )
+
+    def _admit(self, record: ForwardedLookup) -> tuple[bool, tuple[int, int, int] | None]:
+        """Inline D3 gate.  A rejected record still counts as consumed
+        (it was read and judged — identically at any worker count), it
+        just never reaches the engine."""
+        detector = self._ensure_d3()
+        if detector is None:
+            return True, None
+        if detector.admit(record):
+            return True, detector.snapshot()
+        self.records_consumed += 1
+        self._since_checkpoint += 1
+        if self.health is not None:
+            self.health.record_ok()
+        return False, None
+
     # -- batched submission ---------------------------------------------------
 
     def _enqueue(
-        self, record: ForwardedLookup, corrupt_mark: int | None = None
+        self,
+        record: ForwardedLookup,
+        corrupt_mark: int | None = None,
+        ordinal: int | None = None,
     ) -> None:
         """Hold a decoded record for the next batched submission.
 
         ``corrupt_mark`` lets a caller that decoded ahead of enqueueing
         (the traced chunk path) pin the reader corrupt count observed at
-        the record's own decode point.
+        the record's own decode point; ``ordinal`` likewise pins the
+        record's decode position for control-line ordering.
         """
+        if self._pending_controls:
+            self._apply_due_controls(
+                self.reader.records - 1 if ordinal is None else ordinal
+            )
+        admitted, d3_mark = self._admit(record)
+        if not admitted:
+            return
         self._pending_records.append(record)
         self._pending_marks.append(
             self.reader.corrupt if corrupt_mark is None else corrupt_mark
         )
+        self._pending_d3.append(d3_mark)
         self.records_consumed += 1
         self._since_checkpoint += 1
         if self.health is not None:
@@ -483,15 +677,19 @@ class BotMeterDaemon:
             return
         records = self._pending_records
         marks = self._pending_marks
+        d3_marks = self._pending_d3
         self._pending_records = []
         self._pending_marks = []
+        self._pending_d3 = []
         if self._out_fh is None and self.out_path is not None:
             self._out_fh = open(self.out_path, "a")
         engine = self._ensure_engine()
         engine.submit_batch(
             records,
             on_emit=lambda index, epochs: self._emit(
-                epochs, corrupt_snapshot=marks[index]
+                epochs,
+                corrupt_snapshot=marks[index],
+                d3_snapshot=d3_marks[index],
             ),
         )
 
@@ -507,6 +705,13 @@ class BotMeterDaemon:
         """
         n = len(columns)
         if n == 0:
+            return
+        if self.d3_mode is not None:
+            # The inline detector judges record-at-a-time; materialize
+            # the frame through the batched path (same admitted
+            # subsequence, same snapshots, same bytes as NDJSON).
+            for record in columns.materialize():
+                self._enqueue(record)
             return
         if self._out_fh is None and self.out_path is not None:
             self._out_fh = open(self.out_path, "a")
@@ -545,6 +750,11 @@ class BotMeterDaemon:
     def _finish_stream(self, offset: int) -> None:
         """Stream end: release held batches, close every epoch, persist."""
         self._flush_batch()
+        while self._pending_controls:
+            # A control with no records after it still registers: the
+            # family joins the taxonomy (and the checkpoint) even though
+            # it never charted an epoch this segment.
+            self._apply_control(self._pending_controls.pop(0)[1])
         if self.finalize_at_eof and self.engine is not None:
             self._emit(self.engine.finalize())
         # Persist the end-of-stream state whenever an engine exists or
@@ -636,8 +846,12 @@ class BotMeterDaemon:
                     if t0:
                         tracer.stop("decode", t0, records=len(decoded))
                     if not corrupt_events:
-                        for record in decoded:
-                            self._enqueue(record, corrupt_mark=mark)
+                        for index, record in enumerate(decoded):
+                            self._enqueue(
+                                record,
+                                corrupt_mark=mark,
+                                ordinal=base_records + index,
+                            )
                     else:
                         pending, n_events = 0, len(corrupt_events)
                         for index, record in enumerate(decoded):
@@ -647,7 +861,11 @@ class BotMeterDaemon:
                             ):
                                 mark += 1
                                 pending += 1
-                            self._enqueue(record, corrupt_mark=mark)
+                            self._enqueue(
+                                record,
+                                corrupt_mark=mark,
+                                ordinal=base_records + index,
+                            )
                 self._c_skipped.set_total(reader.skipped)
                 if self._since_checkpoint >= self.checkpoint_every:
                     self._checkpoint(offset + decoder.consumed)
@@ -943,10 +1161,15 @@ class BotMeterDaemon:
         if self.batch_lines > 1:
             self._enqueue(record)
             return
+        if self._pending_controls:
+            self._apply_due_controls(self.reader.records - 1)
+        admitted, d3_mark = self._admit(record)
+        if not admitted:
+            return
         if self._out_fh is None and self.out_path is not None:
             self._out_fh = open(self.out_path, "a")
         engine = self._ensure_engine()
-        self._emit(engine.submit(record))
+        self._emit(engine.submit(record), d3_snapshot=d3_mark)
         self.records_consumed += 1
         self._since_checkpoint += 1
         if self.health is not None:
@@ -1026,8 +1249,10 @@ class BotMeterDaemon:
             reader.tracer = saved_tracer
             reader.on_corrupt = inner_on_corrupt
         if not corrupt_events:
-            for record in decoded:
-                self._enqueue(record, corrupt_mark=mark)
+            for index, record in enumerate(decoded):
+                self._enqueue(
+                    record, corrupt_mark=mark, ordinal=base_records + index
+                )
         else:
             pending, n_events = 0, len(corrupt_events)
             for index, record in enumerate(decoded):
@@ -1037,5 +1262,7 @@ class BotMeterDaemon:
                 ):
                     mark += 1
                     pending += 1
-                self._enqueue(record, corrupt_mark=mark)
+                self._enqueue(
+                    record, corrupt_mark=mark, ordinal=base_records + index
+                )
         self._c_skipped.set_total(reader.skipped)

@@ -30,6 +30,7 @@ from ..core.kernels import shared_cache
 from ..core.streaming import StreamingBotMeter
 from ..core.taxonomy import recommended_estimator
 from ..dga.base import Dga
+from ..dga.families import make_family
 from ..dns.message import ForwardedLookup
 from ..timebase import SECONDS_PER_DAY, Timeline
 from .metrics import MetricsRegistry
@@ -82,6 +83,12 @@ def validate_engine_state(state: Mapping[str, Any]) -> Mapping[str, Any]:
     reorder = state.get("reorder")
     if not isinstance(reorder, Mapping) or "contents" not in reorder:
         raise ValueError("engine state reorder must carry the buffer contents")
+    dynamic = state.get("dynamic", [])
+    if not isinstance(dynamic, list):
+        raise ValueError("engine state dynamic must be a list of registration specs")
+    for spec in dynamic:
+        if not isinstance(spec, Mapping) or not isinstance(spec.get("name"), str):
+            raise ValueError(f"malformed dynamic-family spec {spec!r}")
     shards = state.get("shards")
     if not isinstance(shards, list):
         raise ValueError("engine state shards must be a list")
@@ -232,6 +239,8 @@ class ShardedLandscapeEngine:
             family: dict(windows)
             for family, windows in (detection_windows or {}).items()
         }
+        self._estimator_spec = estimator
+        self._dynamic: dict[str, dict[str, Any]] = {}
         self._estimators: dict[str, Estimator] = {}
         for family, dga in self._dgas.items():
             if isinstance(estimator, str):
@@ -356,6 +365,62 @@ class ShardedLandscapeEngine:
 
     def estimator_name(self, family: str) -> str:
         return self._estimators[family].name
+
+    def dga_for(self, family: str):
+        """The generator behind ``family`` (dynamic families included)."""
+        return self._dgas[family]
+
+    # -- dynamic taxonomy registry -------------------------------------------
+
+    def register_family(
+        self, name: str, dga: Any, spec: Mapping[str, Any] | None = None
+    ) -> None:
+        """Onboard a family live: new id, kernel warm, no restart.
+
+        The registry exists for the unknown-DGA case — a cluster a D3
+        pipeline identifies mid-stream (or a re-keyed campaign announced
+        by a ``register`` control line).  The family joins the taxonomy
+        immediately: its router matches from the next submitted record,
+        its shards are born pre-skipped past already-emitted epochs (so
+        the rectangular landscape stays monotone), and the estimator
+        follows the engine's construction-time policy.
+
+        ``spec`` (``{"name", "base", "seed"}``) is recorded so
+        :meth:`export_state` can carry the registration and
+        :meth:`import_state` can rebuild the identical generator on a
+        restored engine — dynamic families survive a SIGKILL/resume.
+
+        Determinism: in parallel mode every outbox is flushed *before*
+        the registration is broadcast, so the worker pipes order all
+        earlier records ahead of the new router exactly as the serial
+        path does.
+        """
+        if self._finalized:
+            raise RuntimeError("cannot register a family on a finalized engine")
+        if name in self._dgas:
+            raise ValueError(f"family {name!r} is already registered")
+        self._dgas[name] = dga
+        self._families = sorted(self._dgas)
+        if isinstance(self._estimator_spec, str):
+            self._estimators[name] = (
+                recommended_estimator(dga)
+                if self._estimator_spec == "auto"
+                else make_estimator(self._estimator_spec)
+            )
+        else:
+            self._estimators[name] = self._estimator_spec
+        self._routers[name] = _FamilyRouter(
+            dga, self._timeline, self._detection_windows.get(name)
+        )
+        shared_cache().warm_family(dga.params)
+        self._dynamic[name] = (
+            dict(spec) if spec is not None else {"name": name}
+        )
+        if self._pool is not None:
+            for index in range(self._ingest_workers):
+                self._flush_outbox(index)
+            for index in range(self._ingest_workers):
+                self._pool.send(index, ("register", name, dga, self._estimators[name]))
 
     # -- sharding ------------------------------------------------------------
 
@@ -886,7 +951,7 @@ class ShardedLandscapeEngine:
             raise RuntimeError(
                 "cannot checkpoint with un-emitted shard closures pending"
             )
-        return {
+        state: dict[str, Any] = {
             "schema": ENGINE_STATE_SCHEMA,
             "families": list(self._families),
             "watermark": None if self._watermark == float("-inf") else self._watermark,
@@ -898,6 +963,14 @@ class ShardedLandscapeEngine:
             "reorder": self._reorder.export_state(),
             "shards": shards,
         }
+        if self._dynamic:
+            # Registration specs for live-onboarded families, in sorted
+            # order — import_state rebuilds each generator from its
+            # (base, seed) before the family-set equality check.
+            state["dynamic"] = [
+                dict(self._dynamic[name]) for name in sorted(self._dynamic)
+            ]
+        return state
 
     def _export_shards_parallel(self) -> list[list[Any]]:
         if self._pool is None:
@@ -916,6 +989,14 @@ class ShardedLandscapeEngine:
         schema = state.get("schema")
         if schema != ENGINE_STATE_SCHEMA:
             raise ValueError(f"unknown engine state schema {schema!r}")
+        for spec in state.get("dynamic", ()):
+            name = str(spec["name"])
+            if name not in self._dgas:
+                self.register_family(
+                    name,
+                    make_family(str(spec["base"]), int(spec.get("seed", 0))),
+                    spec=spec,
+                )
         if sorted(state["families"]) != self._families:
             raise ValueError(
                 f"checkpoint families {sorted(state['families'])} do not match "

@@ -55,6 +55,7 @@ __all__ = [
     "encode_record",
     "decode_record",
     "encode_header",
+    "encode_register",
     "encode_landscape",
     "landscape_to_dict",
     "finalize_quality",
@@ -126,6 +127,20 @@ def encode_header(meta: Mapping[str, Any]) -> str:
     return _dumps({"v": WIRE_VERSION, "type": "header", **meta})
 
 
+def encode_register(family: str, base: str, seed: int) -> str:
+    """A ``register`` control line: onboard ``family`` live, mid-stream.
+
+    ``base`` names the generator type (a known family builder) and
+    ``seed`` its re-keyed seed — together they let every consumer
+    (daemon, workers, checkpoint restore) rebuild the identical DGA
+    without the trace carrying code.  Control lines exist only on the
+    NDJSON wire; the columnar v2 format carries lookup records alone.
+    """
+    return _dumps(
+        {"v": WIRE_VERSION, "type": "register", "family": family, "base": base, "seed": seed}
+    )
+
+
 def finalize_quality(
     landscape: Landscape, quality: Mapping[str, Any] | None = None
 ) -> dict[str, Any]:
@@ -135,6 +150,20 @@ def finalize_quality(
     (``late``, ``dropped``, ``quarantined``); missing keys default to 0,
     so a clean batch emission and a clean streamed emission produce the
     identical annotation — preserving the byte-equality anchor.
+
+    Live-detection runs add three optional keys: ``d3_missed`` /
+    ``d3_fp`` (per-epoch deltas of records the inline classifier
+    dropped despite matching a family window, resp. passed despite
+    matching none) and ``d3_miss_rate`` (the cumulative measured miss
+    rate).  DoH-degraded vantages add ``doh_loss`` (the estimated
+    encryption-adoption fraction).  All of them appear only when the
+    emitter provides them, so an oracle-D3, cleartext stream keeps the
+    exact historical annotation bytes.  ``d3_missed`` counts into the
+    lost total, and ``doh_loss`` compounds multiplicatively into
+    ``loss`` (a record survives the channel only if it is neither
+    encrypted away nor missed), so
+    :func:`repro.core.confidence.widen_for_loss` sees the *measured*
+    degradation, not the configured one.
     """
     annotation = {
         "matched": int(sum(landscape.matched_counts.values())),
@@ -146,8 +175,23 @@ def finalize_quality(
         if quality is not None and key in quality:
             annotation[key] = int(quality[key])
     lost = annotation["late"] + annotation["dropped"] + annotation["quarantined"]
+    if quality is not None:
+        for key in ("d3_missed", "d3_fp"):
+            if key in quality:
+                annotation[key] = int(quality[key])
+        if "d3_miss_rate" in quality:
+            annotation["d3_miss_rate"] = round(float(quality["d3_miss_rate"]), 6)
+        lost += annotation.get("d3_missed", 0)
     denominator = annotation["matched"] + lost
-    annotation["loss"] = round(lost / denominator, 6) if denominator else 0.0
+    doh = 0.0
+    if quality is not None and "doh_loss" in quality:
+        doh = min(max(float(quality["doh_loss"]), 0.0), 1.0)
+        annotation["doh_loss"] = round(doh, 6)
+    if doh > 0.0:
+        visible = lost / denominator if denominator else 0.0
+        annotation["loss"] = round(1.0 - (1.0 - visible) * (1.0 - doh), 6)
+    else:
+        annotation["loss"] = round(lost / denominator, 6) if denominator else 0.0
     return annotation
 
 
@@ -215,6 +259,13 @@ class NdjsonReader:
     truncated_tail: int = 0
     header: dict[str, Any] | None = field(default=None, repr=False)
     on_corrupt: Callable[[str, str], None] | None = field(
+        default=None, repr=False, compare=False
+    )
+    #: Optional control-line sink ``(data) -> bool``: called for each
+    #: ``register`` line; return ``True`` once the control is accepted.
+    #: Unhandled (or handler-less) controls fall through to the corrupt
+    #: skip policy, so pre-registry consumers keep their exact counts.
+    on_control: Callable[[dict], bool] | None = field(
         default=None, repr=False, compare=False
     )
     #: Optional :class:`~repro.service.tracing.StageTracer`; when set,
@@ -299,6 +350,12 @@ class NdjsonReader:
         kind = data.get("type", "lookup")
         if kind == "header":
             self.header = data
+            return None
+        if kind == "register":
+            handler = self.on_control
+            if handler is not None and handler(data):
+                return None
+            self._corrupt_line(stripped, "unhandled control line 'register'")
             return None
         if kind != "lookup":
             self._corrupt_line(stripped, f"unknown line type {kind!r}")

@@ -125,6 +125,28 @@ class _WorkerState:
         for family in self.families:
             shared_cache().warm_family(config.dgas[family].params)
 
+    def add_family(self, name: str, dga: Dga, estimator: Estimator) -> None:
+        """Dynamic-registry onboarding, worker side (idempotent).
+
+        ``WorkerConfig`` is frozen but its taxonomy mappings are plain
+        dicts, so the registration mutates them in place — every later
+        ``_shard`` build and routing pass sees the new family without a
+        config reload.  Pipe ordering guarantees all records dispatched
+        before the ``register`` op were ingested under the old taxonomy,
+        matching the serial engine's routing exactly.
+        """
+        from .engine import _FamilyRouter  # worker-side import, no cycle at load
+
+        if name in self.routers:
+            return
+        self.config.dgas[name] = dga
+        self.config.estimators[name] = estimator
+        self.families = sorted(self.config.dgas)
+        self.routers[name] = _FamilyRouter(
+            dga, self.config.timeline, self.config.detection_windows.get(name)
+        )
+        shared_cache().warm_family(dga.params)
+
     def _shard(self, family: str, server: str) -> StreamingBotMeter:
         key = (family, server)
         shard = self.shards.get(key)
@@ -225,6 +247,8 @@ def _worker_main(conn: Connection, config: WorkerConfig) -> None:
                 raise RuntimeError(deferred_error)
             if op == "batch":
                 state.ingest_batch(message[1], message[2])
+            elif op == "register":
+                state.add_family(message[1], message[2], message[3])
             elif op in ("close", "finalize"):
                 state.advance_all(message[1])
                 conn.send(state.sync_payload())
@@ -241,7 +265,7 @@ def _worker_main(conn: Connection, config: WorkerConfig) -> None:
             else:
                 raise RuntimeError(f"unknown worker command {op!r}")
         except Exception as exc:  # pragma: no cover - defensive surface
-            if op == "batch":
+            if op in ("batch", "register"):
                 # Fire-and-forget: report at the next request instead.
                 deferred_error = f"{type(exc).__name__}: {exc}"
             else:

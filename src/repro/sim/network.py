@@ -51,10 +51,17 @@ class SimConfig:
     benign: BenignConfig | None = None
     benign_clients_per_server: int = 0
     origin: _dt.date = _dt.date(2014, 5, 1)
+    #: Fraction of each subnet's bots that resolve over encrypted DNS
+    #: (DoH/DoT): their lookups never transit the local resolver, so
+    #: they vanish from the border vantage while staying in the raw
+    #: stream and the ground truth — the visibility-loss scenario.
+    doh_adoption: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_bots < 0:
             raise ValueError("n_bots must be >= 0")
+        if not 0 <= self.doh_adoption <= 1:
+            raise ValueError("doh_adoption must be in [0, 1]")
         if self.n_days < 1:
             raise ValueError("n_days must be >= 1")
         if self.n_local_servers < 1:
@@ -112,6 +119,8 @@ class SimResult:
     observable: list[ForwardedLookup]
     ground_truth: GroundTruth
     authority: RegistrationAuthority = field(repr=False, default=None)  # type: ignore[assignment]
+    #: Clients invisible at the border vantage (encrypted-DNS adopters).
+    doh_clients: frozenset[str] = frozenset()
 
     @property
     def n_days(self) -> int:
@@ -214,8 +223,21 @@ def simulate(config: SimConfig) -> SimResult:
                 if clients:
                     all_lookups.extend(benign_model.day_lookups(clients, day_start))
 
+    # Encrypted-DNS adopters: the first ``round(adoption * n)`` bots of
+    # each subnet (deterministic, no RNG draw — a zero-adoption config
+    # reproduces the historical stream bit-exactly).  Their lookups stay
+    # in the raw stream and the ground truth; they simply never transit
+    # the local resolver below.
+    doh_clients: set[str] = set()
+    if config.doh_adoption > 0:
+        for server_id, members in bots_by_server.items():
+            k = int(round(config.doh_adoption * len(members)))
+            doh_clients.update(bot.client_id for bot in members[:k])
+
     # Replay chronologically through the caching hierarchy.
     for lookup in sort_raw(all_lookups):
+        if lookup.client in doh_clients:
+            continue
         hierarchy.lookup(lookup.client, lookup.domain, lookup.timestamp)
 
     observable = sort_observable(hierarchy.drain_observed())
@@ -228,4 +250,5 @@ def simulate(config: SimConfig) -> SimResult:
         observable=observable,
         ground_truth=ground_truth,
         authority=authority,
+        doh_clients=frozenset(doh_clients),
     )

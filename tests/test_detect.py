@@ -123,3 +123,37 @@ class TestLexicalDetector:
     def test_evaluate_requires_data(self):
         with pytest.raises(ValueError):
             self.fitted().evaluate([], ["a.com"])
+
+    @pytest.mark.parametrize(
+        "domain, expect_finite",
+        [
+            ("", False),  # no label at all
+            ("   ", False),  # whitespace only
+            (".", False),  # dot-only
+            ("...", False),
+            (" . . ", False),  # whitespace labels between dots
+            ("a.com", True),  # single-char label
+            ("xn--nxasmq6b.com", True),  # punycode
+            ("example.com.", True),  # FQDN trailing dot
+            ("  example.com  ", True),  # surrounding whitespace
+            ("EXAMPLE.COM", True),  # case folding
+        ],
+    )
+    def test_score_edge_case_domains(self, domain, expect_finite):
+        """Degenerate real-trace domains must score, not raise: inputs
+        with no extractable label are maximally benign (``-inf``), and
+        never classified DGA."""
+        detector = self.fitted()
+        score = detector.score(domain)
+        if expect_finite:
+            assert score == score and abs(score) != float("inf")
+        else:
+            assert score == float("-inf")
+            assert not detector.is_dga(domain)
+
+    def test_edge_case_labels_normalise_to_same_score(self):
+        """Trailing dots, whitespace and case fold away before scoring."""
+        detector = self.fitted()
+        base = detector.score("example.com")
+        assert detector.score("example.com.") == base
+        assert detector.score("  EXAMPLE.COM  ") == base

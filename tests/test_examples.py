@@ -37,3 +37,8 @@ class TestFastExamples:
         out = run_example("streaming_monitor.py")
         assert "90% CI" in out
         assert "matched the DGA" in out
+
+    def test_liveview_rekey(self):
+        out = run_example("liveview_rekey.py")
+        assert "measured D3 miss rate" in out
+        assert "hand-off to qakbot-rk5 charted at epoch 1" in out

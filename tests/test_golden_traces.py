@@ -51,10 +51,10 @@ GOLDEN_DIR = Path(__file__).parent / "golden"
 FIXTURES = ["murofet_small", "new_goz_jitter"]
 
 
-def _replay(name: str, tmp_path: Path, workers: int, **kwargs) -> bytes:
-    out = tmp_path / f"{name}.w{workers}.ndjson"
+def _replay_file(trace: Path, tmp_path: Path, workers: int, **kwargs) -> bytes:
+    out = tmp_path / f"{trace.stem}.w{workers}.ndjson"
     daemon = BotMeterDaemon(
-        GOLDEN_DIR / f"{name}.ndjson",
+        trace,
         out_path=out,
         follow=False,
         batch_lines=256,
@@ -63,6 +63,10 @@ def _replay(name: str, tmp_path: Path, workers: int, **kwargs) -> bytes:
     )
     assert daemon.run() == 0
     return out.read_bytes()
+
+
+def _replay(name: str, tmp_path: Path, workers: int, **kwargs) -> bytes:
+    return _replay_file(GOLDEN_DIR / f"{name}.ndjson", tmp_path, workers, **kwargs)
 
 
 @pytest.mark.parametrize("name", FIXTURES)
@@ -218,6 +222,80 @@ def test_golden_cluster_shards_cover_the_source_trace(tmp_path):
         committed = (CLUSTER_GOLDEN / f"shard-{i:02d}.ndjson").read_bytes()
         body = b"\n".join(rebuilt[i]) + (b"\n" if rebuilt[i] else b"")
         assert committed == body, f"shard {i} drifted from route_line"
+
+
+LIVEVIEW_DOH = GOLDEN_DIR / "liveview_doh"
+LIVEVIEW_REKEY = GOLDEN_DIR / "liveview_rekey"
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_golden_liveview_doh_replay_byte_identical(workers, tmp_path):
+    """The DoH visibility-loss trace (``export-trace --source sim
+    --doh-adoption 0.25``) replays to the committed degraded landscape:
+    every row carries the adoption estimate as ``doh_loss`` and a
+    ``loss`` widened to at least the adoption fraction, so downstream
+    ``widen_for_loss`` readers correct for the invisible bots."""
+    expected = (LIVEVIEW_DOH / "expected.landscape.ndjson").read_bytes()
+    got = _replay_file(LIVEVIEW_DOH / "trace.ndjson", tmp_path, workers)
+    assert got == expected
+    rows = [json.loads(line) for line in got.splitlines()]
+    assert rows, "degraded landscape is empty"
+    for row in rows:
+        assert row["quality"]["doh_loss"] == 0.25
+        assert row["quality"]["loss"] >= 0.25
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_golden_liveview_rekey_replay_byte_identical(workers, tmp_path):
+    """The takedown re-key campaign trace, replayed with the real
+    lexical D3 inline, reproduces the committed landscape bytes — and
+    the population hand-off epoch is pinned: the storm family carries
+    epoch 0, the re-keyed family first appears at epoch 1, exactly the
+    trace header's ``handoff_day``."""
+    expected = (LIVEVIEW_REKEY / "expected.landscape.ndjson").read_bytes()
+    got = _replay_file(
+        LIVEVIEW_REKEY / "trace.ndjson", tmp_path, workers, d3="lexical"
+    )
+    assert got == expected
+    header = json.loads(
+        (LIVEVIEW_REKEY / "trace.ndjson").read_bytes().splitlines()[0]
+    )
+    rekey_family = header["rekey"]["family"]
+    base_family = header["families"][0]["name"]
+    rows = [json.loads(line) for line in got.splitlines()]
+    handoff = min(r["epoch"] for r in rows if r["family"] == rekey_family and r["total"] > 0)
+    assert handoff == header["rekey"]["handoff_day"] == 1
+    assert all(
+        r["total"] == 0
+        for r in rows
+        if r["family"] == base_family and r["epoch"] >= handoff
+    )
+    # Measured D3 quality rides every row; the storm epoch records the
+    # detector's real misses and false positives.
+    storm = next(r for r in rows if r["family"] == base_family and r["epoch"] == 0)
+    assert storm["quality"]["d3_missed"] > 0
+    assert storm["quality"]["d3_miss_rate"] > 0
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_golden_murofet_lexical_d3_byte_identical(workers, tmp_path):
+    """``replay --d3 lexical`` over the plain murofet golden matches its
+    committed D3 twin: the detector's measured miss/FP counters land in
+    the quality block and the loss annotation absorbs the missed
+    records, while the landscape estimates themselves stay put."""
+    expected = (GOLDEN_DIR / "murofet_small.landscape.d3.ndjson").read_bytes()
+    got = _replay("murofet_small", tmp_path, workers, d3="lexical")
+    assert got == expected
+    rows = [json.loads(line) for line in got.splitlines()]
+    plain = [
+        json.loads(line)
+        for line in (GOLDEN_DIR / "murofet_small.landscape.ndjson").read_bytes().splitlines()
+    ]
+    assert sum(r["quality"]["d3_missed"] for r in rows) > 0
+    assert all(0 < r["quality"]["d3_miss_rate"] < 0.5 for r in rows)
+    # The poisson estimator sees fewer matched records but the same
+    # distinct-domain structure: totals survive the lexical filter.
+    assert [r["total"] for r in rows] == [r["total"] for r in plain]
 
 
 def test_golden_four_worker_trace_covers_all_stages(tmp_path):
